@@ -1,0 +1,37 @@
+//! E8 (ablation) — Fig. 3 prescribes a hash tree for candidate counting;
+//! this bench compares it against first-item-bucketed direct scanning
+//! inside the same Apriori skeleton.
+
+use anno_bench::paper_workload;
+use anno_mine::{apriori, transactions_of, AprioriConfig, CountingStrategy, MiningMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn counting(c: &mut Criterion) {
+    let ds = paper_workload();
+    let transactions = transactions_of(&ds.relation, MiningMode::Annotated);
+    let alpha = 0.25;
+    let mut group = c.benchmark_group("counting");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("hash_tree", CountingStrategy::HashTree),
+        ("direct_scan", CountingStrategy::DirectScan),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                apriori(
+                    &transactions,
+                    alpha,
+                    &AprioriConfig {
+                        mode: MiningMode::Annotated,
+                        counting: strategy,
+                        max_len: None,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, counting);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E1 — Fig. 16: run time of incrementally updating + discovering rules
+//! vs. re-running Apriori over the whole database after each change.
+//!
+//! Paper setup: ≈8000 entries, minimum support 0.4, minimum confidence 0.8;
+//! the paper reports ~12 s per full Apriori pass in its Java implementation
+//! vs near-instant incremental updates. Absolute numbers differ here (this
+//! is optimized Rust); the *shape* to reproduce is full re-mine ≫
+//! incremental, for every case.
+
+use anno_bench::{fig16_setup, paper_thresholds};
+use anno_mine::mine_rules;
+use anno_store::{random_annotated_tuples, random_unannotated_tuples};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fig16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+
+    // The baseline the paper compares against: full Apriori re-run.
+    let setup = fig16_setup(1, 400);
+    group.bench_function("full_apriori_remine", |b| {
+        b.iter(|| mine_rules(&setup.relation, &paper_thresholds()))
+    });
+
+    // Case 3 (the paper's contribution): apply an annotation batch.
+    for batch_size in [100usize, 400, 800] {
+        let setup = fig16_setup(1, batch_size);
+        group.bench_function(format!("case3_incremental_{batch_size}"), |b| {
+            b.iter_batched(
+                || (setup.miner.clone(), setup.relation.clone(), setup.batches[0].clone()),
+                |(mut miner, mut rel, batch)| miner.apply_annotations(&mut rel, batch),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Case 1: add annotated tuples.
+    let setup = fig16_setup(1, 1);
+    let mut rel_for_gen = setup.relation.clone();
+    let mut rng = StdRng::seed_from_u64(42);
+    let annotated = random_annotated_tuples(&mut rel_for_gen, &mut rng, 200, 8);
+    group.bench_function("case1_incremental_200", |b| {
+        b.iter_batched(
+            || (setup.miner.clone(), setup.relation.clone(), annotated.clone()),
+            |(mut miner, mut rel, tuples)| miner.add_annotated_tuples(&mut rel, tuples),
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Case 2: add un-annotated tuples.
+    let plain = random_unannotated_tuples(&mut rel_for_gen, &mut rng, 200, 8);
+    group.bench_function("case2_incremental_200", |b| {
+        b.iter_batched(
+            || (setup.miner.clone(), setup.relation.clone(), plain.clone()),
+            |(mut miner, mut rel, tuples)| miner.add_unannotated_tuples(&mut rel, tuples),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig16);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E6 — generalization-based correlations (§4.1, Figs. 8–10): the cost of
+//! building the extended annotated database and mining it, vs mining the
+//! raw database (which misses the fragmented correlations entirely — the
+//! `experiments` binary reports the rule-count uplift).
+
+use anno_bench::paper_thresholds;
+use anno_mine::{mine_generalized, mine_rules};
+use anno_store::{keyword_rule, AnnotatedRelation, Taxonomy, Tuple};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// A database whose annotations fragment one concept across `phrasings`
+/// surface forms (the Fig. 8 situation, at benchmark scale).
+pub fn fragmented_db(tuples: usize, phrasings: usize) -> (AnnotatedRelation, Taxonomy) {
+    let mut rel = AnnotatedRelation::new("fragmented");
+    let phrases: Vec<String> = (0..phrasings)
+        .map(|i| format!("flagged invalid by curator {i}"))
+        .collect();
+    for i in 0..tuples {
+        let key = rel.vocab_mut().data(&format!("{}", 100 + i % 4));
+        let val = rel.vocab_mut().data(&format!("{}", 200 + i % 7));
+        let mut anns = Vec::new();
+        if i % 4 == 0 {
+            let phrase = phrases[i % phrasings].as_str();
+            anns.push(rel.vocab_mut().annotation(phrase));
+        }
+        rel.insert(Tuple::new([key, val], anns));
+    }
+    let mut tax = Taxonomy::new();
+    tax.add_rule(&keyword_rule(rel.vocab_mut(), &["invalid"], "Invalidation"));
+    (rel, tax)
+}
+
+fn generalization(c: &mut Criterion) {
+    let (rel, tax) = fragmented_db(8000, 6);
+    let thresholds = paper_thresholds();
+    let mut group = c.benchmark_group("generalization");
+    group.sample_size(10);
+    group.bench_function("raw_mining", |b| b.iter(|| mine_rules(&rel, &thresholds)));
+    group.bench_function("extend_database_only", |b| {
+        b.iter(|| tax.extend_relation(&rel))
+    });
+    group.bench_function("generalized_mining", |b| {
+        b.iter(|| mine_generalized(&rel, &tax, &thresholds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generalization);
+criterion_main!(benches);

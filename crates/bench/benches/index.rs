@@ -1,0 +1,62 @@
+//! E8 (ablation) — §4.3: "the system indexes the annotations such that
+//! given a query annotation, we can efficiently find all data tuples having
+//! this annotation."
+//!
+//! Compares the two operations the Fig. 13 discovery step needs —
+//! annotation co-occurrence counting and pattern counting among tuples
+//! carrying an annotation — with and without the inverted index.
+
+use anno_bench::paper_workload;
+use anno_mine::ItemSet;
+use anno_store::Item;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn index_ablation(c: &mut Criterion) {
+    let ds = paper_workload();
+    let rel = ds.relation;
+    // Pick the two most frequent annotations and a planted data pattern.
+    let mut anns: Vec<(Item, usize)> = rel
+        .index()
+        .annotations()
+        .map(|a| (a, rel.index().frequency(a)))
+        .collect();
+    anns.sort_by_key(|&(_, f)| std::cmp::Reverse(f));
+    let (a1, _) = anns[0];
+    let (a2, _) = anns[1];
+    let pattern = ItemSet::from_unsorted(ds.planted[0].lhs.clone());
+
+    let mut group = c.benchmark_group("index");
+
+    // Annotation co-occurrence: |tuples ∋ a1 ∧ a2|.
+    group.bench_function("cooccurrence_indexed_bitsets", |b| {
+        b.iter(|| rel.index().co_occurrence(&[a1, a2]))
+    });
+    group.bench_function("cooccurrence_full_scan", |b| {
+        b.iter(|| {
+            rel.iter()
+                .filter(|(_, t)| t.contains(a1) && t.contains(a2))
+                .count()
+        })
+    });
+
+    // Pattern frequency among tuples with annotation a1 (Fig. 13 Step 1).
+    group.bench_function("pattern_given_annotation_indexed", |b| {
+        b.iter(|| {
+            rel.tuples_with(a1)
+                .filter(|(_, t)| pattern.matches(t))
+                .count()
+        })
+    });
+    group.bench_function("pattern_given_annotation_full_scan", |b| {
+        b.iter(|| {
+            rel.iter()
+                .filter(|(_, t)| t.contains(a1) && pattern.matches(t))
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, index_ablation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E8 (ablation) — the paper treats Apriori as one interchangeable
+//! "state-of-art technique": this bench compares the three independent
+//! frequent-itemset miners on the same workload and mode.
+
+use anno_bench::paper_workload;
+use anno_mine::{
+    apriori, eclat, fpgrowth, transactions_of, AprioriConfig, CountingStrategy, MiningMode,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn miners(c: &mut Criterion) {
+    let ds = paper_workload();
+    let transactions = transactions_of(&ds.relation, MiningMode::Annotated);
+    let alpha = 0.25;
+    let mut group = c.benchmark_group("miners");
+    group.sample_size(10);
+    group.bench_function("apriori_hashtree", |b| {
+        b.iter(|| {
+            apriori(
+                &transactions,
+                alpha,
+                &AprioriConfig {
+                    mode: MiningMode::Annotated,
+                    counting: CountingStrategy::HashTree,
+                    max_len: None,
+                },
+            )
+        })
+    });
+    group.bench_function("fpgrowth", |b| {
+        b.iter(|| fpgrowth(&transactions, alpha, MiningMode::Annotated))
+    });
+    group.bench_function("eclat", |b| {
+        b.iter(|| eclat(&transactions, alpha, MiningMode::Annotated))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, miners);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E10 (ablation) — the retention factor: how far below α the candidate
+//! store reaches. Lower retention buys a bigger evolution budget (fewer
+//! fallback re-mines) and a more complete candidate-rule store at the cost
+//! of a larger table, slower initial mine, and slower per-batch updates.
+
+use anno_bench::{paper_thresholds, paper_workload};
+use anno_mine::{IncrementalConfig, IncrementalMiner};
+use anno_store::random_annotation_batch;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn retention(c: &mut Criterion) {
+    let ds = paper_workload();
+    let rel = ds.relation;
+    let mut group = c.benchmark_group("retention");
+    group.sample_size(10);
+    for &retention in &[1.0f64, 0.75, 0.5, 0.25] {
+        let config = IncrementalConfig {
+            thresholds: paper_thresholds(),
+            retention,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("initial_mine", retention),
+            &config,
+            |b, config| b.iter(|| IncrementalMiner::mine_initial(&rel, *config)),
+        );
+
+        let miner = IncrementalMiner::mine_initial(&rel, config);
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = random_annotation_batch(&rel, &mut rng, 200);
+        group.bench_with_input(
+            BenchmarkId::new("case3_batch_200", retention),
+            &(),
+            |b, ()| {
+                b.iter_batched(
+                    || (miner.clone(), rel.clone(), batch.clone()),
+                    |(mut m, mut r, batch)| m.apply_annotations(&mut r, batch),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, retention);
+criterion_main!(benches);

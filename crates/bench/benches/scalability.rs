@@ -1,0 +1,45 @@
+//! E9 — scalability extension of Fig. 16: how the incremental-vs-re-mine
+//! gap evolves with database size. Expected shape: full re-mining grows
+//! with |D| while Case-3 maintenance cost tracks the delta, so the gap
+//! widens as the database grows.
+
+use anno_bench::{paper_thresholds, sized_workload};
+use anno_mine::{mine_rules, IncrementalConfig, IncrementalMiner};
+use anno_store::random_annotation_batch;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for &tuples in &[1000usize, 4000, 16000] {
+        let ds = sized_workload(tuples);
+        let rel = ds.relation;
+        let miner = IncrementalMiner::mine_initial(
+            &rel,
+            IncrementalConfig { thresholds: paper_thresholds(), ..Default::default() },
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch = random_annotation_batch(&rel, &mut rng, 200);
+
+        group.bench_with_input(BenchmarkId::new("full_remine", tuples), &rel, |b, rel| {
+            b.iter(|| mine_rules(rel, &paper_thresholds()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("case3_incremental_200", tuples),
+            &(),
+            |b, ()| {
+                b.iter_batched(
+                    || (miner.clone(), rel.clone(), batch.clone()),
+                    |(mut m, mut r, batch)| m.apply_annotations(&mut r, batch),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scalability);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 — §4.3's scaling claim: "As the support value decreases the run time
+//! of the apriori algorithm takes magnitudes longer as many more potential
+//! rules need to be individually considered."
+//!
+//! Measures full Apriori over the paper-scale database across a minimum-
+//! support sweep; the expected shape is super-linear growth as α falls.
+
+use anno_bench::paper_workload;
+use anno_mine::{apriori, transactions_of, AprioriConfig, MiningMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn support_sweep(c: &mut Criterion) {
+    let ds = paper_workload();
+    let transactions = transactions_of(&ds.relation, MiningMode::Annotated);
+    let mut group = c.benchmark_group("support_sweep");
+    group.sample_size(10);
+    for &alpha in &[0.5, 0.4, 0.3, 0.25, 0.2] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| apriori(&transactions, alpha, &AprioriConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, support_sweep);
+criterion_main!(benches);

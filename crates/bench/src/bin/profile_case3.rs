@@ -1,0 +1,32 @@
+//! Developer utility: break down where Case-3 maintenance time goes,
+//! comparing one `apply_annotations` call against a full re-mine.
+//!
+//! ```text
+//! cargo run --release -p anno-bench --bin profile_case3 [batch_size]
+//! ```
+
+use anno_bench::{fig16_setup, paper_thresholds, time_ms};
+use anno_mine::mine_rules;
+
+fn main() {
+    let batch_size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let mut setup = fig16_setup(8, batch_size);
+    println!(
+        "db = {} tuples, table = {} itemsets, batch = {batch_size} updates",
+        setup.relation.len(),
+        setup.miner.table().len()
+    );
+    for (i, batch) in setup.batches.into_iter().enumerate() {
+        let (_, inc_ms) =
+            time_ms(|| setup.miner.apply_annotations(&mut setup.relation, batch));
+        let (_, full_ms) = time_ms(|| mine_rules(&setup.relation, &paper_thresholds()));
+        println!(
+            "batch {i}: incremental {inc_ms:>8.2} ms | full re-mine {full_ms:>8.1} ms | table {} itemsets | {} discovered",
+            setup.miner.table().len(),
+            setup.miner.stats().discovered_itemsets
+        );
+    }
+}

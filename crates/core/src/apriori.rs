@@ -1,0 +1,408 @@
+//! The Apriori algorithm (paper §3, Fig. 3) with annotation-aware pruning.
+//!
+//! Classic levelwise mining: frequent `k`-itemsets are joined into `(k+1)`-
+//! candidates, candidates whose sub-itemsets are not all frequent are
+//! pruned, and survivors are counted against the transaction list — with a
+//! hash tree (as Fig. 3 prescribes) or by first-item-bucketed direct
+//! scanning (the ablation baseline; see the `counting` bench).
+//!
+//! The paper's modification — "early elimination of any candidate patterns
+//! that didn't include at least one annotation" — is applied through
+//! [`MiningMode`]: candidates that cannot participate in any Definition
+//! 4.2/4.3 rule are dropped *before counting*, while pure-data itemsets are
+//! retained because rule confidence needs them as denominators (see
+//! DESIGN.md decision 3 for why the literal reading is unsound).
+
+use anno_store::fxhash::FxHashSet;
+
+use crate::frequent::{support_count_threshold, FrequentItemsets};
+use crate::hashtree::HashTree;
+use crate::itemset::{ItemSet, MiningMode, Transaction};
+
+/// How candidate supports are counted each level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountingStrategy {
+    /// Agrawal–Srikant hash tree (the paper's Fig. 3 structure).
+    #[default]
+    HashTree,
+    /// Per-candidate subset scanning, bucketed by first item.
+    DirectScan,
+    /// [`CountingStrategy::DirectScan`] parallelised across transaction
+    /// chunks with scoped threads (support counting is embarrassingly
+    /// parallel: per-chunk counts sum).
+    ParallelScan,
+}
+
+/// Apriori configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AprioriConfig {
+    /// Admissibility pruning (see [`MiningMode`]).
+    pub mode: MiningMode,
+    /// Candidate counting structure.
+    pub counting: CountingStrategy,
+    /// Optional cap on itemset length (None = unbounded).
+    pub max_len: Option<usize>,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        AprioriConfig {
+            mode: MiningMode::Annotated,
+            counting: CountingStrategy::HashTree,
+            max_len: None,
+        }
+    }
+}
+
+/// Mine all admissible itemsets with support ≥ `min_support` from
+/// `transactions` (each transaction sorted + deduplicated).
+pub fn apriori(
+    transactions: &[Transaction],
+    min_support: f64,
+    config: &AprioriConfig,
+) -> FrequentItemsets {
+    let db_size = transactions.len() as u64;
+    let mut result = FrequentItemsets::new(db_size);
+    if db_size == 0 {
+        return result;
+    }
+    let min_count = support_count_threshold(min_support, db_size);
+
+    // Level 1: count singletons with a flat map.
+    let mut singleton_counts: anno_store::fxhash::FxHashMap<anno_store::Item, u64> =
+        Default::default();
+    for t in transactions {
+        for &item in t.iter() {
+            *singleton_counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let mut level: Vec<ItemSet> = singleton_counts
+        .iter()
+        .filter(|&(&item, &c)| {
+            let (dc, ac) = if item.is_data() { (1, 0) } else { (0, 1) };
+            c >= min_count && config.mode.admits(dc, ac)
+        })
+        .map(|(&item, _)| ItemSet::single(item))
+        .collect();
+    level.sort_unstable();
+    for s in &level {
+        result.insert(s.clone(), singleton_counts[&s.items()[0]]);
+    }
+
+    let mut k = 1usize;
+    while !level.is_empty() {
+        k += 1;
+        if config.max_len.is_some_and(|m| k > m) {
+            break;
+        }
+        let candidates = generate_candidates(&level, config.mode, &result);
+        if candidates.is_empty() {
+            break;
+        }
+        let counted = match config.counting {
+            CountingStrategy::HashTree => count_hash_tree(candidates, k, transactions),
+            CountingStrategy::DirectScan => count_direct(candidates, transactions),
+            CountingStrategy::ParallelScan => count_parallel(candidates, transactions),
+        };
+        level = counted
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .map(|(s, c)| {
+                result.insert(s.clone(), c);
+                s
+            })
+            .collect();
+        level.sort_unstable();
+    }
+    result
+}
+
+/// Join + prune step: candidates of length `k+1` from the sorted frequent
+/// `k`-itemsets, dropping those with an infrequent sub-itemset or an
+/// inadmissible shape.
+pub fn generate_candidates(
+    level: &[ItemSet],
+    mode: MiningMode,
+    frequent: &FrequentItemsets,
+) -> Vec<ItemSet> {
+    let level_set: FxHashSet<&ItemSet> = level.iter().collect();
+    let mut out = Vec::new();
+    // Groups sharing a (k-1)-prefix are contiguous because `level` is
+    // sorted; join every ordered pair inside a group.
+    let mut group_start = 0usize;
+    for i in 0..level.len() {
+        let k = level[i].len();
+        let same_group = level[group_start].items()[..k - 1] == level[i].items()[..k - 1];
+        if !same_group {
+            group_start = i;
+        }
+        for a in &level[group_start..i] {
+            let Some(candidate) = a.join_prefix(&level[i]) else { continue };
+            if !candidate.admitted_by(mode) {
+                continue;
+            }
+            // Downward closure: every k-subset must be frequent. Skip
+            // subsets that are inadmissible under `mode` — they were never
+            // counted, and admissibility is downward-closed so an
+            // inadmissible subset of an admissible candidate cannot occur;
+            // the check is kept for Unrestricted completeness.
+            let all_frequent = candidate.sub_itemsets().all(|sub| {
+                level_set.contains(&sub) || frequent.contains(&sub)
+            });
+            if all_frequent {
+                out.push(candidate);
+            }
+        }
+    }
+    out
+}
+
+fn count_hash_tree(
+    candidates: Vec<ItemSet>,
+    k: usize,
+    transactions: &[Transaction],
+) -> Vec<(ItemSet, u64)> {
+    let mut tree = HashTree::new(candidates, k);
+    for t in transactions {
+        tree.count_transaction(t);
+    }
+    tree.into_counts()
+}
+
+/// Count candidates by direct subset checks, bucketed by first item so each
+/// transaction only probes candidates that can possibly match.
+pub fn count_direct(
+    candidates: Vec<ItemSet>,
+    transactions: &[Transaction],
+) -> Vec<(ItemSet, u64)> {
+    let mut by_first: anno_store::fxhash::FxHashMap<anno_store::Item, Vec<usize>> =
+        Default::default();
+    for (i, c) in candidates.iter().enumerate() {
+        if let Some(&first) = c.items().first() {
+            by_first.entry(first).or_default().push(i);
+        }
+    }
+    let mut counts = vec![0u64; candidates.len()];
+    for t in transactions {
+        for (pos, item) in t.iter().enumerate() {
+            let Some(bucket) = by_first.get(item) else { continue };
+            for &ci in bucket {
+                if candidates[ci].is_subset_of(&t[pos..]) {
+                    counts[ci] += 1;
+                }
+            }
+        }
+    }
+    candidates.into_iter().zip(counts).collect()
+}
+
+/// Parallel variant of [`count_direct`]: transactions are split into one
+/// chunk per available core and counted with scoped threads; per-chunk
+/// count vectors sum into the result. Falls back to the serial path for
+/// small inputs where spawning would dominate.
+pub fn count_parallel(
+    candidates: Vec<ItemSet>,
+    transactions: &[Transaction],
+) -> Vec<(ItemSet, u64)> {
+    const MIN_PARALLEL_WORK: usize = 4096;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if threads <= 1 || transactions.len() < MIN_PARALLEL_WORK || candidates.is_empty() {
+        return count_direct(candidates, transactions);
+    }
+    let mut by_first: anno_store::fxhash::FxHashMap<anno_store::Item, Vec<usize>> =
+        Default::default();
+    for (i, c) in candidates.iter().enumerate() {
+        if let Some(&first) = c.items().first() {
+            by_first.entry(first).or_default().push(i);
+        }
+    }
+    let chunk_len = transactions.len().div_ceil(threads);
+    let chunk_counts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = transactions
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let candidates = &candidates;
+                let by_first = &by_first;
+                scope.spawn(move || {
+                    let mut counts = vec![0u64; candidates.len()];
+                    for t in chunk {
+                        for (pos, item) in t.iter().enumerate() {
+                            let Some(bucket) = by_first.get(item) else { continue };
+                            for &ci in bucket {
+                                if candidates[ci].is_subset_of(&t[pos..]) {
+                                    counts[ci] += 1;
+                                }
+                            }
+                        }
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("counter thread")).collect()
+    });
+    let mut totals = vec![0u64; candidates.len()];
+    for counts in chunk_counts {
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
+    }
+    candidates.into_iter().zip(totals).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anno_store::Item;
+
+    fn d(i: u32) -> Item {
+        Item::data(i)
+    }
+    fn a(i: u32) -> Item {
+        Item::annotation(i)
+    }
+
+    fn tx(items: &[Item]) -> Transaction {
+        let mut v = items.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v.into_boxed_slice()
+    }
+
+    fn classic_db() -> Vec<Transaction> {
+        // The textbook example: {1,3,4} {2,3,5} {1,2,3,5} {2,5}.
+        vec![
+            tx(&[d(1), d(3), d(4)]),
+            tx(&[d(2), d(3), d(5)]),
+            tx(&[d(1), d(2), d(3), d(5)]),
+            tx(&[d(2), d(5)]),
+        ]
+    }
+
+    #[test]
+    fn textbook_example_unrestricted() {
+        let cfg = AprioriConfig {
+            mode: MiningMode::Unrestricted,
+            ..Default::default()
+        };
+        let f = apriori(&classic_db(), 0.5, &cfg);
+        // Known frequent itemsets at minsup 50% (count ≥ 2):
+        // {1}:2 {2}:3 {3}:3 {5}:3 {1,3}:2 {2,3}:2 {2,5}:3 {3,5}:2 {2,3,5}:2
+        assert_eq!(f.len(), 9);
+        assert_eq!(f.count(&ItemSet::from_unsorted(vec![d(2), d(5)])), Some(3));
+        assert_eq!(
+            f.count(&ItemSet::from_unsorted(vec![d(2), d(3), d(5)])),
+            Some(2)
+        );
+        assert_eq!(f.count(&ItemSet::from_unsorted(vec![d(1), d(2)])), None);
+    }
+
+    #[test]
+    fn all_counting_strategies_agree() {
+        let db = classic_db();
+        for mode in [MiningMode::Unrestricted, MiningMode::Annotated] {
+            let tree = apriori(
+                &db,
+                0.25,
+                &AprioriConfig { mode, counting: CountingStrategy::HashTree, max_len: None },
+            );
+            for counting in [CountingStrategy::DirectScan, CountingStrategy::ParallelScan] {
+                let other =
+                    apriori(&db, 0.25, &AprioriConfig { mode, counting, max_len: None });
+                assert_eq!(tree.sorted(), other.sorted(), "{counting:?} diverges");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counting_crosses_the_spawn_threshold() {
+        // Large enough to actually run multithreaded.
+        let db: Vec<Transaction> = (0..6000)
+            .map(|i| tx(&[d(i % 7), d(7 + i % 5), d(12 + i % 3)]))
+            .collect();
+        let serial = apriori(
+            &db,
+            0.05,
+            &AprioriConfig {
+                mode: MiningMode::Unrestricted,
+                counting: CountingStrategy::DirectScan,
+                max_len: None,
+            },
+        );
+        let parallel = apriori(
+            &db,
+            0.05,
+            &AprioriConfig {
+                mode: MiningMode::Unrestricted,
+                counting: CountingStrategy::ParallelScan,
+                max_len: None,
+            },
+        );
+        assert_eq!(serial.sorted(), parallel.sorted());
+    }
+
+    #[test]
+    fn annotated_mode_prunes_mixed_multi_annotation_itemsets() {
+        // Every transaction has data 1,2 and annotations A,B.
+        let db: Vec<Transaction> = (0..4).map(|_| tx(&[d(1), d(2), a(1), a(2)])).collect();
+        let f = apriori(&db, 0.5, &AprioriConfig::default());
+        // Pure data: kept. Data + 1 annotation: kept. Pure annotations: kept.
+        assert!(f.contains(&ItemSet::from_unsorted(vec![d(1), d(2)])));
+        assert!(f.contains(&ItemSet::from_unsorted(vec![d(1), a(1)])));
+        assert!(f.contains(&ItemSet::from_unsorted(vec![a(1), a(2)])));
+        // Mixed with ≥2 annotations: pruned.
+        assert!(!f.contains(&ItemSet::from_unsorted(vec![d(1), a(1), a(2)])));
+        let unrestricted = apriori(
+            &db,
+            0.5,
+            &AprioriConfig { mode: MiningMode::Unrestricted, ..Default::default() },
+        );
+        assert!(unrestricted.contains(&ItemSet::from_unsorted(vec![d(1), a(1), a(2)])));
+    }
+
+    #[test]
+    fn data_to_annotation_mode_keeps_pure_data_denominators() {
+        let db: Vec<Transaction> = (0..4).map(|_| tx(&[d(1), d(2), a(1), a(2)])).collect();
+        let f = apriori(
+            &db,
+            0.5,
+            &AprioriConfig { mode: MiningMode::DataToAnnotation, ..Default::default() },
+        );
+        assert!(f.contains(&ItemSet::from_unsorted(vec![d(1), d(2)])));
+        assert!(f.contains(&ItemSet::from_unsorted(vec![d(1), d(2), a(1)])));
+        assert!(!f.contains(&ItemSet::from_unsorted(vec![a(1), a(2)])));
+    }
+
+    #[test]
+    fn max_len_caps_levels() {
+        let f = apriori(
+            &classic_db(),
+            0.5,
+            &AprioriConfig {
+                mode: MiningMode::Unrestricted,
+                counting: CountingStrategy::HashTree,
+                max_len: Some(2),
+            },
+        );
+        assert!(f.iter().all(|(s, _)| s.len() <= 2));
+        assert!(f.contains(&ItemSet::from_unsorted(vec![d(2), d(5)])));
+    }
+
+    #[test]
+    fn empty_database_yields_empty_result() {
+        let f = apriori(&[], 0.5, &AprioriConfig::default());
+        assert!(f.is_empty());
+        assert_eq!(f.db_size(), 0);
+    }
+
+    #[test]
+    fn min_support_one_requires_every_transaction() {
+        let db = classic_db();
+        let f = apriori(
+            &db,
+            1.0,
+            &AprioriConfig { mode: MiningMode::Unrestricted, ..Default::default() },
+        );
+        assert!(f.is_empty(), "no item occurs in all four transactions");
+    }
+}

@@ -1,0 +1,312 @@
+//! FP-Growth: pattern-growth mining without candidate generation.
+//!
+//! One of the "state-of-art techniques" the paper's §4 mentions as
+//! interchangeable with Apriori. Included as an independent implementation
+//! for cross-checking (the property tests assert itemset-table equality
+//! with Apriori and Eclat on random databases) and as a baseline in the
+//! `miners` bench.
+//!
+//! Standard construction: items are ranked by descending support,
+//! transactions are inserted into a prefix tree with per-node counts and
+//! per-item node chains, and patterns grow by recursing into conditional
+//! trees. [`MiningMode`] admissibility is enforced during growth — it is
+//! downward-closed, so an inadmissible pattern can prune its whole branch.
+
+use anno_store::fxhash::FxHashMap;
+use anno_store::Item;
+
+use crate::frequent::{support_count_threshold, FrequentItemsets};
+use crate::itemset::{ItemSet, MiningMode, Transaction};
+
+#[derive(Debug, Clone)]
+struct Node {
+    item: Item,
+    count: u64,
+    parent: usize,
+    children: Vec<usize>,
+    next_same_item: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct FpTree {
+    nodes: Vec<Node>,
+    /// item → (total count, head of node chain), in rank order.
+    header: Vec<(Item, u64, usize)>,
+    header_pos: FxHashMap<Item, usize>,
+}
+
+impl FpTree {
+    fn new(item_order: &[(Item, u64)]) -> FpTree {
+        let mut header = Vec::with_capacity(item_order.len());
+        let mut header_pos = FxHashMap::default();
+        for (rank, &(item, _)) in item_order.iter().enumerate() {
+            header.push((item, 0, NIL));
+            header_pos.insert(item, rank);
+        }
+        FpTree {
+            nodes: vec![Node {
+                item: Item::data(0), // root sentinel; never read
+                count: 0,
+                parent: NIL,
+                children: Vec::new(),
+                next_same_item: NIL,
+            }],
+            header,
+            header_pos,
+        }
+    }
+
+    /// Insert a rank-sorted item path with a count.
+    fn insert(&mut self, path: &[Item], count: u64) {
+        let mut cur = 0usize;
+        for &item in path {
+            let found = self.nodes[cur]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].item == item);
+            cur = match found {
+                Some(child) => {
+                    self.nodes[child].count += count;
+                    child
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    let rank = self.header_pos[&item];
+                    let node = Node {
+                        item,
+                        count,
+                        parent: cur,
+                        children: Vec::new(),
+                        next_same_item: self.header[rank].2,
+                    };
+                    self.header[rank].2 = idx;
+                    self.nodes.push(node);
+                    self.nodes[cur].children.push(idx);
+                    idx
+                }
+            };
+            let rank = self.header_pos[&item];
+            self.header[rank].1 += count;
+        }
+    }
+
+    /// The conditional pattern base of `rank`: (prefix path, count) pairs.
+    fn conditional_base(&self, rank: usize) -> Vec<(Vec<Item>, u64)> {
+        let mut out = Vec::new();
+        let mut node = self.header[rank].2;
+        while node != NIL {
+            let count = self.nodes[node].count;
+            let mut path = Vec::new();
+            let mut p = self.nodes[node].parent;
+            while p != 0 && p != NIL {
+                path.push(self.nodes[p].item);
+                p = self.nodes[p].parent;
+            }
+            path.reverse();
+            if !path.is_empty() {
+                out.push((path, count));
+            }
+            node = self.nodes[node].next_same_item;
+        }
+        out
+    }
+}
+
+/// Mine all admissible itemsets with support ≥ `min_support` using
+/// FP-Growth. Produces exactly the itemsets [`crate::apriori::apriori`]
+/// produces under the same mode.
+pub fn fpgrowth(
+    transactions: &[Transaction],
+    min_support: f64,
+    mode: MiningMode,
+) -> FrequentItemsets {
+    let db_size = transactions.len() as u64;
+    let mut result = FrequentItemsets::new(db_size);
+    if db_size == 0 {
+        return result;
+    }
+    let min_count = support_count_threshold(min_support, db_size);
+
+    // Global item counts and rank order (descending count, ascending item).
+    let mut counts: FxHashMap<Item, u64> = FxHashMap::default();
+    for t in transactions {
+        for &i in t.iter() {
+            *counts.entry(i).or_insert(0) += 1;
+        }
+    }
+    let mut order: Vec<(Item, u64)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .collect();
+    order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let rank_of: FxHashMap<Item, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(r, &(i, _))| (i, r))
+        .collect();
+
+    let mut tree = FpTree::new(&order);
+    let mut path = Vec::new();
+    for t in transactions {
+        path.clear();
+        path.extend(t.iter().copied().filter(|i| rank_of.contains_key(i)));
+        path.sort_unstable_by_key(|i| rank_of[i]);
+        tree.insert(&path, 1);
+    }
+
+    // Grow patterns from the least-frequent item upward.
+    let suffix = ItemSet::empty();
+    grow(&tree, &suffix, min_count, mode, &mut result);
+    result
+}
+
+fn grow(
+    tree: &FpTree,
+    suffix: &ItemSet,
+    min_count: u64,
+    mode: MiningMode,
+    result: &mut FrequentItemsets,
+) {
+    for rank in (0..tree.header.len()).rev() {
+        let (item, total, _) = tree.header[rank];
+        if total < min_count {
+            continue;
+        }
+        let pattern = suffix.with(item);
+        if !admissible_or_extendable(&pattern, mode) {
+            continue;
+        }
+        if pattern.admitted_by(mode) {
+            result.insert(pattern.clone(), total);
+        }
+        // Build the conditional tree for this pattern.
+        let base = tree.conditional_base(rank);
+        if base.is_empty() {
+            continue;
+        }
+        let mut cond_counts: FxHashMap<Item, u64> = FxHashMap::default();
+        for (p, c) in &base {
+            for &i in p {
+                *cond_counts.entry(i).or_insert(0) += c;
+            }
+        }
+        let mut cond_order: Vec<(Item, u64)> = cond_counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .collect();
+        if cond_order.is_empty() {
+            continue;
+        }
+        cond_order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let cond_rank: FxHashMap<Item, usize> = cond_order
+            .iter()
+            .enumerate()
+            .map(|(r, &(i, _))| (i, r))
+            .collect();
+        let mut cond_tree = FpTree::new(&cond_order);
+        let mut cpath = Vec::new();
+        for (p, c) in &base {
+            cpath.clear();
+            cpath.extend(p.iter().copied().filter(|i| cond_rank.contains_key(i)));
+            cpath.sort_unstable_by_key(|i| cond_rank[i]);
+            cond_tree.insert(&cpath, *c);
+        }
+        grow(&cond_tree, &pattern, min_count, mode, result);
+    }
+}
+
+/// Can `pattern` or any superset still be admissible under `mode`?
+///
+/// Admissibility is downward-closed; its complement is upward-closed, so an
+/// inadmissible pattern prunes its entire growth branch *except* in modes
+/// where supersets regain nothing — which is every mode here. The only
+/// subtlety: a pure-annotation set is inadmissible under `DataToAnnotation`
+/// when it has ≥ 2 annotations, and adding data items cannot fix that;
+/// growth order mixes namespaces, so the check is simply "inadmissible ⇒
+/// prune".
+fn admissible_or_extendable(pattern: &ItemSet, mode: MiningMode) -> bool {
+    match mode {
+        MiningMode::Unrestricted => true,
+        MiningMode::DataToAnnotation => pattern.annotation_count() <= 1,
+        MiningMode::AnnotationToAnnotation => pattern.data_count() == 0,
+        MiningMode::Annotated => {
+            pattern.data_count() == 0 || pattern.annotation_count() <= 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriConfig};
+
+    fn d(i: u32) -> Item {
+        Item::data(i)
+    }
+    fn a(i: u32) -> Item {
+        Item::annotation(i)
+    }
+    fn tx(items: &[Item]) -> Transaction {
+        let mut v = items.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v.into_boxed_slice()
+    }
+
+    fn classic_db() -> Vec<Transaction> {
+        vec![
+            tx(&[d(1), d(3), d(4)]),
+            tx(&[d(2), d(3), d(5)]),
+            tx(&[d(1), d(2), d(3), d(5)]),
+            tx(&[d(2), d(5)]),
+        ]
+    }
+
+    #[test]
+    fn matches_apriori_on_textbook_example() {
+        let f = fpgrowth(&classic_db(), 0.5, MiningMode::Unrestricted);
+        let g = apriori(
+            &classic_db(),
+            0.5,
+            &AprioriConfig { mode: MiningMode::Unrestricted, ..Default::default() },
+        );
+        assert_eq!(f.sorted(), g.sorted());
+    }
+
+    #[test]
+    fn matches_apriori_with_annotations_and_modes() {
+        let db: Vec<Transaction> = vec![
+            tx(&[d(1), d(2), a(1)]),
+            tx(&[d(1), d(2), a(1), a(2)]),
+            tx(&[d(1), a(2)]),
+            tx(&[d(2), a(1)]),
+            tx(&[d(1), d(2)]),
+        ];
+        for mode in [
+            MiningMode::Unrestricted,
+            MiningMode::Annotated,
+            MiningMode::DataToAnnotation,
+            MiningMode::AnnotationToAnnotation,
+        ] {
+            let f = fpgrowth(&db, 0.2, mode);
+            let g = apriori(&db, 0.2, &AprioriConfig { mode, ..Default::default() });
+            assert_eq!(f.sorted(), g.sorted(), "mode {mode:?} diverges");
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        assert!(fpgrowth(&[], 0.5, MiningMode::Unrestricted).is_empty());
+    }
+
+    #[test]
+    fn single_transaction_full_support() {
+        let db = vec![tx(&[d(1), d(2)])];
+        let f = fpgrowth(&db, 1.0, MiningMode::Unrestricted);
+        assert_eq!(f.len(), 3); // {1}, {2}, {1,2}
+        assert_eq!(f.count(&ItemSet::from_unsorted(vec![d(1), d(2)])), Some(1));
+    }
+}

@@ -1,0 +1,100 @@
+//! `anno-mine`: discovery, incremental maintenance, and exploitation of
+//! correlations in annotated databases.
+//!
+//! This crate implements the primary contribution of *"Discovering
+//! Correlations in Annotated Databases"* on top of the `anno-store`
+//! substrate:
+//!
+//! * **Discovery** (paper §3–4): the Apriori algorithm with annotation-
+//!   aware pruning ([`apriori`]), two independent cross-check miners
+//!   ([`fpgrowth`], [`eclat`]), and rule derivation for the paper's two
+//!   shapes — data-to-annotation (`x1 … xk ⇒ a`) and
+//!   annotation-to-annotation (`a1 … ak ⇒ a`) — in [`rules`] and [`mine`].
+//!   Generalization-based correlations (§4.1) mine the taxonomy-extended
+//!   database via [`mine::mine_generalized`].
+//! * **Incremental maintenance** (§4.3, the paper's main focus): the
+//!   [`IncrementalMiner`](incremental::IncrementalMiner) maintains exact
+//!   rule sets under all three evolution cases — adding annotated tuples,
+//!   adding un-annotated tuples, and adding annotations to existing tuples
+//!   (Figs. 12–13) — plus annotation/tuple deletion, the paper's stated
+//!   future work.
+//! * **Exploitation** (§5): missing-annotation recommendations and insert
+//!   triggers in [`recommend`] and [`triggers`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use anno_mine::prelude::*;
+//! use anno_store::{parse_dataset, AnnotationUpdate, TupleId};
+//!
+//! // Fig. 4-style dataset: numeric data values, Annot_* annotations.
+//! let mut rel = parse_dataset("db", "\
+//! 28 85 Annot_1
+//! 28 85 Annot_1
+//! 28 85 Annot_1
+//! 28 85
+//! 17 99
+//! ").unwrap();
+//!
+//! // Discover rules at minimum support 0.4 and confidence 0.7.
+//! let mut miner = IncrementalMiner::mine_initial(
+//!     &rel,
+//!     IncrementalConfig { thresholds: Thresholds::new(0.4, 0.7), ..Default::default() },
+//! );
+//! assert_eq!(miner.rules().len(), 3); // {28}⇒A, {85}⇒A, {28,85}⇒A
+//!
+//! // Case 3: annotate the fourth tuple; rules update incrementally.
+//! let ann = rel.vocab().get(anno_store::ItemKind::Annotation, "Annot_1").unwrap();
+//! miner.apply_annotations(&mut rel, [AnnotationUpdate { tuple: TupleId(3), annotation: ann }]);
+//! assert!(miner.verify_against_remine(&rel));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod checkpoint;
+pub mod eclat;
+pub mod fpgrowth;
+pub mod frequent;
+pub mod hashtree;
+pub mod incremental;
+pub mod itemset;
+pub mod mine;
+pub mod recommend;
+pub mod report;
+pub mod rules;
+pub mod summary;
+pub mod triggers;
+
+pub use apriori::{apriori, count_direct, generate_candidates, AprioriConfig, CountingStrategy};
+pub use eclat::eclat;
+pub use fpgrowth::fpgrowth;
+pub use frequent::{support_count_threshold, FrequentItemsets};
+pub use hashtree::HashTree;
+pub use incremental::{IncrementalConfig, IncrementalMiner, MaintenanceStats};
+pub use itemset::{transactions_of, ItemSet, MiningMode, Transaction};
+pub use mine::{
+    mine_annotation_to_annotation, mine_data_to_annotation, mine_generalized, mine_rules,
+    mine_with, MineResult, Miner,
+};
+pub use recommend::{
+    recommend_for_tuples, recommend_missing, score_recommendations, PredictionQuality,
+    Recommendation,
+};
+pub use report::{parse_rules_file, rules_to_string, write_rules, ParsedRule};
+pub use rules::{
+    derive_rules, derive_rules_partitioned, AssociationRule, RuleKind, RuleSet, Thresholds,
+};
+pub use summary::{MetricSummary, RuleSetSummary};
+pub use triggers::CurationSession;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::incremental::{IncrementalConfig, IncrementalMiner};
+    pub use crate::itemset::{ItemSet, MiningMode};
+    pub use crate::mine::{mine_generalized, mine_rules, mine_with, Miner};
+    pub use crate::recommend::{recommend_missing, score_recommendations};
+    pub use crate::rules::{AssociationRule, RuleKind, RuleSet, Thresholds};
+    pub use crate::triggers::CurationSession;
+}

@@ -1,0 +1,174 @@
+//! Rule-set summaries for reporting and monitoring.
+//!
+//! The paper's application prints discovered rules as a flat file; a
+//! production curation system also wants an at-a-glance picture: how many
+//! rules of each shape, how strong they are, how the strength distributes.
+//! [`RuleSetSummary`] computes that in one pass and renders a compact text
+//! report (used by the `experiments` harness and the examples).
+
+use crate::rules::{RuleKind, RuleSet};
+
+/// Distribution snapshot of one metric over a rule set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl MetricSummary {
+    fn of(values: &[f64]) -> Option<MetricSummary> {
+        if values.is_empty() {
+            return None;
+        }
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(MetricSummary { min, max, mean: sum / values.len() as f64 })
+    }
+}
+
+/// One-pass summary of a rule set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSetSummary {
+    /// Total number of rules.
+    pub total: usize,
+    /// Data-to-annotation rules (Def. 4.2).
+    pub data_to_annotation: usize,
+    /// Annotation-to-annotation rules (Def. 4.3).
+    pub annotation_to_annotation: usize,
+    /// Support distribution (None when the set is empty).
+    pub support: Option<MetricSummary>,
+    /// Confidence distribution.
+    pub confidence: Option<MetricSummary>,
+    /// Lift distribution.
+    pub lift: Option<MetricSummary>,
+    /// Histogram of confidence in ten `[i/10, (i+1)/10)` buckets (the last
+    /// bucket is closed at 1.0).
+    pub confidence_histogram: [usize; 10],
+    /// Mean antecedent length.
+    pub mean_lhs_len: f64,
+}
+
+impl RuleSetSummary {
+    /// Summarise `rules`.
+    pub fn of(rules: &RuleSet) -> RuleSetSummary {
+        let supports: Vec<f64> = rules.rules().iter().map(|r| r.support()).collect();
+        let confidences: Vec<f64> = rules.rules().iter().map(|r| r.confidence()).collect();
+        let lifts: Vec<f64> = rules
+            .rules()
+            .iter()
+            .map(|r| r.lift())
+            .filter(|l| l.is_finite())
+            .collect();
+        let mut histogram = [0usize; 10];
+        for &c in &confidences {
+            let bucket = ((c * 10.0) as usize).min(9);
+            histogram[bucket] += 1;
+        }
+        let lhs_total: usize = rules.rules().iter().map(|r| r.lhs.len()).sum();
+        RuleSetSummary {
+            total: rules.len(),
+            data_to_annotation: rules.of_kind(RuleKind::DataToAnnotation).count(),
+            annotation_to_annotation: rules.of_kind(RuleKind::AnnotationToAnnotation).count(),
+            support: MetricSummary::of(&supports),
+            confidence: MetricSummary::of(&confidences),
+            lift: MetricSummary::of(&lifts),
+            confidence_histogram: histogram,
+            mean_lhs_len: if rules.is_empty() {
+                0.0
+            } else {
+                lhs_total as f64 / rules.len() as f64
+            },
+        }
+    }
+
+    /// Render a compact multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "rules: {} total ({} data⇒ann, {} ann⇒ann), mean LHS {:.2} items\n",
+            self.total, self.data_to_annotation, self.annotation_to_annotation, self.mean_lhs_len
+        ));
+        let fmt = |name: &str, m: &Option<MetricSummary>| match m {
+            Some(m) => format!(
+                "{name}: min {:.3}  mean {:.3}  max {:.3}\n",
+                m.min, m.mean, m.max
+            ),
+            None => format!("{name}: (no rules)\n"),
+        };
+        out.push_str(&fmt("support   ", &self.support));
+        out.push_str(&fmt("confidence", &self.confidence));
+        out.push_str(&fmt("lift      ", &self.lift));
+        out.push_str("confidence histogram: ");
+        for (i, &count) in self.confidence_histogram.iter().enumerate() {
+            if count > 0 {
+                out.push_str(&format!("[{:.1}-{:.1}]:{count} ", i as f64 / 10.0, (i + 1) as f64 / 10.0));
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemset::ItemSet;
+    use crate::rules::AssociationRule;
+    use anno_store::Item;
+
+    fn rule(lhs: &[u32], rhs: u32, union: u64, lhs_count: u64) -> AssociationRule {
+        AssociationRule {
+            lhs: ItemSet::from_unsorted(lhs.iter().map(|&i| Item::data(i)).collect()),
+            rhs: Item::annotation(rhs),
+            union_count: union,
+            lhs_count,
+            rhs_count: union + 1,
+            db_size: 20,
+        }
+    }
+
+    #[test]
+    fn empty_rule_set_summarises_cleanly() {
+        let s = RuleSetSummary::of(&RuleSet::new());
+        assert_eq!(s.total, 0);
+        assert!(s.support.is_none());
+        assert_eq!(s.mean_lhs_len, 0.0);
+        assert!(s.render().contains("(no rules)"));
+    }
+
+    #[test]
+    fn counts_and_metrics_match_hand_computation() {
+        let rules = RuleSet::from_rules(vec![
+            rule(&[1], 0, 10, 10),     // conf 1.0, sup 0.5
+            rule(&[1, 2], 1, 8, 16),   // conf 0.5, sup 0.4
+        ]);
+        let s = RuleSetSummary::of(&rules);
+        assert_eq!(s.total, 2);
+        assert_eq!(s.data_to_annotation, 2);
+        let conf = s.confidence.unwrap();
+        assert!((conf.min - 0.5).abs() < 1e-12);
+        assert!((conf.max - 1.0).abs() < 1e-12);
+        assert!((conf.mean - 0.75).abs() < 1e-12);
+        assert!((s.mean_lhs_len - 1.5).abs() < 1e-12);
+        // Histogram: conf 0.5 → bucket 5; conf 1.0 → clamped to bucket 9.
+        assert_eq!(s.confidence_histogram[5], 1);
+        assert_eq!(s.confidence_histogram[9], 1);
+    }
+
+    #[test]
+    fn render_is_informative() {
+        let rules = RuleSet::from_rules(vec![rule(&[1], 0, 10, 10)]);
+        let text = RuleSetSummary::of(&rules).render();
+        assert!(text.contains("1 total"));
+        assert!(text.contains("confidence"));
+        assert!(text.contains("histogram"));
+    }
+}

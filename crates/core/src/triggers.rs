@@ -1,0 +1,204 @@
+//! Insert triggers for annotation prediction (paper §5, second case).
+//!
+//! "When a patch of new tuples is added to the database, the system
+//! automatically compares these tuples to the association rules" — the
+//! database-trigger flavour of exploitation. [`CurationSession`] bundles an
+//! [`IncrementalMiner`] with a trigger queue: every insert through the
+//! session maintains the rules *and* fires the prediction trigger over the
+//! inserted tuples, collecting pending [`Recommendation`]s for the curator
+//! to accept or dismiss (accepting routes back through Case-3 maintenance,
+//! closing the loop).
+
+use anno_store::{AnnotatedRelation, AnnotationUpdate, Tuple, TupleId};
+
+use crate::incremental::{IncrementalConfig, IncrementalMiner};
+use crate::recommend::{recommend_for_tuples, Recommendation};
+
+/// A curation session: relation + maintained rules + prediction trigger.
+#[derive(Debug)]
+pub struct CurationSession {
+    relation: AnnotatedRelation,
+    miner: IncrementalMiner,
+    pending: Vec<Recommendation>,
+}
+
+impl CurationSession {
+    /// Open a session over `relation`, mining the initial rules.
+    pub fn open(relation: AnnotatedRelation, config: IncrementalConfig) -> CurationSession {
+        let miner = IncrementalMiner::mine_initial(&relation, config);
+        CurationSession { relation, miner, pending: Vec::new() }
+    }
+
+    /// The underlying relation (read-only; mutations go through the
+    /// session so rules and triggers stay consistent).
+    pub fn relation(&self) -> &AnnotatedRelation {
+        &self.relation
+    }
+
+    /// The maintained miner (rules, candidate rules, statistics).
+    pub fn miner(&self) -> &IncrementalMiner {
+        &self.miner
+    }
+
+    /// Recommendations produced by triggers and scans, newest last, not yet
+    /// accepted or dismissed.
+    pub fn pending(&self) -> &[Recommendation] {
+        &self.pending
+    }
+
+    /// Insert tuples; maintains rules (Case 1 or 2 as appropriate) and
+    /// fires the insert trigger, queuing predictions for the new tuples.
+    pub fn insert_tuples(&mut self, tuples: Vec<Tuple>) -> Vec<TupleId> {
+        let annotated = tuples.iter().any(|t| !t.is_unannotated());
+        let tids = if annotated {
+            self.miner.add_annotated_tuples(&mut self.relation, tuples)
+        } else {
+            self.miner.add_unannotated_tuples(&mut self.relation, tuples)
+        };
+        let recs =
+            recommend_for_tuples(&self.relation, self.miner.rules(), tids.iter().copied());
+        self.pending.extend(recs);
+        tids
+    }
+
+    /// Apply an annotation batch (Case 3); drops any pending
+    /// recommendations the batch just satisfied.
+    pub fn apply_annotations(
+        &mut self,
+        updates: impl IntoIterator<Item = AnnotationUpdate>,
+    ) -> usize {
+        let delta = self.miner.apply_annotations(&mut self.relation, updates);
+        self.pending.retain(|rec| {
+            !delta
+                .added
+                .iter()
+                .any(|u| u.tuple == rec.tuple && u.annotation == rec.annotation)
+        });
+        delta.len()
+    }
+
+    /// Run the full missing-annotation scan (§5 first case) and queue the
+    /// results (deduplicated against already-pending entries).
+    pub fn scan_for_missing(&mut self) -> usize {
+        let recs = crate::recommend::recommend_missing(&self.relation, self.miner.rules());
+        let mut added = 0;
+        for rec in recs {
+            let dup = self
+                .pending
+                .iter()
+                .any(|p| p.tuple == rec.tuple && p.annotation == rec.annotation);
+            if !dup {
+                self.pending.push(rec);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Curator accepts the pending recommendation at `index`: the
+    /// annotation is applied through Case-3 maintenance.
+    pub fn accept(&mut self, index: usize) -> bool {
+        if index >= self.pending.len() {
+            return false;
+        }
+        let rec = self.pending.remove(index);
+        let applied = self.miner.apply_annotations(
+            &mut self.relation,
+            [AnnotationUpdate { tuple: rec.tuple, annotation: rec.annotation }],
+        );
+        !applied.is_empty()
+    }
+
+    /// Curator dismisses the pending recommendation at `index`.
+    pub fn dismiss(&mut self, index: usize) -> bool {
+        if index >= self.pending.len() {
+            return false;
+        }
+        self.pending.remove(index);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Thresholds;
+    use anno_store::Item;
+
+    fn session() -> (CurationSession, Item, Item, Item) {
+        let mut rel = AnnotatedRelation::new("R");
+        let x = rel.vocab_mut().data("10");
+        let y = rel.vocab_mut().data("20");
+        let a = rel.vocab_mut().annotation("A");
+        for _ in 0..9 {
+            rel.insert(Tuple::new([x, y], [a]));
+        }
+        rel.insert(Tuple::new([y], []));
+        let config = IncrementalConfig {
+            thresholds: Thresholds::new(0.3, 0.8),
+            ..Default::default()
+        };
+        (CurationSession::open(rel, config), x, y, a)
+    }
+
+    #[test]
+    fn insert_trigger_predicts_for_new_tuples() {
+        let (mut s, x, y, a) = session();
+        assert!(s.pending().is_empty());
+        let tids = s.insert_tuples(vec![Tuple::new([x, y], [])]);
+        assert_eq!(s.pending().len(), 1);
+        assert_eq!(s.pending()[0].tuple, tids[0]);
+        assert_eq!(s.pending()[0].annotation, a);
+    }
+
+    #[test]
+    fn accepting_applies_the_annotation_and_maintains_rules() {
+        let (mut s, x, y, a) = session();
+        let tids = s.insert_tuples(vec![Tuple::new([x, y], [])]);
+        assert!(s.accept(0));
+        assert!(s.pending().is_empty());
+        assert!(s.relation().tuple(tids[0]).unwrap().contains(a));
+        assert!(s.miner().verify_against_remine(s.relation()));
+    }
+
+    #[test]
+    fn dismissing_removes_without_applying() {
+        let (mut s, x, y, a) = session();
+        let tids = s.insert_tuples(vec![Tuple::new([x, y], [])]);
+        assert!(s.dismiss(0));
+        assert!(!s.relation().tuple(tids[0]).unwrap().contains(a));
+        assert!(!s.dismiss(0), "nothing left to dismiss");
+    }
+
+    #[test]
+    fn external_annotation_batch_clears_satisfied_predictions() {
+        let (mut s, x, y, a) = session();
+        let tids = s.insert_tuples(vec![Tuple::new([x, y], [])]);
+        assert_eq!(s.pending().len(), 1);
+        let n = s.apply_annotations([AnnotationUpdate { tuple: tids[0], annotation: a }]);
+        assert_eq!(n, 1);
+        assert!(s.pending().is_empty(), "satisfied prediction was dropped");
+    }
+
+    #[test]
+    fn scan_for_missing_queues_database_wide_gaps() {
+        let (mut s, x, y, _) = session();
+        // Dismiss the insert trigger's prediction, then re-scan: the scan
+        // re-finds the new gap tuple *and* the pre-existing lone-y tuple
+        // (rule {y} ⇒ A applies to it as well).
+        s.insert_tuples(vec![Tuple::new([x, y], [])]);
+        s.dismiss(0);
+        let added = s.scan_for_missing();
+        assert_eq!(added, 2);
+        // Re-scanning does not duplicate.
+        assert_eq!(s.scan_for_missing(), 0);
+    }
+
+    #[test]
+    fn unannotated_inserts_route_through_case2() {
+        let (mut s, _, y, _) = session();
+        s.insert_tuples(vec![Tuple::new([y], [])]);
+        assert_eq!(s.miner().stats().case2_batches, 1);
+        assert!(s.miner().verify_against_remine(s.relation()));
+    }
+}

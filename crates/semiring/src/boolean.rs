@@ -1,0 +1,93 @@
+//! The Boolean semiring `(B, ∨, ∧, false, true)` — set semantics.
+//!
+//! Annotating every tuple with `Bool2` and propagating through queries gives
+//! ordinary set-semantics relational algebra: a tuple is in the answer iff
+//! its annotation evaluates to `true`. `Bool2` is the terminal object of the
+//! provenance hierarchy: every other semiring here has a homomorphism onto
+//! it ("does this tuple exist at all?").
+
+use crate::traits::{Monus, NaturallyOrdered, Semiring};
+
+/// The two-element Boolean semiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bool2(pub bool);
+
+impl Semiring for Bool2 {
+    fn zero() -> Self {
+        Bool2(false)
+    }
+    fn one() -> Self {
+        Bool2(true)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Bool2(self.0 || other.0)
+    }
+    fn times(&self, other: &Self) -> Self {
+        Bool2(self.0 && other.0)
+    }
+    fn is_zero(&self) -> bool {
+        !self.0
+    }
+}
+
+impl NaturallyOrdered for Bool2 {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // false ≤ false ≤ true ≤ true; only true ≤ false fails.
+        !self.0 || other.0
+    }
+}
+
+impl Monus for Bool2 {
+    fn monus(&self, other: &Self) -> Self {
+        // Least c with a ≤ b ∨ c: false if b covers a, else a.
+        Bool2(self.0 && !other.0)
+    }
+}
+
+impl From<bool> for Bool2 {
+    fn from(b: bool) -> Self {
+        Bool2(b)
+    }
+}
+
+impl std::fmt::Display for Bool2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", if self.0 { "⊤" } else { "⊥" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_table() {
+        let t = Bool2(true);
+        let f = Bool2(false);
+        assert_eq!(t.plus(&f), t);
+        assert_eq!(f.plus(&f), f);
+        assert_eq!(t.times(&f), f);
+        assert_eq!(t.times(&t), t);
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(Bool2::zero(), Bool2(false));
+        assert_eq!(Bool2::one(), Bool2(true));
+        assert!(Bool2::zero().is_zero());
+    }
+
+    #[test]
+    fn natural_order_is_implication() {
+        assert!(Bool2(false).natural_leq(&Bool2(true)));
+        assert!(Bool2(false).natural_leq(&Bool2(false)));
+        assert!(Bool2(true).natural_leq(&Bool2(true)));
+        assert!(!Bool2(true).natural_leq(&Bool2(false)));
+    }
+
+    #[test]
+    fn display_uses_lattice_symbols() {
+        assert_eq!(Bool2(true).to_string(), "⊤");
+        assert_eq!(Bool2(false).to_string(), "⊥");
+    }
+}

@@ -1,0 +1,157 @@
+//! Homomorphisms and valuations between provenance semirings.
+//!
+//! Two operations recur throughout annotated-database work:
+//!
+//! 1. **Renaming / generalization** — a map on variables `X → Y` induces a
+//!    homomorphism on every set-valued semiring over those variables. The
+//!    paper's annotation generalization (§4.1: raw annotations ↦ concept
+//!    labels) is [`rename`] applied to tuple lineage.
+//! 2. **Valuation** — a map `X → K` into a concrete semiring evaluates
+//!    abstract provenance into facts about the concrete world (counts,
+//!    costs, clearances…). For polynomials this is
+//!    [`Polynomial::eval`](crate::polynomial::Polynomial::eval); for lineage
+//!    it is [`eval_lineage`].
+
+use crate::lineage::Lineage;
+use crate::traits::{Semiring, Var};
+use crate::why::Why;
+
+/// A valuation assigns a concrete annotation to every base-fact variable.
+pub trait Valuation<S: Semiring> {
+    /// The concrete annotation of variable `v`.
+    fn value(&self, v: Var) -> S;
+}
+
+impl<S: Semiring, F: Fn(Var) -> S> Valuation<S> for F {
+    fn value(&self, v: Var) -> S {
+        self(v)
+    }
+}
+
+/// Apply a variable renaming to a lineage annotation: the homomorphism
+/// `Lin(X) → Lin(Y)` induced by `f`. Collisions simply merge, which is
+/// exactly the "a label appears at most once per tuple" rule of the paper.
+pub fn rename(l: &Lineage, f: &impl Fn(Var) -> Var) -> Lineage {
+    match l {
+        Lineage::Absent => Lineage::Absent,
+        Lineage::Present(vars) => Lineage::Present(vars.iter().map(|&v| f(v)).collect()),
+    }
+}
+
+/// Apply a variable renaming to why-provenance: the homomorphism
+/// `Why(X) → Why(Y)` induced by `f`.
+pub fn rename_why(w: &Why, f: &impl Fn(Var) -> Var) -> Why {
+    Why::from_witnesses(
+        w.0.iter()
+            .map(|witness| witness.iter().map(|&v| f(v)).collect()),
+    )
+}
+
+/// Evaluate a lineage annotation under a valuation.
+///
+/// Lineage forgets the +/· structure, so the best we can state is the
+/// standard reading "the tuple needs *all* of its lineage": absent ↦ 0,
+/// present ↦ the product of the variables' values.
+pub fn eval_lineage<S: Semiring>(l: &Lineage, valuation: &impl Valuation<S>) -> S {
+    match l {
+        Lineage::Absent => S::zero(),
+        Lineage::Present(vars) => vars
+            .iter()
+            .fold(S::one(), |acc, &v| acc.times(&valuation.value(v))),
+    }
+}
+
+/// Evaluate why-provenance under a valuation: sum over witnesses of the
+/// product of each witness.
+pub fn eval_why<S: Semiring>(w: &Why, valuation: &impl Valuation<S>) -> S {
+    w.0.iter().fold(S::zero(), |acc, witness| {
+        let term = witness
+            .iter()
+            .fold(S::one(), |t, &v| t.times(&valuation.value(v)));
+        acc.plus(&term)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::natural::Natural;
+    use crate::security::Security;
+    use crate::traits::Var;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rename_merges_collisions() {
+        let l = Lineage::from_vars([Var(1), Var(2), Var(3)]);
+        // Generalize 1 and 2 to the same concept 10.
+        let g = rename(&l, &|v| if v.0 <= 2 { Var(10) } else { Var(20) });
+        assert_eq!(g, Lineage::from_vars([Var(10), Var(20)]));
+    }
+
+    #[test]
+    fn rename_preserves_absence() {
+        assert_eq!(rename(&Lineage::Absent, &|v| v), Lineage::Absent);
+    }
+
+    #[test]
+    fn rename_commutes_with_plus_and_times() {
+        let a = Lineage::from_vars([Var(1)]);
+        let b = Lineage::from_vars([Var(2), Var(3)]);
+        let f = |v: Var| Var(v.0 % 2);
+        assert_eq!(rename(&a.plus(&b), &f), rename(&a, &f).plus(&rename(&b, &f)));
+        assert_eq!(
+            rename(&a.times(&b), &f),
+            rename(&a, &f).times(&rename(&b, &f))
+        );
+    }
+
+    #[test]
+    fn rename_why_maps_each_witness() {
+        let w = Why::from_witnesses([
+            BTreeSet::from([Var(1), Var(2)]),
+            BTreeSet::from([Var(3)]),
+        ]);
+        let renamed = rename_why(&w, &|v| Var(v.0 + 100));
+        assert_eq!(
+            renamed,
+            Why::from_witnesses([
+                BTreeSet::from([Var(101), Var(102)]),
+                BTreeSet::from([Var(103)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn eval_lineage_multiplies_sources() {
+        let l = Lineage::from_vars([Var(2), Var(3)]);
+        let n = eval_lineage(&l, &|v: Var| Natural::from(u64::from(v.0)));
+        assert_eq!(n, Natural::from(6u64));
+        assert_eq!(
+            eval_lineage(&Lineage::Absent, &|_: Var| Natural::one()),
+            Natural::zero()
+        );
+    }
+
+    #[test]
+    fn eval_why_sums_witness_products() {
+        let w = Why::from_witnesses([
+            BTreeSet::from([Var(2), Var(3)]),
+            BTreeSet::from([Var(5)]),
+        ]);
+        let n = eval_why(&w, &|v: Var| Natural::from(u64::from(v.0)));
+        assert_eq!(n, Natural::from(11u64)); // 2·3 + 5
+    }
+
+    #[test]
+    fn eval_lineage_into_security_takes_most_restrictive_source() {
+        let l = Lineage::from_vars([Var(1), Var(2)]);
+        let clearance = |v: Var| {
+            if v.0 == 1 {
+                Security::Confidential
+            } else {
+                Security::Secret
+            }
+        };
+        assert_eq!(eval_lineage(&l, &clearance), Security::Secret);
+    }
+}

@@ -1,0 +1,89 @@
+//! The counting semiring `(ℕ, +, ·, 0, 1)` — bag semantics.
+//!
+//! Annotating base tuples with their multiplicities and propagating through
+//! queries computes the multiplicity of each answer tuple, i.e. SQL bag
+//! semantics. Arithmetic saturates at `u64::MAX` rather than wrapping:
+//! provenance of a heavily-derived tuple should clamp, not silently
+//! overflow. Saturating arithmetic still satisfies all semiring laws because
+//! `min(MAX, ·)` is a congruence for both operations on the truncated range.
+
+use crate::traits::{Monus, NaturallyOrdered, Semiring};
+
+/// Natural-number annotations (tuple multiplicities), saturating at
+/// `u64::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Natural(pub u64);
+
+impl Semiring for Natural {
+    fn zero() -> Self {
+        Natural(0)
+    }
+    fn one() -> Self {
+        Natural(1)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_add(other.0))
+    }
+    fn times(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_mul(other.0))
+    }
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl NaturallyOrdered for Natural {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl Monus for Natural {
+    fn monus(&self, other: &Self) -> Self {
+        Natural(self.0.saturating_sub(other.0))
+    }
+}
+
+impl From<u64> for Natural {
+    fn from(n: u64) -> Self {
+        Natural(n)
+    }
+}
+
+impl std::fmt::Display for Natural {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(Natural(2).plus(&Natural(3)), Natural(5));
+        assert_eq!(Natural(2).times(&Natural(3)), Natural(6));
+        assert_eq!(Natural(7).times(&Natural::zero()), Natural::zero());
+        assert_eq!(Natural(7).times(&Natural::one()), Natural(7));
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let near_max = Natural(u64::MAX - 1);
+        assert_eq!(near_max.plus(&Natural(10)), Natural(u64::MAX));
+        assert_eq!(near_max.times(&Natural(2)), Natural(u64::MAX));
+    }
+
+    #[test]
+    fn saturation_preserves_annihilation() {
+        assert_eq!(Natural(u64::MAX).times(&Natural::zero()), Natural::zero());
+    }
+
+    #[test]
+    fn natural_order_is_numeric_order() {
+        assert!(Natural(3).natural_leq(&Natural(3)));
+        assert!(Natural(3).natural_leq(&Natural(4)));
+        assert!(!Natural(4).natural_leq(&Natural(3)));
+    }
+}

@@ -1,0 +1,436 @@
+//! Provenance polynomials `N[X]`: the universal provenance semiring.
+//!
+//! A polynomial with natural coefficients over the base-fact variables
+//! records *everything* about how a tuple was derived: which facts, combined
+//! how, how many times. Every other provenance semiring is a quotient of
+//! `N[X]`: evaluating a polynomial under a valuation `X → K` (see
+//! [`Polynomial::eval`]) factors through any homomorphism — the
+//! "factorisation property" that makes `N[X]` universal, checked by the
+//! property tests in `tests/axioms.rs`.
+
+use std::collections::BTreeMap;
+use std::ops::{Add, Mul};
+
+use crate::lineage::Lineage;
+use crate::traits::{Monus, NaturallyOrdered, Semiring, Var};
+use crate::why::Why;
+
+/// A monomial: a product of variables with exponents, e.g. `x1²·x3`.
+///
+/// Invariant: no variable maps to exponent 0.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial(BTreeMap<Var, u32>);
+
+impl Monomial {
+    /// The empty monomial (the constant `1`).
+    pub fn unit() -> Self {
+        Monomial(BTreeMap::new())
+    }
+
+    /// The monomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        Monomial(BTreeMap::from([(v, 1)]))
+    }
+
+    /// Build from `(variable, exponent)` pairs; zero exponents are dropped.
+    pub fn from_powers<I: IntoIterator<Item = (Var, u32)>>(powers: I) -> Self {
+        Monomial(powers.into_iter().filter(|&(_, e)| e > 0).collect())
+    }
+
+    /// Multiply two monomials (add exponents).
+    pub fn mul(&self, other: &Self) -> Self {
+        let mut out = self.0.clone();
+        for (&v, &e) in &other.0 {
+            *out.entry(v).or_insert(0) += e;
+        }
+        Monomial(out)
+    }
+
+    /// The exponent of `v` (0 if absent).
+    pub fn exponent(&self, v: Var) -> u32 {
+        self.0.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Total degree: the sum of all exponents.
+    pub fn degree(&self) -> u32 {
+        self.0.values().sum()
+    }
+
+    /// Iterate `(variable, exponent)` pairs in variable order.
+    pub fn powers(&self) -> impl Iterator<Item = (Var, u32)> + '_ {
+        self.0.iter().map(|(&v, &e)| (v, e))
+    }
+
+    /// Rename variables; colliding variables accumulate exponents.
+    pub fn map_vars(&self, f: &impl Fn(Var) -> Var) -> Self {
+        let mut out: BTreeMap<Var, u32> = BTreeMap::new();
+        for (&v, &e) in &self.0 {
+            *out.entry(f(v)).or_insert(0) += e;
+        }
+        Monomial(out)
+    }
+}
+
+impl std::fmt::Display for Monomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, (v, e)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            if *e == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{v}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A provenance polynomial: a finite sum of monomials with coefficients in
+/// ℕ (saturating at `u64::MAX`).
+///
+/// Invariant: no monomial maps to coefficient 0.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Polynomial(BTreeMap<Monomial, u64>);
+
+impl Polynomial {
+    /// The polynomial of a base fact: the bare variable `v`.
+    pub fn var(v: Var) -> Self {
+        Polynomial(BTreeMap::from([(Monomial::var(v), 1)]))
+    }
+
+    /// A constant polynomial.
+    pub fn constant(n: u64) -> Self {
+        if n == 0 {
+            Polynomial::zero()
+        } else {
+            Polynomial(BTreeMap::from([(Monomial::unit(), n)]))
+        }
+    }
+
+    /// Build from `(monomial, coefficient)` pairs; zero coefficients are
+    /// dropped, duplicate monomials accumulate.
+    pub fn from_terms<I: IntoIterator<Item = (Monomial, u64)>>(terms: I) -> Self {
+        let mut out: BTreeMap<Monomial, u64> = BTreeMap::new();
+        for (m, c) in terms {
+            if c > 0 {
+                let slot = out.entry(m).or_insert(0);
+                *slot = slot.saturating_add(c);
+            }
+        }
+        Polynomial(out)
+    }
+
+    /// Number of distinct monomials.
+    pub fn term_count(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The coefficient of `m` (0 if absent).
+    pub fn coefficient(&self, m: &Monomial) -> u64 {
+        self.0.get(m).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(monomial, coefficient)` pairs in monomial order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, u64)> + '_ {
+        self.0.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Evaluate under a valuation of variables into any semiring `S`.
+    ///
+    /// This is the universal property of `N[X]`: `eval` is the unique
+    /// homomorphism extending the valuation. Coefficients and exponents are
+    /// expanded with doubling (`n·s`, `s^e`) so evaluation stays `O(log n)`
+    /// per term even for saturated coefficients.
+    pub fn eval<S: Semiring>(&self, valuation: &impl Fn(Var) -> S) -> S {
+        let mut acc = S::zero();
+        for (m, c) in &self.0 {
+            let mut term = scale(*c, &S::one());
+            for (&v, &e) in &m.0 {
+                term = term.times(&pow(&valuation(v), e));
+            }
+            acc = acc.plus(&term);
+        }
+        acc
+    }
+
+    /// Rename variables (substitution of variables for variables); the
+    /// homomorphism `N[X] → N[Y]` induced by `f`. Collapsing monomials
+    /// accumulate coefficients.
+    ///
+    /// Annotation generalization is exactly this map, with `f` sending raw
+    /// annotations to their concept label.
+    pub fn map_vars(&self, f: &impl Fn(Var) -> Var) -> Self {
+        Polynomial::from_terms(self.0.iter().map(|(m, &c)| (m.map_vars(f), c)))
+    }
+
+    /// Drop coefficients and exponents, keeping each monomial's variable set
+    /// as a witness: the canonical homomorphism `N[X] → Why(X)`.
+    pub fn to_why(&self) -> Why {
+        Why::from_witnesses(self.0.keys().map(|m| m.0.keys().copied().collect()))
+    }
+
+    /// Flatten to the set of all variables that appear: the canonical
+    /// homomorphism `N[X] → Lin(X)`.
+    pub fn to_lineage(&self) -> Lineage {
+        if self.0.is_empty() {
+            Lineage::Absent
+        } else {
+            Lineage::Present(self.0.keys().flat_map(|m| m.0.keys().copied()).collect())
+        }
+    }
+}
+
+/// `n · s` in an arbitrary semiring, by binary decomposition of `n`.
+fn scale<S: Semiring>(n: u64, s: &S) -> S {
+    let mut acc = S::zero();
+    let mut base = s.clone();
+    let mut n = n;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc = acc.plus(&base);
+        }
+        n >>= 1;
+        if n > 0 {
+            base = base.plus(&base);
+        }
+    }
+    acc
+}
+
+/// `s^e` in an arbitrary semiring, by binary decomposition of `e`.
+fn pow<S: Semiring>(s: &S, e: u32) -> S {
+    let mut acc = S::one();
+    let mut base = s.clone();
+    let mut e = e;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc.times(&base);
+        }
+        e >>= 1;
+        if e > 0 {
+            base = base.times(&base);
+        }
+    }
+    acc
+}
+
+impl Semiring for Polynomial {
+    fn zero() -> Self {
+        Polynomial(BTreeMap::new())
+    }
+    fn one() -> Self {
+        Polynomial::constant(1)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        let mut out = self.0.clone();
+        for (m, &c) in &other.0 {
+            let slot = out.entry(m.clone()).or_insert(0);
+            *slot = slot.saturating_add(c);
+        }
+        Polynomial(out)
+    }
+    fn times(&self, other: &Self) -> Self {
+        let mut out: BTreeMap<Monomial, u64> = BTreeMap::new();
+        for (ma, &ca) in &self.0 {
+            for (mb, &cb) in &other.0 {
+                let m = ma.mul(mb);
+                let slot = out.entry(m).or_insert(0);
+                *slot = slot.saturating_add(ca.saturating_mul(cb));
+            }
+        }
+        Polynomial(out)
+    }
+    fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl NaturallyOrdered for Polynomial {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // p + q = r requires coefficient-wise ≤ (ignoring saturation).
+        self.0.iter().all(|(m, &c)| c <= other.coefficient(m))
+    }
+}
+
+impl Monus for Polynomial {
+    fn monus(&self, other: &Self) -> Self {
+        // Coefficient-wise truncated subtraction: the least polynomial c
+        // with p ≤ q + c has c_m = max(0, p_m − q_m) per monomial.
+        Polynomial(
+            self.0
+                .iter()
+                .filter_map(|(m, &c)| {
+                    let diff = c.saturating_sub(other.coefficient(m));
+                    (diff > 0).then(|| (m.clone(), diff))
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Add for Polynomial {
+    type Output = Polynomial;
+    fn add(self, rhs: Polynomial) -> Polynomial {
+        self.plus(&rhs)
+    }
+}
+
+impl Mul for Polynomial {
+    type Output = Polynomial;
+    fn mul(self, rhs: Polynomial) -> Polynomial {
+        self.times(&rhs)
+    }
+}
+
+impl std::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c != 1 || m.0.is_empty() {
+                write!(f, "{c}")?;
+                if !m.0.is_empty() {
+                    write!(f, "·")?;
+                }
+            }
+            if !m.0.is_empty() {
+                write!(f, "{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool2;
+    use crate::natural::Natural;
+    use crate::tropical::Tropical;
+
+    fn x(n: u32) -> Polynomial {
+        Polynomial::var(Var(n))
+    }
+
+    #[test]
+    fn polynomial_arithmetic_collects_terms() {
+        // (x1 + x2)·(x1 + x2) = x1² + 2·x1·x2 + x2²
+        let p = (x(1) + x(2)) * (x(1) + x(2));
+        assert_eq!(p.term_count(), 3);
+        assert_eq!(p.coefficient(&Monomial::from_powers([(Var(1), 2)])), 1);
+        assert_eq!(
+            p.coefficient(&Monomial::from_powers([(Var(1), 1), (Var(2), 1)])),
+            2
+        );
+    }
+
+    #[test]
+    fn eval_into_naturals_counts_derivations() {
+        let p = x(1) * x(2) + x(3);
+        let n = p.eval(&|v| Natural::from(u64::from(v.0)));
+        assert_eq!(n, Natural::from(5u64)); // 1·2 + 3
+    }
+
+    #[test]
+    fn eval_into_booleans_checks_existence() {
+        let p = x(1) * x(2);
+        let only_x1 = |v: Var| Bool2::from(v.0 == 1);
+        assert_eq!(p.eval(&only_x1), Bool2::zero());
+        let both = |_: Var| Bool2::one();
+        assert_eq!(p.eval(&both), Bool2::one());
+    }
+
+    #[test]
+    fn eval_into_tropical_finds_cheapest_derivation() {
+        let p = x(1) * x(2) + x(3);
+        let cost = p.eval(&|v| Tropical::finite(u64::from(v.0 * 10)));
+        assert_eq!(cost, Tropical::finite(30)); // min(10+20, 30)
+    }
+
+    #[test]
+    fn eval_handles_large_coefficients_via_doubling() {
+        let p = Polynomial::constant(1_000_000);
+        assert_eq!(p.eval(&|_| Natural::one()), Natural::from(1_000_000u64));
+    }
+
+    #[test]
+    fn map_vars_merges_collapsed_monomials() {
+        // x1 + x2 under x1,x2 ↦ y collapses to 2y.
+        let p = x(1) + x(2);
+        let q = p.map_vars(&|_| Var(99));
+        assert_eq!(q, Polynomial::from_terms([(Monomial::var(Var(99)), 2)]));
+    }
+
+    #[test]
+    fn specialization_chain_reaches_lineage() {
+        let p = x(1) * x(1) * x(2) + x(3);
+        let why = p.to_why();
+        assert_eq!(why.witness_count(), 2);
+        let lin = p.to_lineage();
+        assert_eq!(lin, Lineage::from_vars([Var(1), Var(2), Var(3)]));
+        // Chain commutes: N[X] → Why → Lin equals N[X] → Lin.
+        assert_eq!(why.to_lineage(), lin);
+    }
+
+    #[test]
+    fn zero_and_one_behave() {
+        let p = x(1);
+        assert_eq!(p.clone() + Polynomial::zero(), p);
+        assert_eq!(p.clone() * Polynomial::one(), p);
+        assert!((p * Polynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn constant_zero_is_canonical_zero() {
+        assert_eq!(Polynomial::constant(0), Polynomial::zero());
+    }
+
+    #[test]
+    fn natural_order_is_coefficientwise() {
+        let p = x(1);
+        let q = x(1) + x(2);
+        assert!(p.natural_leq(&q));
+        assert!(!q.natural_leq(&p));
+    }
+
+    #[test]
+    fn monus_is_coefficientwise_truncated_subtraction() {
+        let p = Polynomial::from_terms([
+            (Monomial::var(Var(1)), 5),
+            (Monomial::var(Var(2)), 2),
+        ]);
+        let q = Polynomial::from_terms([
+            (Monomial::var(Var(1)), 3),
+            (Monomial::var(Var(2)), 7),
+        ]);
+        let d = p.monus(&q);
+        assert_eq!(d.coefficient(&Monomial::var(Var(1))), 2);
+        assert_eq!(d.coefficient(&Monomial::var(Var(2))), 0);
+        assert_eq!(d.term_count(), 1);
+        assert!(Polynomial::zero().monus(&q).is_zero());
+    }
+
+    #[test]
+    fn display_renders_readable_polynomials() {
+        let p = x(1) * x(1) + Polynomial::constant(3) * x(2) + Polynomial::one();
+        assert_eq!(p.to_string(), "1 + x1^2 + 3·x2");
+    }
+
+    #[test]
+    fn monomial_degree_and_exponent() {
+        let m = Monomial::from_powers([(Var(1), 2), (Var(2), 1)]);
+        assert_eq!(m.degree(), 3);
+        assert_eq!(m.exponent(Var(1)), 2);
+        assert_eq!(m.exponent(Var(9)), 0);
+        assert_eq!(Monomial::from_powers([(Var(1), 0)]), Monomial::unit());
+    }
+}

@@ -1,0 +1,144 @@
+//! The access-control (security) semiring.
+//!
+//! Clearance levels ordered `Public < Confidential < Secret < TopSecret <
+//! Inaccessible`. `join` needs *all* inputs, so it takes the most restrictive
+//! level (`max`); `union` needs *any* derivation, so it takes the least
+//! restrictive (`min`). `Inaccessible` annotates absent tuples (additive
+//! identity), `Public` is the multiplicative identity. This is the canonical
+//! "security semiring" of Foster–Green–Tannen.
+
+use crate::traits::{Monus, NaturallyOrdered, Semiring};
+
+/// A clearance level required to see a tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Security {
+    /// Visible to everyone; the multiplicative identity.
+    Public,
+    /// Visible to confidential clearance and above.
+    Confidential,
+    /// Visible to secret clearance and above.
+    Secret,
+    /// Visible to top-secret clearance only.
+    TopSecret,
+    /// Visible to no one (absent tuple); the additive identity.
+    Inaccessible,
+}
+
+impl Security {
+    /// All levels in increasing restrictiveness, for iteration in tests and
+    /// exhaustive property checks.
+    pub const ALL: [Security; 5] = [
+        Security::Public,
+        Security::Confidential,
+        Security::Secret,
+        Security::TopSecret,
+        Security::Inaccessible,
+    ];
+
+    /// `true` iff a principal with clearance `clearance` may see data
+    /// annotated with `self`.
+    pub fn visible_to(&self, clearance: Security) -> bool {
+        *self != Security::Inaccessible && *self <= clearance
+    }
+}
+
+impl Semiring for Security {
+    fn zero() -> Self {
+        Security::Inaccessible
+    }
+    fn one() -> Self {
+        Security::Public
+    }
+    fn plus(&self, other: &Self) -> Self {
+        // Any derivation suffices: least restrictive wins.
+        (*self).min(*other)
+    }
+    fn times(&self, other: &Self) -> Self {
+        // All inputs required: most restrictive wins.
+        (*self).max(*other)
+    }
+}
+
+impl NaturallyOrdered for Security {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // a ≤ b iff ∃c. min(a, c) = b iff b is at most as restrictive as a.
+        other <= self
+    }
+}
+
+impl Monus for Security {
+    fn monus(&self, other: &Self) -> Self {
+        // Least c in the natural order (= most restrictive) such that
+        // a ≤ b + c, i.e. min(b, c) at most as restrictive as a. When b is
+        // already at most as restrictive as a, c = Inaccessible (the
+        // natural zero) suffices; otherwise c must itself be ≤ a, and the
+        // natural-least such c is a.
+        if other <= self {
+            Security::Inaccessible
+        } else {
+            *self
+        }
+    }
+}
+
+impl std::fmt::Display for Security {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Security::Public => "P",
+            Security::Confidential => "C",
+            Security::Secret => "S",
+            Security::TopSecret => "T",
+            Security::Inaccessible => "0",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_escalates_union_relaxes() {
+        use Security::*;
+        assert_eq!(Confidential.times(&Secret), Secret);
+        assert_eq!(Confidential.plus(&Secret), Confidential);
+        assert_eq!(Public.times(&TopSecret), TopSecret);
+    }
+
+    #[test]
+    fn identities() {
+        use Security::*;
+        for level in Security::ALL {
+            assert_eq!(level.plus(&Inaccessible), level);
+            assert_eq!(level.times(&Public), level);
+            assert_eq!(level.times(&Inaccessible), Inaccessible);
+        }
+    }
+
+    #[test]
+    fn distributivity_holds_exhaustively() {
+        for a in Security::ALL {
+            for b in Security::ALL {
+                for c in Security::ALL {
+                    assert_eq!(a.times(&b.plus(&c)), a.times(&b).plus(&a.times(&c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visibility_respects_clearance() {
+        use Security::*;
+        assert!(Public.visible_to(Public));
+        assert!(Secret.visible_to(TopSecret));
+        assert!(!Secret.visible_to(Confidential));
+        assert!(!Inaccessible.visible_to(TopSecret));
+    }
+
+    #[test]
+    fn display_is_single_letter() {
+        let s: String = Security::ALL.iter().map(|l| l.to_string()).collect();
+        assert_eq!(s, "PCST0");
+    }
+}

@@ -1,0 +1,192 @@
+//! The semiring trait family.
+//!
+//! A commutative semiring `(K, +, ·, 0, 1)` is two commutative monoids glued
+//! together by distributivity, with `0` annihilating `·`. These laws are what
+//! make provenance propagation through relational algebra well-defined
+//! regardless of the plan chosen by an optimiser: `+` and `·` may be
+//! reassociated and commuted freely, so equivalent plans produce equal
+//! annotations. Every instance in this crate is checked against the laws by
+//! the property tests in `tests/axioms.rs`.
+
+use std::fmt::Debug;
+
+/// A variable (base-fact identifier) in abstract provenance expressions.
+///
+/// Variables name the *sources* of derived data: in `annomine` a variable is
+/// an interned annotation identifier, but nothing in this crate depends on
+/// that interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A commutative monoid `(K, op, unit)`.
+///
+/// Laws (checked by property tests for every implementation shipped here):
+///
+/// * associativity: `op(a, op(b, c)) == op(op(a, b), c)`
+/// * commutativity: `op(a, b) == op(b, a)`
+/// * identity:      `op(a, unit()) == a`
+pub trait CommutativeMonoid: Clone + PartialEq + Debug {
+    /// The identity element of the monoid.
+    fn unit() -> Self;
+    /// The (commutative, associative) binary operation.
+    fn op(&self, other: &Self) -> Self;
+}
+
+/// A commutative semiring `(K, +, ·, 0, 1)`.
+///
+/// Laws, in addition to both `(K, +, 0)` and `(K, ·, 1)` being commutative
+/// monoids:
+///
+/// * distributivity: `a · (b + c) == a·b + a·c`
+/// * annihilation:   `a · 0 == 0`
+///
+/// The operations take `&self` so that set-valued semirings (lineage, why,
+/// polynomials) do not force clones at every call site; cheap `Copy`
+/// instances compile down to the obvious scalar code.
+pub trait Semiring: Clone + PartialEq + Debug {
+    /// The additive identity; annotation of tuples that are absent.
+    fn zero() -> Self;
+    /// The multiplicative identity; annotation of unconditionally present
+    /// base tuples.
+    fn one() -> Self;
+    /// Combine alternative derivations (`union`, duplicate elimination).
+    fn plus(&self, other: &Self) -> Self;
+    /// Combine joint derivations (`join`).
+    fn times(&self, other: &Self) -> Self;
+
+    /// `true` iff this value is the additive identity.
+    ///
+    /// Used by query operators to drop annotated tuples that have become
+    /// absent; the default compares against [`Semiring::zero`].
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Fold `plus` over an iterator (∑). Returns [`Semiring::zero`] for an
+    /// empty iterator.
+    fn sum<'a, I>(iter: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        iter.into_iter().fold(Self::zero(), |acc, x| acc.plus(x))
+    }
+
+    /// Fold `times` over an iterator (∏). Returns [`Semiring::one`] for an
+    /// empty iterator.
+    fn product<'a, I>(iter: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        iter.into_iter().fold(Self::one(), |acc, x| acc.times(x))
+    }
+}
+
+/// Semirings whose *natural order* (`a ≤ b` iff `∃c. a + c = b`) is a
+/// partial order.
+///
+/// All provenance semirings used for query answering in practice are
+/// naturally ordered; the order is what gives "more provenance" a meaning
+/// and is the basis for incremental maintenance arguments (adding facts can
+/// only move annotations up the order).
+pub trait NaturallyOrdered: Semiring {
+    /// `true` iff `self ≤ other` in the natural order.
+    fn natural_leq(&self, other: &Self) -> bool;
+}
+
+/// Semirings with a *monus* (truncated difference): `a ∸ b` is the least
+/// `c` in the natural order such that `a ≤ b + c`.
+///
+/// Monus is what gives annotated databases a principled relational
+/// difference (Geerts–Poggi m-semirings): `R − S` annotates each tuple
+/// with `R(t) ∸ S(t)`. Laws checked by the property tests:
+///
+/// * `a ≤ b + (a ∸ b)` (the defining inequality)
+/// * `a ≤ b + c  ⇒  a ∸ b ≤ c` (minimality)
+/// * `0 ∸ b = 0`
+pub trait Monus: NaturallyOrdered {
+    /// Truncated difference `self ∸ other`.
+    fn monus(&self, other: &Self) -> Self;
+}
+
+/// A homomorphism between semirings: a structure-preserving map.
+///
+/// Laws: `map(0) = 0`, `map(1) = 1`, `map(a + b) = map(a) + map(b)`,
+/// `map(a · b) = map(a) · map(b)`.
+///
+/// Homomorphisms are the formal counterpart of *annotation generalization*
+/// (paper §4.1): replacing raw annotations by their concept labels commutes
+/// with query evaluation precisely because the replacement is a homomorphism
+/// on the provenance semiring.
+pub trait SemiringHom<A: Semiring, B: Semiring> {
+    /// Apply the homomorphism to a single annotation.
+    fn map(&self, a: &A) -> B;
+}
+
+/// Every `Fn(&A) -> B` can act as a homomorphism carrier.
+///
+/// The *caller* is responsible for the function actually satisfying the
+/// homomorphism laws; the property tests in this crate demonstrate the
+/// pattern for the shipped instances.
+impl<A: Semiring, B: Semiring, F: Fn(&A) -> B> SemiringHom<A, B> for F {
+    fn map(&self, a: &A) -> B {
+        self(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool2;
+    use crate::natural::Natural;
+
+    #[test]
+    fn var_display_is_compact() {
+        assert_eq!(Var(7).to_string(), "x7");
+    }
+
+    #[test]
+    fn sum_of_empty_iterator_is_zero() {
+        let empty: [Natural; 0] = [];
+        assert_eq!(Natural::sum(empty.iter()), Natural::zero());
+    }
+
+    #[test]
+    fn product_of_empty_iterator_is_one() {
+        let empty: [Natural; 0] = [];
+        assert_eq!(Natural::product(empty.iter()), Natural::one());
+    }
+
+    #[test]
+    fn sum_and_product_fold_in_order() {
+        let xs = [Natural::from(2u64), Natural::from(3u64), Natural::from(4u64)];
+        assert_eq!(Natural::sum(xs.iter()), Natural::from(9u64));
+        assert_eq!(Natural::product(xs.iter()), Natural::from(24u64));
+    }
+
+    #[test]
+    fn is_zero_default_matches_zero() {
+        assert!(Bool2::zero().is_zero());
+        assert!(!Bool2::one().is_zero());
+    }
+
+    #[test]
+    fn closures_are_homomorphism_carriers() {
+        let h = |b: &Bool2| -> Natural {
+            if b.0 {
+                Natural::one()
+            } else {
+                Natural::zero()
+            }
+        };
+        assert_eq!(h.map(&Bool2::one()), Natural::one());
+        assert_eq!(h.map(&Bool2::zero()), Natural::zero());
+    }
+}

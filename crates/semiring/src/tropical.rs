@@ -1,0 +1,154 @@
+//! The tropical semiring `(ℕ ∪ {∞}, min, +, ∞, 0)` — cost provenance.
+//!
+//! Annotating base tuples with acquisition costs and propagating through
+//! queries computes, for each answer, the cheapest way to derive it: `join`
+//! adds costs, `union` keeps the minimum. `∞` (the additive identity) is the
+//! cost of absent tuples.
+
+use crate::traits::{Monus, NaturallyOrdered, Semiring};
+
+/// Cost annotations: a non-negative cost or infinity.
+///
+/// Represented as `u64` with `u64::MAX` reserved for ∞; addition saturates
+/// into ∞ which keeps the laws exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tropical(u64);
+
+impl Tropical {
+    /// The infinite cost (annotation of absent tuples).
+    pub const INFINITY: Tropical = Tropical(u64::MAX);
+
+    /// A finite cost. Panics if `cost == u64::MAX`, which is reserved for ∞.
+    pub fn finite(cost: u64) -> Self {
+        assert!(cost != u64::MAX, "u64::MAX is reserved for Tropical::INFINITY");
+        Tropical(cost)
+    }
+
+    /// The cost as `Some(finite)` or `None` for ∞.
+    pub fn cost(&self) -> Option<u64> {
+        (self.0 != u64::MAX).then_some(self.0)
+    }
+
+    /// `true` iff the cost is infinite.
+    pub fn is_infinite(&self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Semiring for Tropical {
+    fn zero() -> Self {
+        Tropical::INFINITY
+    }
+    fn one() -> Self {
+        Tropical(0)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Tropical(self.0.min(other.0))
+    }
+    fn times(&self, other: &Self) -> Self {
+        // ∞ + anything = ∞; saturating_add maps exactly onto that because
+        // both operands are ≤ u64::MAX and ∞ saturates.
+        if self.is_infinite() || other.is_infinite() {
+            Tropical::INFINITY
+        } else {
+            Tropical(self.0.saturating_add(other.0))
+        }
+    }
+    fn is_zero(&self) -> bool {
+        self.is_infinite()
+    }
+}
+
+impl NaturallyOrdered for Tropical {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // a ≤ b iff ∃c. min(a, c) = b, i.e. b ≤ a numerically: the natural
+        // order of (min, +) is the *reverse* numeric order — cheaper is
+        // "more present".
+        other.0 <= self.0
+    }
+}
+
+impl Monus for Tropical {
+    fn monus(&self, other: &Self) -> Self {
+        // Natural order is reverse-numeric (cheaper = more present); the
+        // natural-least c with a ≤ min(b, c) is ∞ when b is already at
+        // most a, and a itself otherwise.
+        if other.0 <= self.0 {
+            Tropical::INFINITY
+        } else {
+            *self
+        }
+    }
+}
+
+impl std::fmt::Display for Tropical {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.cost() {
+            Some(c) => write!(f, "{c}"),
+            None => write!(f, "∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_plus_arithmetic() {
+        let a = Tropical::finite(3);
+        let b = Tropical::finite(5);
+        assert_eq!(a.plus(&b), Tropical::finite(3));
+        assert_eq!(a.times(&b), Tropical::finite(8));
+    }
+
+    #[test]
+    fn infinity_is_additive_identity_and_annihilator() {
+        let a = Tropical::finite(3);
+        assert_eq!(a.plus(&Tropical::INFINITY), a);
+        assert_eq!(a.times(&Tropical::INFINITY), Tropical::INFINITY);
+        assert!(Tropical::zero().is_zero());
+    }
+
+    #[test]
+    fn one_is_free() {
+        let a = Tropical::finite(42);
+        assert_eq!(a.times(&Tropical::one()), a);
+    }
+
+    #[test]
+    fn near_infinite_costs_saturate_to_infinity() {
+        let big = Tropical::finite(u64::MAX - 1);
+        assert_eq!(big.times(&big), Tropical::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn finite_rejects_the_infinity_sentinel() {
+        let _ = Tropical::finite(u64::MAX);
+    }
+
+    #[test]
+    fn natural_order_is_reverse_numeric() {
+        assert!(Tropical::INFINITY.natural_leq(&Tropical::finite(0)));
+        assert!(Tropical::finite(9).natural_leq(&Tropical::finite(2)));
+        assert!(!Tropical::finite(2).natural_leq(&Tropical::finite(9)));
+    }
+
+    #[test]
+    fn monus_matches_min_plus_residual() {
+        let a = Tropical::finite(5);
+        let b = Tropical::finite(3);
+        // b (cost 3) already beats a (cost 5): nothing left to add.
+        assert_eq!(a.monus(&b), Tropical::INFINITY);
+        // b (cost 7) is worse: a itself is the least completion.
+        assert_eq!(a.monus(&Tropical::finite(7)), a);
+        assert_eq!(Tropical::zero().monus(&b), Tropical::zero());
+    }
+
+    #[test]
+    fn display_marks_infinity() {
+        assert_eq!(Tropical::finite(7).to_string(), "7");
+        assert_eq!(Tropical::INFINITY.to_string(), "∞");
+    }
+}

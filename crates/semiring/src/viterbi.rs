@@ -1,0 +1,185 @@
+//! Probability-flavoured semirings on `[0, 1]`.
+//!
+//! * [`Viterbi`] `([0,1], max, ·, 0, 1)` — best-derivation confidence.
+//!   Annotate base tuples with confidence scores; an answer's annotation is
+//!   the confidence of its most trustworthy derivation.
+//! * [`Fuzzy`] `([0,1], max, min, 0, 1)` — fuzzy set membership.
+//!
+//! Both wrap a validated `f64`. `max`/`min` are exactly associative;
+//! floating-point multiplication is associative only up to rounding, so the
+//! property tests for `Viterbi` use approximate equality (documented there).
+
+use crate::traits::{Monus, NaturallyOrdered, Semiring};
+
+/// A probability in `[0, 1]`, the carrier of [`Viterbi`] and [`Fuzzy`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Prob(f64);
+
+impl Prob {
+    /// Construct a probability, panicking if `p` is outside `[0, 1]` or NaN.
+    pub fn new(p: f64) -> Self {
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "probability out of range: {p}");
+        Prob(p)
+    }
+
+    /// The raw value.
+    pub fn get(&self) -> f64 {
+        self.0
+    }
+}
+
+/// The Viterbi semiring: max-probability provenance.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Viterbi(pub Prob);
+
+impl Viterbi {
+    /// A confidence score in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        Viterbi(Prob::new(p))
+    }
+
+    /// The raw confidence.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+impl Semiring for Viterbi {
+    fn zero() -> Self {
+        Viterbi(Prob(0.0))
+    }
+    fn one() -> Self {
+        Viterbi(Prob(1.0))
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Viterbi(Prob(self.0 .0.max(other.0 .0)))
+    }
+    fn times(&self, other: &Self) -> Self {
+        Viterbi(Prob(self.0 .0 * other.0 .0))
+    }
+    fn is_zero(&self) -> bool {
+        self.0 .0 == 0.0
+    }
+}
+
+impl NaturallyOrdered for Viterbi {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self.0 .0 <= other.0 .0
+    }
+}
+
+/// The fuzzy semiring: min/max membership degrees.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Fuzzy(pub Prob);
+
+impl Fuzzy {
+    /// A membership degree in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        Fuzzy(Prob::new(p))
+    }
+
+    /// The raw membership degree.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+impl Semiring for Fuzzy {
+    fn zero() -> Self {
+        Fuzzy(Prob(0.0))
+    }
+    fn one() -> Self {
+        Fuzzy(Prob(1.0))
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Fuzzy(Prob(self.0 .0.max(other.0 .0)))
+    }
+    fn times(&self, other: &Self) -> Self {
+        Fuzzy(Prob(self.0 .0.min(other.0 .0)))
+    }
+    fn is_zero(&self) -> bool {
+        self.0 .0 == 0.0
+    }
+}
+
+impl NaturallyOrdered for Fuzzy {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self.0 .0 <= other.0 .0
+    }
+}
+
+impl Monus for Viterbi {
+    fn monus(&self, other: &Self) -> Self {
+        // plus is max: least c with a ≤ max(b, c) is 0 when b covers a.
+        if self.0 .0 <= other.0 .0 {
+            Viterbi::zero()
+        } else {
+            *self
+        }
+    }
+}
+
+impl Monus for Fuzzy {
+    fn monus(&self, other: &Self) -> Self {
+        // Least c with a ≤ max(b, c): 0 when b covers a, else a itself.
+        if self.0 .0 <= other.0 .0 {
+            Fuzzy::zero()
+        } else {
+            *self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn viterbi_takes_best_derivation() {
+        let a = Viterbi::new(0.3);
+        let b = Viterbi::new(0.8);
+        assert_eq!(a.plus(&b), b);
+        assert!((a.times(&b).get() - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn viterbi_identities() {
+        let a = Viterbi::new(0.5);
+        assert_eq!(a.plus(&Viterbi::zero()), a);
+        assert_eq!(a.times(&Viterbi::one()), a);
+        assert_eq!(a.times(&Viterbi::zero()), Viterbi::zero());
+    }
+
+    #[test]
+    fn fuzzy_is_min_max() {
+        let a = Fuzzy::new(0.3);
+        let b = Fuzzy::new(0.8);
+        assert_eq!(a.plus(&b), b);
+        assert_eq!(a.times(&b), a);
+    }
+
+    #[test]
+    fn fuzzy_min_max_is_exactly_distributive() {
+        // Unlike multiplication, min/max distributivity is exact on floats.
+        let (a, b, c) = (Fuzzy::new(0.2), Fuzzy::new(0.5), Fuzzy::new(0.9));
+        assert_eq!(a.times(&b.plus(&c)), a.times(&b).plus(&a.times(&c)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn probabilities_above_one_are_rejected() {
+        let _ = Prob::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nan_probability_is_rejected() {
+        let _ = Prob::new(f64::NAN);
+    }
+
+    #[test]
+    fn natural_order_is_numeric() {
+        assert!(Viterbi::new(0.2).natural_leq(&Viterbi::new(0.7)));
+        assert!(!Fuzzy::new(0.7).natural_leq(&Fuzzy::new(0.2)));
+    }
+}

@@ -1,0 +1,181 @@
+//! The why-provenance semiring `Why(X) = P(P(X))`: witness sets.
+//!
+//! An annotation is a *set of witnesses*, each witness being a set of base
+//! facts that jointly suffice to derive the tuple. `+` unions the witness
+//! sets (either derivation works); `·` combines every witness of one side
+//! with every witness of the other (both are needed). `∅` (no witnesses) is
+//! absence; `{∅}` (one empty witness) is unconditional presence.
+//!
+//! `Why(X)` sits strictly between the provenance polynomials `N[X]` (which
+//! additionally track multiplicities and exponents) and lineage `Lin(X)`
+//! (which flattens all witnesses together); see [`Why::to_lineage`].
+
+use std::collections::BTreeSet;
+
+use crate::lineage::Lineage;
+use crate::traits::{Monus, NaturallyOrdered, Semiring, Var};
+
+/// A single witness: a set of base facts that together derive the tuple.
+pub type Witness = BTreeSet<Var>;
+
+/// A why-provenance annotation: the set of minimal-or-not witnesses.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Why(pub BTreeSet<Witness>);
+
+impl Why {
+    /// Why-provenance of a base fact: one singleton witness.
+    pub fn var(v: Var) -> Self {
+        Why(BTreeSet::from([BTreeSet::from([v])]))
+    }
+
+    /// Build from an iterator of witnesses.
+    pub fn from_witnesses<I>(witnesses: I) -> Self
+    where
+        I: IntoIterator<Item = Witness>,
+    {
+        Why(witnesses.into_iter().collect())
+    }
+
+    /// Number of distinct witnesses.
+    pub fn witness_count(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Forget the witness structure, keeping only which variables appear:
+    /// the canonical homomorphism `Why(X) → Lin(X)`.
+    pub fn to_lineage(&self) -> Lineage {
+        if self.0.is_empty() {
+            Lineage::Absent
+        } else {
+            Lineage::Present(self.0.iter().flatten().copied().collect())
+        }
+    }
+}
+
+impl Semiring for Why {
+    fn zero() -> Self {
+        Why(BTreeSet::new())
+    }
+    fn one() -> Self {
+        Why(BTreeSet::from([BTreeSet::new()]))
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Why(self.0.union(&other.0).cloned().collect())
+    }
+    fn times(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).copied().collect());
+            }
+        }
+        Why(out)
+    }
+    fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl NaturallyOrdered for Why {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // a + c = b requires a ⊆ b as witness sets.
+        self.0.is_subset(&other.0)
+    }
+}
+
+impl Monus for Why {
+    fn monus(&self, other: &Self) -> Self {
+        // Natural order is witness-set inclusion: the least c with
+        // a ⊆ b ∪ c is the plain set difference.
+        Why(self.0.difference(&other.0).cloned().collect())
+    }
+}
+
+impl std::fmt::Display for Why {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, v) in w.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(vs: &[u32]) -> Witness {
+        vs.iter().map(|&v| Var(v)).collect()
+    }
+
+    #[test]
+    fn plus_unions_witness_sets() {
+        let a = Why::from_witnesses([w(&[1])]);
+        let b = Why::from_witnesses([w(&[2, 3])]);
+        let sum = a.plus(&b);
+        assert_eq!(sum.witness_count(), 2);
+        assert!(sum.0.contains(&w(&[1])));
+        assert!(sum.0.contains(&w(&[2, 3])));
+    }
+
+    #[test]
+    fn times_is_pairwise_union() {
+        let a = Why::from_witnesses([w(&[1]), w(&[2])]);
+        let b = Why::from_witnesses([w(&[3])]);
+        let prod = a.times(&b);
+        assert_eq!(prod, Why::from_witnesses([w(&[1, 3]), w(&[2, 3])]));
+    }
+
+    #[test]
+    fn duplicate_witnesses_collapse() {
+        let a = Why::from_witnesses([w(&[1, 2])]);
+        let b = Why::from_witnesses([w(&[1]), w(&[2])]);
+        // (x1·x2) from both sides collapses to a single witness.
+        let prod = a.times(&b);
+        assert_eq!(prod, Why::from_witnesses([w(&[1, 2])]));
+    }
+
+    #[test]
+    fn identities() {
+        let a = Why::var(Var(1));
+        assert_eq!(a.plus(&Why::zero()), a);
+        assert_eq!(a.times(&Why::one()), a);
+        assert_eq!(a.times(&Why::zero()), Why::zero());
+        assert!(Why::zero().is_zero());
+    }
+
+    #[test]
+    fn to_lineage_flattens_witnesses() {
+        let a = Why::from_witnesses([w(&[1]), w(&[2, 3])]);
+        assert_eq!(a.to_lineage(), Lineage::from_vars([Var(1), Var(2), Var(3)]));
+        assert_eq!(Why::zero().to_lineage(), Lineage::Absent);
+        assert_eq!(Why::one().to_lineage(), Lineage::one());
+    }
+
+    #[test]
+    fn to_lineage_is_a_homomorphism_on_samples() {
+        let a = Why::from_witnesses([w(&[1]), w(&[2])]);
+        let b = Why::from_witnesses([w(&[3])]);
+        assert_eq!(a.plus(&b).to_lineage(), a.to_lineage().plus(&b.to_lineage()));
+        assert_eq!(a.times(&b).to_lineage(), a.to_lineage().times(&b.to_lineage()));
+    }
+
+    #[test]
+    fn natural_order_is_witness_subset() {
+        let a = Why::from_witnesses([w(&[1])]);
+        let ab = Why::from_witnesses([w(&[1]), w(&[2])]);
+        assert!(a.natural_leq(&ab));
+        assert!(!ab.natural_leq(&a));
+    }
+}

@@ -1,0 +1,238 @@
+//! Property-based verification of the semiring laws for every instance.
+//!
+//! A generic law-checker is instantiated per semiring with a proptest
+//! strategy for generating arbitrary elements. `Viterbi` multiplies floats,
+//! which is associative/distributive only up to rounding, so it gets an
+//! approximate variant of the checker.
+
+use std::collections::BTreeSet;
+
+use anno_semiring::prelude::*;
+use proptest::prelude::*;
+
+/// Assert all commutative-semiring laws on a concrete triple.
+fn check_laws<S: Semiring>(a: &S, b: &S, c: &S) {
+    // Additive commutative monoid.
+    assert_eq!(a.plus(b), b.plus(a), "plus commutes");
+    assert_eq!(a.plus(&b.plus(c)), a.plus(b).plus(c), "plus associates");
+    assert_eq!(a.plus(&S::zero()), a.clone(), "zero is additive identity");
+    // Multiplicative commutative monoid.
+    assert_eq!(a.times(b), b.times(a), "times commutes");
+    assert_eq!(a.times(&b.times(c)), a.times(b).times(c), "times associates");
+    assert_eq!(a.times(&S::one()), a.clone(), "one is multiplicative identity");
+    // Distributivity and annihilation.
+    assert_eq!(
+        a.times(&b.plus(c)),
+        a.times(b).plus(&a.times(c)),
+        "times distributes over plus"
+    );
+    assert_eq!(a.times(&S::zero()), S::zero(), "zero annihilates");
+}
+
+/// Assert the monus laws on a concrete pair (plus a probe for minimality).
+fn check_monus<S: anno_semiring::Monus>(a: &S, b: &S, probe: &S) {
+    let m = a.monus(b);
+    assert!(
+        a.natural_leq(&b.plus(&m)),
+        "defining inequality a ≤ b + (a ∸ b) failed"
+    );
+    if a.natural_leq(&b.plus(probe)) {
+        assert!(
+            m.natural_leq(probe),
+            "minimality failed: a ≤ b + c but a ∸ b ≰ c"
+        );
+    }
+    assert_eq!(S::zero().monus(b), S::zero(), "0 ∸ b must be 0");
+}
+
+/// Assert the natural order is reflexive, transitive-ish on samples, and
+/// monotone under plus.
+fn check_natural_order<S: NaturallyOrdered>(a: &S, b: &S) {
+    assert!(a.natural_leq(a), "natural order is reflexive");
+    assert!(
+        a.natural_leq(&a.plus(b)),
+        "plus is inflationary for the natural order"
+    );
+}
+
+fn arb_lineage() -> impl Strategy<Value = Lineage> {
+    prop_oneof![
+        1 => Just(Lineage::Absent),
+        4 => proptest::collection::btree_set(0u32..24, 0..6)
+            .prop_map(|s| Lineage::from_vars(s.into_iter().map(Var))),
+    ]
+}
+
+fn arb_why() -> impl Strategy<Value = Why> {
+    proptest::collection::btree_set(
+        proptest::collection::btree_set((0u32..12).prop_map(Var), 0..4),
+        0..4,
+    )
+    .prop_map(Why::from_witnesses)
+}
+
+fn arb_poly() -> impl Strategy<Value = Polynomial> {
+    proptest::collection::vec(
+        (
+            proptest::collection::btree_map((0u32..8).prop_map(Var), 1u32..3, 0..3),
+            1u64..5,
+        ),
+        0..4,
+    )
+    .prop_map(|terms| {
+        Polynomial::from_terms(
+            terms
+                .into_iter()
+                .map(|(powers, coeff)| (Monomial::from_powers(powers), coeff)),
+        )
+    })
+}
+
+fn arb_security() -> impl Strategy<Value = Security> {
+    prop_oneof![
+        Just(Security::Public),
+        Just(Security::Confidential),
+        Just(Security::Secret),
+        Just(Security::TopSecret),
+        Just(Security::Inaccessible),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bool2_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        check_laws(&Bool2(a), &Bool2(b), &Bool2(c));
+        check_natural_order(&Bool2(a), &Bool2(b));
+        check_monus(&Bool2(a), &Bool2(b), &Bool2(c));
+    }
+
+    #[test]
+    fn natural_laws(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, c in 0u64..1u64 << 40) {
+        check_laws(&Natural(a), &Natural(b), &Natural(c));
+        check_natural_order(&Natural(a), &Natural(b));
+        check_monus(&Natural(a), &Natural(b), &Natural(c));
+    }
+
+    // Saturation keeps the laws exact even at the extremes because every
+    // operand is clamped into the same truncated range.
+    #[test]
+    fn natural_laws_at_saturation(a in proptest::sample::select(vec![0u64, 1, u64::MAX - 1, u64::MAX])) {
+        check_laws(&Natural(a), &Natural(u64::MAX), &Natural(2));
+    }
+
+    #[test]
+    fn tropical_laws(a in 0u64..1 << 40, b in 0u64..1 << 40, c in 0u64..1 << 40) {
+        check_laws(&Tropical::finite(a), &Tropical::finite(b), &Tropical::finite(c));
+        check_laws(&Tropical::INFINITY, &Tropical::finite(b), &Tropical::finite(c));
+        check_natural_order(&Tropical::finite(a), &Tropical::finite(b));
+        check_monus(&Tropical::finite(a), &Tropical::finite(b), &Tropical::finite(c));
+        check_monus(&Tropical::finite(a), &Tropical::INFINITY, &Tropical::finite(c));
+    }
+
+    #[test]
+    fn fuzzy_laws(a in 0.0f64..=1.0, b in 0.0f64..=1.0, c in 0.0f64..=1.0) {
+        // min/max on floats is exactly associative & distributive.
+        check_laws(&Fuzzy::new(a), &Fuzzy::new(b), &Fuzzy::new(c));
+        check_natural_order(&Fuzzy::new(a), &Fuzzy::new(b));
+        check_monus(&Fuzzy::new(a), &Fuzzy::new(b), &Fuzzy::new(c));
+    }
+
+    #[test]
+    fn security_laws(a in arb_security(), b in arb_security(), c in arb_security()) {
+        check_laws(&a, &b, &c);
+        check_natural_order(&a, &b);
+        check_monus(&a, &b, &c);
+    }
+
+    #[test]
+    fn lineage_laws(a in arb_lineage(), b in arb_lineage(), c in arb_lineage()) {
+        check_laws(&a, &b, &c);
+        check_natural_order(&a, &b);
+        check_monus(&a, &b, &c);
+    }
+
+    #[test]
+    fn why_laws(a in arb_why(), b in arb_why(), c in arb_why()) {
+        check_laws(&a, &b, &c);
+        check_natural_order(&a, &b);
+        check_monus(&a, &b, &c);
+    }
+
+    #[test]
+    fn polynomial_laws(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+        check_laws(&a, &b, &c);
+        check_natural_order(&a, &b);
+        check_monus(&a, &b, &c);
+    }
+
+    // Viterbi: max is exact; times distributes only approximately.
+    #[test]
+    fn viterbi_laws_approximately(a in 0.0f64..=1.0, b in 0.0f64..=1.0, c in 0.0f64..=1.0) {
+        let (a, b, c) = (Viterbi::new(a), Viterbi::new(b), Viterbi::new(c));
+        prop_assert_eq!(a.plus(&b), b.plus(&a));
+        prop_assert_eq!(a.plus(&b.plus(&c)), a.plus(&b).plus(&c));
+        prop_assert_eq!(a.times(&b), b.times(&a));
+        prop_assert!((a.times(&b.times(&c)).get() - a.times(&b).times(&c).get()).abs() < 1e-12);
+        let lhs = a.times(&b.plus(&c)).get();
+        let rhs = a.times(&b).plus(&a.times(&c)).get();
+        prop_assert!((lhs - rhs).abs() < 1e-12);
+        prop_assert_eq!(a.times(&Viterbi::zero()), Viterbi::zero());
+    }
+
+    // The universal property: evaluating a polynomial commutes with the
+    // specialization homomorphisms N[X] → Why(X) → Lin(X).
+    #[test]
+    fn eval_factors_through_specializations(p in arb_poly(), q in arb_poly()) {
+        // Homomorphism property of to_why and to_lineage.
+        prop_assert_eq!(p.plus(&q).to_why(), p.to_why().plus(&q.to_why()));
+        prop_assert_eq!(p.times(&q).to_why(), p.to_why().times(&q.to_why()));
+        prop_assert_eq!(p.plus(&q).to_lineage(), p.to_lineage().plus(&q.to_lineage()));
+        prop_assert_eq!(p.times(&q).to_lineage(), p.to_lineage().times(&q.to_lineage()));
+        // The triangle commutes.
+        prop_assert_eq!(p.to_why().to_lineage(), p.to_lineage());
+    }
+
+    // eval into Bool2 agrees with "is the polynomial satisfiable under the
+    // set of present variables".
+    #[test]
+    fn eval_bool_matches_witness_semantics(
+        p in arb_poly(),
+        present in proptest::collection::btree_set(0u32..8, 0..8),
+    ) {
+        let present: BTreeSet<Var> = present.into_iter().map(Var).collect();
+        let val = |v: Var| Bool2(present.contains(&v));
+        let direct = p.eval(&val);
+        let via_why = p
+            .to_why()
+            .0
+            .iter()
+            .any(|witness| witness.iter().all(|v| present.contains(v)));
+        prop_assert_eq!(direct, Bool2(via_why));
+    }
+
+    // Renaming commutes with the semiring operations (generalization is a
+    // homomorphism).
+    #[test]
+    fn rename_is_homomorphism(a in arb_lineage(), b in arb_lineage(), modulus in 1u32..6) {
+        let f = |v: Var| Var(v.0 % modulus);
+        prop_assert_eq!(
+            anno_semiring::rename(&a.plus(&b), &f),
+            anno_semiring::rename(&a, &f).plus(&anno_semiring::rename(&b, &f))
+        );
+        prop_assert_eq!(
+            anno_semiring::rename(&a.times(&b), &f),
+            anno_semiring::rename(&a, &f).times(&anno_semiring::rename(&b, &f))
+        );
+    }
+
+    // map_vars on polynomials commutes with eval: evaluating the renamed
+    // polynomial equals evaluating the original under the composed valuation.
+    #[test]
+    fn map_vars_commutes_with_eval(p in arb_poly(), modulus in 1u32..6) {
+        let f = |v: Var| Var(v.0 % modulus);
+        let val = |v: Var| Natural::from(u64::from(v.0) + 2);
+        let lhs = p.map_vars(&f).eval(&val);
+        let rhs = p.eval(&|v| val(f(v)));
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,253 @@
+//! A growable fixed-block bitset for tuple-id postings.
+//!
+//! The annotation inverted index (paper §4.3: "the system indexes the
+//! annotations such that given a query annotation, we can efficiently find
+//! all data tuples having this annotation") stores one of these per
+//! annotation. Tuple ids are dense, so an uncompressed `u64`-block bitmap
+//! beats tree sets by a wide margin for both membership tests and
+//! intersections; the `index` bench quantifies the win over full scans.
+
+/// A dynamically-growing bitset over `u32` indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    /// Number of set bits; maintained incrementally so `len` is O(1).
+    ones: usize,
+}
+
+impl BitSet {
+    /// An empty bitset.
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// An empty bitset with capacity for indices `< capacity` without
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitSet {
+            blocks: Vec::with_capacity(capacity.div_ceil(64)),
+            ones: 0,
+        }
+    }
+
+    /// Set bit `i`. Returns `true` if the bit was newly set.
+    pub fn insert(&mut self, i: u32) -> bool {
+        let (block, mask) = (i as usize / 64, 1u64 << (i % 64));
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        let newly = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        self.ones += usize::from(newly);
+        newly
+    }
+
+    /// Clear bit `i`. Returns `true` if the bit was previously set.
+    pub fn remove(&mut self, i: u32) -> bool {
+        let (block, mask) = (i as usize / 64, 1u64 << (i % 64));
+        match self.blocks.get_mut(block) {
+            Some(b) if *b & mask != 0 => {
+                *b &= !mask;
+                self.ones -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `true` iff bit `i` is set.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        self.blocks
+            .get(i as usize / 64)
+            .is_some_and(|b| b & (1 << (i % 64)) != 0)
+    }
+
+    /// Number of set bits (O(1)).
+    pub fn len(&self) -> usize {
+        self.ones
+    }
+
+    /// `true` iff no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Iterate over set bits in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// `self ∩ other` cardinality, without materialising the intersection.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        let mut ones = 0usize;
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter().chain(std::iter::repeat(&0))) {
+            *a |= b;
+            ones += a.count_ones() as usize;
+        }
+        self.ones = ones;
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        let mut ones = 0usize;
+        for (i, a) in self.blocks.iter_mut().enumerate() {
+            *a &= other.blocks.get(i).copied().unwrap_or(0);
+            ones += a.count_ones() as usize;
+        }
+        self.ones = ones;
+    }
+
+    /// A new bitset holding `self ∩ other`.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let blocks: Vec<u64> = self
+            .blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| a & b)
+            .collect();
+        let ones = blocks.iter().map(|b| b.count_ones() as usize).sum();
+        BitSet { blocks, ones }
+    }
+
+    /// `true` iff every bit of `self` is also set in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.blocks
+            .iter()
+            .enumerate()
+            .all(|(i, a)| a & !other.blocks.get(i).copied().unwrap_or(0) == 0)
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Iterator over set bits; see [`BitSet::iter`].
+pub struct Iter<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.block_idx as u32 * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn crosses_block_boundaries() {
+        let mut s = BitSet::new();
+        for i in [0u32, 63, 64, 127, 128, 1000] {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 1000]);
+    }
+
+    #[test]
+    fn intersection_count_matches_materialised() {
+        let a: BitSet = [1u32, 2, 3, 64, 65].into_iter().collect();
+        let b: BitSet = [2u32, 3, 4, 65, 128].into_iter().collect();
+        assert_eq!(a.intersection_count(&b), 3);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2, 3, 65]);
+    }
+
+    #[test]
+    fn union_and_intersect_in_place() {
+        let mut a: BitSet = [1u32, 2].into_iter().collect();
+        let b: BitSet = [2u32, 300].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 300]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 300]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn union_with_shorter_other_keeps_tail() {
+        let mut a: BitSet = [300u32].into_iter().collect();
+        let b: BitSet = [1u32].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 300]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a: BitSet = [1u32, 2].into_iter().collect();
+        let b: BitSet = [1u32, 2, 3].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(BitSet::new().is_subset(&a));
+        // Longer block vector with only low bits set is still a subset.
+        let mut c = BitSet::new();
+        c.insert(200);
+        c.remove(200);
+        c.insert(1);
+        assert!(c.is_subset(&a));
+    }
+
+    #[test]
+    fn len_is_maintained_incrementally() {
+        let mut s = BitSet::new();
+        for i in 0..100 {
+            s.insert(i);
+        }
+        for i in (0..100).step_by(2) {
+            s.remove(i);
+        }
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.iter().count(), 50);
+    }
+}

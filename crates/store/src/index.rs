@@ -1,0 +1,168 @@
+//! The annotation inverted index.
+//!
+//! Paper §4.3: discovering new rules after an annotation batch "requires
+//! access to all data tuples that have the annotation … to efficiently
+//! support the latter case, the system indexes the annotations such that
+//! given a query annotation, we can efficiently find all data tuples having
+//! this annotation."
+//!
+//! The index maps each annotation-like [`Item`] to the [`BitSet`] of tuple
+//! ids carrying it, and is maintained incrementally by
+//! [`AnnotatedRelation`](crate::relation::AnnotatedRelation) on every
+//! mutation.
+
+use crate::bitset::BitSet;
+use crate::fxhash::FxHashMap;
+use crate::item::Item;
+use crate::tuple::TupleId;
+
+/// Inverted index: annotation → posting bitset of tuple ids.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotationIndex {
+    postings: FxHashMap<Item, BitSet>,
+}
+
+impl AnnotationIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        AnnotationIndex::default()
+    }
+
+    /// Record that tuple `tid` carries `ann`.
+    pub fn insert(&mut self, tid: TupleId, ann: Item) {
+        debug_assert!(ann.is_annotation_like());
+        self.postings.entry(ann).or_default().insert(tid.0);
+    }
+
+    /// Record that tuple `tid` no longer carries `ann`.
+    pub fn remove(&mut self, tid: TupleId, ann: Item) {
+        if let Some(bits) = self.postings.get_mut(&ann) {
+            bits.remove(tid.0);
+            if bits.is_empty() {
+                self.postings.remove(&ann);
+            }
+        }
+    }
+
+    /// The posting bitset for `ann`, if any tuple carries it.
+    pub fn postings(&self, ann: Item) -> Option<&BitSet> {
+        self.postings.get(&ann)
+    }
+
+    /// Number of live tuples carrying `ann` — the paper's per-annotation
+    /// frequency table (Fig. 13 Step 1 checks "the annotation must be a
+    /// frequent annotation by itself" against this).
+    pub fn frequency(&self, ann: Item) -> usize {
+        self.postings.get(&ann).map_or(0, BitSet::len)
+    }
+
+    /// Iterate the tuple ids carrying `ann` in increasing order.
+    pub fn tuples_with(&self, ann: Item) -> impl Iterator<Item = TupleId> + '_ {
+        self.postings
+            .get(&ann)
+            .into_iter()
+            .flat_map(|bits| bits.iter().map(TupleId))
+    }
+
+    /// Number of tuples carrying **all** of the (sorted or not) annotations,
+    /// via posting intersection.
+    pub fn co_occurrence(&self, anns: &[Item]) -> usize {
+        let Some((first, rest)) = anns.split_first() else {
+            return 0;
+        };
+        let Some(first_bits) = self.postings.get(first) else {
+            return 0;
+        };
+        match rest.len() {
+            0 => first_bits.len(),
+            1 => match self.postings.get(&rest[0]) {
+                Some(b) => first_bits.intersection_count(b),
+                None => 0,
+            },
+            _ => {
+                let mut acc = first_bits.clone();
+                for ann in rest {
+                    match self.postings.get(ann) {
+                        Some(b) => acc.intersect_with(b),
+                        None => return 0,
+                    }
+                    if acc.is_empty() {
+                        return 0;
+                    }
+                }
+                acc.len()
+            }
+        }
+    }
+
+    /// All indexed annotations (arbitrary order).
+    pub fn annotations(&self) -> impl Iterator<Item = Item> + '_ {
+        self.postings.keys().copied()
+    }
+
+    /// Total number of distinct indexed annotations.
+    pub fn distinct_annotations(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(i: u32) -> Item {
+        Item::annotation(i)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut idx = AnnotationIndex::new();
+        idx.insert(TupleId(0), ann(1));
+        idx.insert(TupleId(5), ann(1));
+        idx.insert(TupleId(5), ann(2));
+        assert_eq!(idx.frequency(ann(1)), 2);
+        assert_eq!(idx.frequency(ann(2)), 1);
+        assert_eq!(idx.frequency(ann(3)), 0);
+        assert_eq!(
+            idx.tuples_with(ann(1)).collect::<Vec<_>>(),
+            vec![TupleId(0), TupleId(5)]
+        );
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_postings() {
+        let mut idx = AnnotationIndex::new();
+        idx.insert(TupleId(0), ann(1));
+        idx.remove(TupleId(0), ann(1));
+        assert_eq!(idx.frequency(ann(1)), 0);
+        assert_eq!(idx.distinct_annotations(), 0);
+        // Removing again is a no-op.
+        idx.remove(TupleId(0), ann(1));
+    }
+
+    #[test]
+    fn co_occurrence_intersects_postings() {
+        let mut idx = AnnotationIndex::new();
+        for tid in [0u32, 1, 2, 3] {
+            idx.insert(TupleId(tid), ann(1));
+        }
+        for tid in [1u32, 3, 4] {
+            idx.insert(TupleId(tid), ann(2));
+        }
+        for tid in [3u32, 4] {
+            idx.insert(TupleId(tid), ann(3));
+        }
+        assert_eq!(idx.co_occurrence(&[ann(1)]), 4);
+        assert_eq!(idx.co_occurrence(&[ann(1), ann(2)]), 2);
+        assert_eq!(idx.co_occurrence(&[ann(1), ann(2), ann(3)]), 1);
+        assert_eq!(idx.co_occurrence(&[ann(1), ann(9)]), 0);
+        assert_eq!(idx.co_occurrence(&[]), 0);
+    }
+
+    #[test]
+    fn labels_are_indexable() {
+        let mut idx = AnnotationIndex::new();
+        idx.insert(TupleId(7), Item::label(0));
+        assert_eq!(idx.frequency(Item::label(0)), 1);
+    }
+}

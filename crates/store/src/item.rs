@@ -1,0 +1,268 @@
+//! Interned items: the universal element of annotated transactions.
+//!
+//! A tuple in an annotated relation (paper Definition 4.1) carries *data
+//! values* and *annotations*; generalization (§4.1) adds a third population,
+//! *concept labels*. All three are interned into a single 32-bit [`Item`]
+//! with a 2-bit namespace tag, so transactions, itemsets, and rules are flat
+//! integer slices with no string handling on the hot path.
+//!
+//! The tag occupies the top bits, which makes plain integer ordering sort
+//! data values before raw annotations before labels — exactly the layout the
+//! miner wants (LHS data prefix, annotation suffix).
+
+use crate::fxhash::FxHashMap;
+use anno_semiring::Var;
+
+/// The namespace an item belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ItemKind {
+    /// A data value (cell content) — Definition 4.1's `x_i`.
+    Data = 0,
+    /// A raw annotation — Definition 4.1's `a_j`.
+    Annotation = 1,
+    /// A generalization concept label (§4.1), e.g. "Invalidation".
+    Label = 2,
+}
+
+impl ItemKind {
+    /// All namespaces, in tag order.
+    pub const ALL: [ItemKind; 3] = [ItemKind::Data, ItemKind::Annotation, ItemKind::Label];
+}
+
+const TAG_SHIFT: u32 = 30;
+const INDEX_MASK: u32 = (1 << TAG_SHIFT) - 1;
+
+/// An interned item: a data value, raw annotation, or concept label.
+///
+/// At most `2^30` distinct names per namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Item(u32);
+
+impl Item {
+    /// Construct an item from a namespace and dense index.
+    pub fn new(kind: ItemKind, index: u32) -> Item {
+        assert!(index <= INDEX_MASK, "item index overflow: {index}");
+        Item(((kind as u32) << TAG_SHIFT) | index)
+    }
+
+    /// A data-value item.
+    pub fn data(index: u32) -> Item {
+        Item::new(ItemKind::Data, index)
+    }
+
+    /// A raw-annotation item.
+    pub fn annotation(index: u32) -> Item {
+        Item::new(ItemKind::Annotation, index)
+    }
+
+    /// A concept-label item.
+    pub fn label(index: u32) -> Item {
+        Item::new(ItemKind::Label, index)
+    }
+
+    /// The namespace of this item.
+    pub fn kind(self) -> ItemKind {
+        match self.0 >> TAG_SHIFT {
+            0 => ItemKind::Data,
+            1 => ItemKind::Annotation,
+            2 => ItemKind::Label,
+            tag => unreachable!("corrupt item tag {tag}"),
+        }
+    }
+
+    /// The dense index within the namespace.
+    pub fn index(self) -> u32 {
+        self.0 & INDEX_MASK
+    }
+
+    /// `true` iff this is a data value.
+    pub fn is_data(self) -> bool {
+        self.kind() == ItemKind::Data
+    }
+
+    /// `true` iff this is a raw annotation or a concept label — the
+    /// populations that may appear on the R.H.S. of the paper's rules.
+    pub fn is_annotation_like(self) -> bool {
+        !self.is_data()
+    }
+
+    /// The raw tagged representation (stable across runs for equal interns).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstruct from [`Item::raw`].
+    pub fn from_raw(raw: u32) -> Item {
+        let item = Item(raw);
+        let _ = item.kind(); // validate tag
+        item
+    }
+
+    /// The provenance variable standing for this item in semiring-land.
+    pub fn as_var(self) -> Var {
+        Var(self.0)
+    }
+
+    /// Inverse of [`Item::as_var`].
+    pub fn from_var(v: Var) -> Item {
+        Item::from_raw(v.0)
+    }
+}
+
+/// Bidirectional name ↔ [`Item`] interner, one table per namespace.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    names: [Vec<String>; 3],
+    lookup: [FxHashMap<String, u32>; 3],
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Intern `name` in `kind`'s namespace, returning the (new or existing)
+    /// item.
+    pub fn intern(&mut self, kind: ItemKind, name: &str) -> Item {
+        let ns = kind as usize;
+        if let Some(&idx) = self.lookup[ns].get(name) {
+            return Item::new(kind, idx);
+        }
+        let idx = u32::try_from(self.names[ns].len()).expect("vocabulary overflow");
+        self.names[ns].push(name.to_owned());
+        self.lookup[ns].insert(name.to_owned(), idx);
+        Item::new(kind, idx)
+    }
+
+    /// Intern a data value.
+    pub fn data(&mut self, name: &str) -> Item {
+        self.intern(ItemKind::Data, name)
+    }
+
+    /// Intern a raw annotation.
+    pub fn annotation(&mut self, name: &str) -> Item {
+        self.intern(ItemKind::Annotation, name)
+    }
+
+    /// Intern a concept label.
+    pub fn label(&mut self, name: &str) -> Item {
+        self.intern(ItemKind::Label, name)
+    }
+
+    /// Look up an existing item by name without interning.
+    pub fn get(&self, kind: ItemKind, name: &str) -> Option<Item> {
+        self.lookup[kind as usize]
+            .get(name)
+            .map(|&idx| Item::new(kind, idx))
+    }
+
+    /// The name of an item. Panics on an item from a different vocabulary
+    /// with an out-of-range index.
+    pub fn name(&self, item: Item) -> &str {
+        &self.names[item.kind() as usize][item.index() as usize]
+    }
+
+    /// Number of interned names in a namespace.
+    pub fn count(&self, kind: ItemKind) -> usize {
+        self.names[kind as usize].len()
+    }
+
+    /// Iterate all items of a namespace in interning order.
+    pub fn items(&self, kind: ItemKind) -> impl Iterator<Item = Item> + '_ {
+        (0..self.count(kind) as u32).map(move |i| Item::new(kind, i))
+    }
+
+    /// Render a slice of items as a human-readable list.
+    pub fn render(&self, items: &[Item]) -> String {
+        let mut out = String::new();
+        for (i, &item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(self.name(item));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_layout_orders_namespaces() {
+        let d = Item::data(1000);
+        let a = Item::annotation(0);
+        let l = Item::label(0);
+        assert!(d < a && a < l, "data < annotation < label");
+        assert_eq!(d.kind(), ItemKind::Data);
+        assert_eq!(a.kind(), ItemKind::Annotation);
+        assert_eq!(l.kind(), ItemKind::Label);
+        assert_eq!(d.index(), 1000);
+    }
+
+    #[test]
+    fn annotation_like_covers_annotations_and_labels() {
+        assert!(!Item::data(1).is_annotation_like());
+        assert!(Item::annotation(1).is_annotation_like());
+        assert!(Item::label(1).is_annotation_like());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn index_overflow_is_rejected() {
+        let _ = Item::data(1 << 30);
+    }
+
+    #[test]
+    fn raw_and_var_roundtrip() {
+        let a = Item::annotation(77);
+        assert_eq!(Item::from_raw(a.raw()), a);
+        assert_eq!(Item::from_var(a.as_var()), a);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a1 = v.annotation("Annot_1");
+        let a2 = v.annotation("Annot_1");
+        assert_eq!(a1, a2);
+        assert_eq!(v.count(ItemKind::Annotation), 1);
+        assert_eq!(v.name(a1), "Annot_1");
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let mut v = Vocabulary::new();
+        let d = v.data("42");
+        let a = v.annotation("42");
+        assert_ne!(d, a);
+        assert_eq!(v.name(d), "42");
+        assert_eq!(v.name(a), "42");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.get(ItemKind::Data, "x"), None);
+        let d = v.data("x");
+        assert_eq!(v.get(ItemKind::Data, "x"), Some(d));
+    }
+
+    #[test]
+    fn items_iterates_in_interning_order() {
+        let mut v = Vocabulary::new();
+        let a = v.annotation("a");
+        let b = v.annotation("b");
+        assert_eq!(v.items(ItemKind::Annotation).collect::<Vec<_>>(), vec![a, b]);
+    }
+
+    #[test]
+    fn render_joins_names() {
+        let mut v = Vocabulary::new();
+        let x = v.data("28");
+        let a = v.annotation("Annot_1");
+        assert_eq!(v.render(&[x, a]), "28, Annot_1");
+    }
+}

@@ -1,0 +1,59 @@
+//! Annotated-relation storage for the `annomine` workspace.
+//!
+//! This crate is the database substrate beneath the association-rule miner
+//! (`anno-mine`). It implements everything the paper's system needs from
+//! its storage layer, plus the workload tooling the evaluation requires:
+//!
+//! * [`item`] — interned [`Item`](item::Item)s and the
+//!   [`Vocabulary`](item::Vocabulary): data values, raw annotations, and
+//!   generalization labels in one tagged 32-bit space;
+//! * [`tuple`] / [`relation`] — annotated tuples (Definition 4.1) and the
+//!   [`AnnotatedRelation`](relation::AnnotatedRelation) with liveness
+//!   tracking and consistent mutation under the paper's three evolution
+//!   cases (plus deletion, the paper's future-work item);
+//! * [`index`] — the annotation inverted index of §4.3, backed by [`bitset`];
+//! * [`generalize`] — concept taxonomies and the extended annotated
+//!   database of §4.1 (Figs. 8–10), including multi-level hierarchies;
+//! * [`textio`] — the paper's text formats (Fig. 4 datasets, Fig. 14
+//!   annotation batches) — and [`snapshot`], the exact persistence format
+//!   (tombstones, labels, and interning order preserved);
+//! * [`generate`] — reproducible synthetic workloads with planted ground
+//!   truth, standing in for the paper's unpublished ≈8000-tuple dataset;
+//! * [`algebra`] — provenance-propagating relational algebra over any
+//!   semiring from `anno-semiring`, bridging annotated relations into the
+//!   Green–Karvounarakis–Tannen framework;
+//! * [`fxhash`] — the integer-keyed hash maps used throughout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod bitset;
+pub mod fxhash;
+pub mod generalize;
+pub mod generate;
+pub mod index;
+pub mod item;
+pub mod relation;
+pub mod snapshot;
+pub mod textio;
+pub mod tuple;
+
+pub use algebra::KRelation;
+pub use bitset::BitSet;
+pub use generalize::{keyword_rule, parse_rules, taxonomy_from_rules, GeneralizationRule, Taxonomy};
+pub use generate::{
+    generate, hide_annotations, random_annotated_tuples, random_annotation_batch,
+    random_unannotated_tuples, GeneratorConfig, PlantedRule, SyntheticDataset,
+};
+pub use index::AnnotationIndex;
+pub use item::{Item, ItemKind, Vocabulary};
+pub use relation::{AnnotatedRelation, AnnotationDelta, AnnotationUpdate};
+pub use snapshot::{
+    read_snapshot, snapshot_from_string, snapshot_to_string, write_snapshot,
+};
+pub use textio::{
+    dataset_to_string, format_annotation_batch, format_tuple, parse_annotation_batch,
+    parse_dataset, parse_tuple_line, read_dataset, write_dataset, ParseError,
+};
+pub use tuple::{Tuple, TupleId};

@@ -1,0 +1,357 @@
+//! The annotated relation: tuple storage plus maintained indexes.
+//!
+//! [`AnnotatedRelation`] is the concrete realisation of paper Definition 4.1
+//! and the object every other layer operates on. It owns the
+//! [`Vocabulary`], the tuple store, the liveness bitmap (tuple deletion is
+//! the paper's future-work item, implemented here), and the
+//! [`AnnotationIndex`], and keeps them consistent under the three evolution
+//! cases of §4.3:
+//!
+//! * **Case 1** — [`AnnotatedRelation::extend`] with annotated tuples;
+//! * **Case 2** — [`AnnotatedRelation::extend`] with un-annotated tuples;
+//! * **Case 3** — [`AnnotatedRelation::apply_annotation_batch`], which
+//!   returns the *effective* [`AnnotationDelta`] (duplicates and dead
+//!   targets filtered) that incremental maintenance consumes.
+
+use crate::bitset::BitSet;
+use crate::index::AnnotationIndex;
+use crate::item::{Item, Vocabulary};
+use crate::tuple::{Tuple, TupleId};
+
+/// One annotation addition: attach `annotation` to `tuple`.
+///
+/// This is the in-memory form of a Fig. 14 batch line (`150: Annot_3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnotationUpdate {
+    /// The tuple to annotate.
+    pub tuple: TupleId,
+    /// The annotation-like item to attach.
+    pub annotation: Item,
+}
+
+/// The effective result of applying an annotation batch: only the updates
+/// that actually changed the relation (targets alive, annotation not already
+/// present), in application order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnnotationDelta {
+    /// The updates that took effect.
+    pub added: Vec<AnnotationUpdate>,
+}
+
+impl AnnotationDelta {
+    /// `true` iff the batch changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+    }
+
+    /// Number of effective updates.
+    pub fn len(&self) -> usize {
+        self.added.len()
+    }
+
+    /// The distinct annotations introduced by this delta, sorted.
+    pub fn distinct_annotations(&self) -> Vec<Item> {
+        let mut anns: Vec<Item> = self.added.iter().map(|u| u.annotation).collect();
+        anns.sort_unstable();
+        anns.dedup();
+        anns
+    }
+
+    /// The distinct tuples touched by this delta, sorted.
+    pub fn touched_tuples(&self) -> Vec<TupleId> {
+        let mut tids: Vec<TupleId> = self.added.iter().map(|u| u.tuple).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids
+    }
+}
+
+/// An annotated relation (Definition 4.1) with maintained indexes.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedRelation {
+    name: String,
+    vocab: Vocabulary,
+    tuples: Vec<Tuple>,
+    alive: BitSet,
+    live_count: usize,
+    index: AnnotationIndex,
+}
+
+impl AnnotatedRelation {
+    /// An empty relation called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        AnnotatedRelation {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shared access to the vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Mutable access to the vocabulary (for interning while loading).
+    pub fn vocab_mut(&mut self) -> &mut Vocabulary {
+        &mut self.vocab
+    }
+
+    /// The annotation inverted index.
+    pub fn index(&self) -> &AnnotationIndex {
+        &self.index
+    }
+
+    /// Number of **live** tuples — the `|D|` denominator of every support
+    /// computation.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// `true` iff no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Total slots ever allocated (live + deleted); tuple ids range over
+    /// `0..slot_count`.
+    pub fn slot_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Insert one tuple, returning its id.
+    pub fn insert(&mut self, tuple: Tuple) -> TupleId {
+        let tid = TupleId(u32::try_from(self.tuples.len()).expect("relation overflow"));
+        for &ann in tuple.annotations() {
+            self.index.insert(tid, ann);
+        }
+        self.alive.insert(tid.0);
+        self.live_count += 1;
+        self.tuples.push(tuple);
+        tid
+    }
+
+    /// Insert a batch of tuples (Cases 1 and 2 of §4.3), returning the ids
+    /// assigned, in order.
+    pub fn extend<I: IntoIterator<Item = Tuple>>(&mut self, tuples: I) -> Vec<TupleId> {
+        tuples.into_iter().map(|t| self.insert(t)).collect()
+    }
+
+    /// The tuple with id `tid`, if it exists and is live.
+    pub fn tuple(&self, tid: TupleId) -> Option<&Tuple> {
+        if self.alive.contains(tid.0) {
+            self.tuples.get(tid.0 as usize)
+        } else {
+            None
+        }
+    }
+
+    /// `true` iff `tid` refers to a live tuple.
+    pub fn is_live(&self, tid: TupleId) -> bool {
+        self.alive.contains(tid.0)
+    }
+
+    /// Iterate live `(id, tuple)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> + '_ {
+        self.alive
+            .iter()
+            .map(move |i| (TupleId(i), &self.tuples[i as usize]))
+    }
+
+    /// Iterate live tuples carrying annotation `ann` (via the index).
+    pub fn tuples_with(&self, ann: Item) -> impl Iterator<Item = (TupleId, &Tuple)> + '_ {
+        self.index
+            .tuples_with(ann)
+            .map(move |tid| (tid, &self.tuples[tid.0 as usize]))
+    }
+
+    /// Attach `ann` to `tid`. Returns `true` if the relation changed.
+    pub fn add_annotation(&mut self, tid: TupleId, ann: Item) -> bool {
+        if !self.alive.contains(tid.0) {
+            return false;
+        }
+        let added = self.tuples[tid.0 as usize].add_annotation(ann);
+        if added {
+            self.index.insert(tid, ann);
+        }
+        added
+    }
+
+    /// Apply an annotation batch (Case 3 of §4.3, Fig. 14), returning the
+    /// effective delta for incremental rule maintenance.
+    pub fn apply_annotation_batch(
+        &mut self,
+        updates: impl IntoIterator<Item = AnnotationUpdate>,
+    ) -> AnnotationDelta {
+        let mut delta = AnnotationDelta::default();
+        for u in updates {
+            if self.add_annotation(u.tuple, u.annotation) {
+                delta.added.push(u);
+            }
+        }
+        delta
+    }
+
+    /// Detach `ann` from `tid` (the paper's future-work deletion case).
+    /// Returns `true` if the relation changed.
+    pub fn remove_annotation(&mut self, tid: TupleId, ann: Item) -> bool {
+        if !self.alive.contains(tid.0) {
+            return false;
+        }
+        let removed = self.tuples[tid.0 as usize].remove_annotation(ann);
+        if removed {
+            self.index.remove(tid, ann);
+        }
+        removed
+    }
+
+    /// Delete a tuple (tombstone; ids of other tuples are unaffected).
+    /// Returns `true` if the tuple was live.
+    pub fn delete_tuple(&mut self, tid: TupleId) -> bool {
+        if !self.alive.remove(tid.0) {
+            return false;
+        }
+        self.live_count -= 1;
+        for &ann in self.tuples[tid.0 as usize].annotations() {
+            self.index.remove(tid, ann);
+        }
+        true
+    }
+
+    /// Validate internal consistency (index ↔ tuples ↔ liveness). Intended
+    /// for tests and debug assertions; O(total items).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut live = 0usize;
+        for (tid, tuple) in self.tuples.iter().enumerate() {
+            let tid = TupleId(tid as u32);
+            if !self.alive.contains(tid.0) {
+                continue;
+            }
+            live += 1;
+            for &ann in tuple.annotations() {
+                let posted = self
+                    .index
+                    .postings(ann)
+                    .is_some_and(|b| b.contains(tid.0));
+                if !posted {
+                    return Err(format!("annotation {ann:?} of {tid} missing from index"));
+                }
+            }
+        }
+        if live != self.live_count {
+            return Err(format!(
+                "live_count {} != actual {live}",
+                self.live_count
+            ));
+        }
+        for ann in self.index.annotations() {
+            for tid in self.index.tuples_with(ann) {
+                let ok = self
+                    .tuple(tid)
+                    .is_some_and(|t| t.contains(ann));
+                if !ok {
+                    return Err(format!("index points {ann:?} at {tid} which lacks it"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup(rel: &mut AnnotatedRelation, data: &[&str], anns: &[&str]) -> Tuple {
+        let data: Vec<Item> = data.iter().map(|d| rel.vocab_mut().data(d)).collect();
+        let anns: Vec<Item> = anns.iter().map(|a| rel.vocab_mut().annotation(a)).collect();
+        Tuple::new(data, anns)
+    }
+
+    #[test]
+    fn insert_maintains_index_and_count() {
+        let mut rel = AnnotatedRelation::new("R");
+        let t0 = tup(&mut rel, &["1", "2"], &["Annot_1"]);
+        let t1 = tup(&mut rel, &["2"], &[]);
+        let ids = rel.extend([t0, t1]);
+        assert_eq!(ids, vec![TupleId(0), TupleId(1)]);
+        assert_eq!(rel.len(), 2);
+        let a1 = rel.vocab().get(crate::item::ItemKind::Annotation, "Annot_1").unwrap();
+        assert_eq!(rel.index().frequency(a1), 1);
+        rel.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn annotation_batch_filters_duplicates_and_dead_targets() {
+        let mut rel = AnnotatedRelation::new("R");
+        let t0 = tup(&mut rel, &["1"], &["A"]);
+        let t1 = tup(&mut rel, &["2"], &[]);
+        rel.extend([t0, t1]);
+        let a = rel.vocab_mut().annotation("A");
+        let b = rel.vocab_mut().annotation("B");
+        rel.delete_tuple(TupleId(1));
+        let delta = rel.apply_annotation_batch([
+            AnnotationUpdate { tuple: TupleId(0), annotation: a }, // duplicate
+            AnnotationUpdate { tuple: TupleId(0), annotation: b }, // effective
+            AnnotationUpdate { tuple: TupleId(1), annotation: b }, // dead target
+            AnnotationUpdate { tuple: TupleId(9), annotation: b }, // out of range
+        ]);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta.added[0].annotation, b);
+        assert_eq!(delta.distinct_annotations(), vec![b]);
+        assert_eq!(delta.touched_tuples(), vec![TupleId(0)]);
+        rel.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn delete_tuple_tombstones_and_unindexes() {
+        let mut rel = AnnotatedRelation::new("R");
+        let t0 = tup(&mut rel, &["1"], &["A"]);
+        let t1 = tup(&mut rel, &["2"], &["A"]);
+        rel.extend([t0, t1]);
+        let a = rel.vocab_mut().annotation("A");
+        assert!(rel.delete_tuple(TupleId(0)));
+        assert!(!rel.delete_tuple(TupleId(0)));
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.slot_count(), 2);
+        assert!(rel.tuple(TupleId(0)).is_none());
+        assert!(rel.tuple(TupleId(1)).is_some());
+        assert_eq!(rel.index().frequency(a), 1);
+        assert_eq!(rel.iter().count(), 1);
+        rel.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn remove_annotation_updates_index() {
+        let mut rel = AnnotatedRelation::new("R");
+        let t0 = tup(&mut rel, &["1"], &["A"]);
+        rel.insert(t0);
+        let a = rel.vocab_mut().annotation("A");
+        assert!(rel.remove_annotation(TupleId(0), a));
+        assert!(!rel.remove_annotation(TupleId(0), a));
+        assert_eq!(rel.index().frequency(a), 0);
+        rel.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn tuples_with_walks_the_index() {
+        let mut rel = AnnotatedRelation::new("R");
+        let t0 = tup(&mut rel, &["1"], &["A"]);
+        let t1 = tup(&mut rel, &["2"], &[]);
+        let t2 = tup(&mut rel, &["3"], &["A"]);
+        rel.extend([t0, t1, t2]);
+        let a = rel.vocab_mut().annotation("A");
+        let hits: Vec<TupleId> = rel.tuples_with(a).map(|(tid, _)| tid).collect();
+        assert_eq!(hits, vec![TupleId(0), TupleId(2)]);
+    }
+
+    #[test]
+    fn consistency_check_catches_corruption() {
+        let rel = AnnotatedRelation::new("R");
+        assert!(rel.check_consistency().is_ok());
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the storage substrate: model-checked bitsets,
+//! merge-walk membership, index/tuple/liveness consistency under random
+//! mutation sequences, and text-format round-trips.
+
+use std::collections::BTreeSet;
+
+use anno_store::{
+    dataset_to_string, parse_dataset, AnnotatedRelation, BitSet, Item, Tuple, TupleId,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// BitSet vs BTreeSet model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum BitOp {
+    Insert(u32),
+    Remove(u32),
+    Contains(u32),
+}
+
+fn arb_bitop() -> impl Strategy<Value = BitOp> {
+    prop_oneof![
+        (0u32..512).prop_map(BitOp::Insert),
+        (0u32..512).prop_map(BitOp::Remove),
+        (0u32..512).prop_map(BitOp::Contains),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bitset_behaves_like_btreeset(ops in proptest::collection::vec(arb_bitop(), 0..200)) {
+        let mut bits = BitSet::new();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for op in ops {
+            match op {
+                BitOp::Insert(i) => prop_assert_eq!(bits.insert(i), model.insert(i)),
+                BitOp::Remove(i) => prop_assert_eq!(bits.remove(i), model.remove(&i)),
+                BitOp::Contains(i) => prop_assert_eq!(bits.contains(i), model.contains(&i)),
+            }
+            prop_assert_eq!(bits.len(), model.len());
+        }
+        prop_assert_eq!(bits.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bitset_set_algebra_matches_model(
+        a in proptest::collection::btree_set(0u32..256, 0..64),
+        b in proptest::collection::btree_set(0u32..256, 0..64),
+    ) {
+        let sa: BitSet = a.iter().copied().collect();
+        let sb: BitSet = b.iter().copied().collect();
+        prop_assert_eq!(sa.intersection_count(&sb), a.intersection(&b).count());
+        prop_assert_eq!(
+            sa.intersection(&sb).iter().collect::<Vec<_>>(),
+            a.intersection(&b).copied().collect::<Vec<_>>()
+        );
+        let mut su = sa.clone();
+        su.union_with(&sb);
+        prop_assert_eq!(
+            su.iter().collect::<Vec<_>>(),
+            a.union(&b).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuple membership vs naive model.
+// ---------------------------------------------------------------------
+
+fn arb_items(max: u32, len: usize) -> impl Strategy<Value = Vec<Item>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..max).prop_map(Item::data),
+            (0..max / 2).prop_map(Item::annotation),
+        ],
+        0..len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn contains_all_matches_naive_subset(
+        tuple_items in arb_items(40, 12),
+        pattern_items in arb_items(40, 6),
+    ) {
+        let tuple = Tuple::from_items(tuple_items);
+        let mut pattern = pattern_items;
+        pattern.sort_unstable();
+        pattern.dedup();
+        let naive = pattern.iter().all(|i| tuple.items().contains(i));
+        prop_assert_eq!(tuple.contains_all(&pattern), naive);
+    }
+
+    #[test]
+    fn tuple_partition_is_total_and_disjoint(items in arb_items(40, 12)) {
+        let tuple = Tuple::from_items(items);
+        prop_assert_eq!(tuple.data().len() + tuple.annotations().len(), tuple.items().len());
+        prop_assert!(tuple.data().iter().all(|i| i.is_data()));
+        prop_assert!(tuple.annotations().iter().all(|i| i.is_annotation_like()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relation mutations keep every invariant.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum RelOp {
+    Insert { data: Vec<u8>, anns: Vec<u8> },
+    AddAnn { slot: u8, ann: u8 },
+    RemoveAnn { slot: u8, ann: u8 },
+    Delete { slot: u8 },
+}
+
+fn arb_relop() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        (
+            proptest::collection::vec(0u8..20, 1..4),
+            proptest::collection::vec(0u8..6, 0..3),
+        )
+            .prop_map(|(data, anns)| RelOp::Insert { data, anns }),
+        (any::<u8>(), 0u8..6).prop_map(|(slot, ann)| RelOp::AddAnn { slot, ann }),
+        (any::<u8>(), 0u8..6).prop_map(|(slot, ann)| RelOp::RemoveAnn { slot, ann }),
+        any::<u8>().prop_map(|slot| RelOp::Delete { slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn relation_invariants_hold_under_random_mutations(
+        ops in proptest::collection::vec(arb_relop(), 0..60),
+    ) {
+        let mut rel = AnnotatedRelation::new("prop");
+        // Pre-intern the vocabulary.
+        let data: Vec<Item> = (0..20).map(|i| rel.vocab_mut().data(&format!("{i}"))).collect();
+        let anns: Vec<Item> =
+            (0..6).map(|i| rel.vocab_mut().annotation(&format!("A{i}"))).collect();
+        for op in ops {
+            match op {
+                RelOp::Insert { data: d, anns: a } => {
+                    rel.insert(Tuple::new(
+                        d.into_iter().map(|i| data[i as usize]),
+                        a.into_iter().map(|i| anns[i as usize]),
+                    ));
+                }
+                RelOp::AddAnn { slot, ann } => {
+                    if rel.slot_count() > 0 {
+                        let tid = TupleId(u32::from(slot) % rel.slot_count() as u32);
+                        rel.add_annotation(tid, anns[ann as usize]);
+                    }
+                }
+                RelOp::RemoveAnn { slot, ann } => {
+                    if rel.slot_count() > 0 {
+                        let tid = TupleId(u32::from(slot) % rel.slot_count() as u32);
+                        rel.remove_annotation(tid, anns[ann as usize]);
+                    }
+                }
+                RelOp::Delete { slot } => {
+                    if rel.slot_count() > 0 {
+                        let tid = TupleId(u32::from(slot) % rel.slot_count() as u32);
+                        rel.delete_tuple(tid);
+                    }
+                }
+            }
+            rel.check_consistency().map_err(TestCaseError::fail)?;
+        }
+        // Index frequencies equal brute-force scans.
+        for &a in &anns {
+            let scanned = rel.iter().filter(|(_, t)| t.contains(a)).count();
+            prop_assert_eq!(rel.index().frequency(a), scanned);
+        }
+        // co_occurrence equals brute force for one pair.
+        let scanned = rel
+            .iter()
+            .filter(|(_, t)| t.contains(anns[0]) && t.contains(anns[1]))
+            .count();
+        prop_assert_eq!(rel.index().co_occurrence(&[anns[0], anns[1]]), scanned);
+    }
+
+    #[test]
+    fn datasets_roundtrip_through_fig4_text(
+        tuples in proptest::collection::vec(
+            (
+                proptest::collection::btree_set(0u32..30, 1..5),
+                proptest::collection::btree_set(0u32..5, 0..3),
+            ),
+            1..20,
+        ),
+    ) {
+        let mut rel = AnnotatedRelation::new("r");
+        for (data, anns) in &tuples {
+            let d: Vec<Item> = data.iter().map(|i| rel.vocab_mut().data(&i.to_string())).collect();
+            let a: Vec<Item> =
+                anns.iter().map(|i| rel.vocab_mut().annotation(&format!("Annot_{i}"))).collect();
+            rel.insert(Tuple::new(d, a));
+        }
+        let text = dataset_to_string(&rel);
+        let rel2 = parse_dataset("r", &text).unwrap();
+        prop_assert_eq!(rel.len(), rel2.len());
+        let text2 = dataset_to_string(&rel2);
+        prop_assert_eq!(text, text2, "second round-trip must be a fixpoint");
+    }
+}

