@@ -29,7 +29,13 @@ fn fig16(c: &mut Criterion) {
         let setup = fig16_setup(1, batch_size);
         group.bench_function(format!("case3_incremental_{batch_size}"), |b| {
             b.iter_batched(
-                || (setup.miner.clone(), setup.relation.clone(), setup.batches[0].clone()),
+                || {
+                    (
+                        setup.miner.clone(),
+                        setup.relation.clone(),
+                        setup.batches[0].clone(),
+                    )
+                },
                 |(mut miner, mut rel, batch)| miner.apply_annotations(&mut rel, batch),
                 BatchSize::LargeInput,
             )
@@ -43,7 +49,13 @@ fn fig16(c: &mut Criterion) {
     let annotated = random_annotated_tuples(&mut rel_for_gen, &mut rng, 200, 8);
     group.bench_function("case1_incremental_200", |b| {
         b.iter_batched(
-            || (setup.miner.clone(), setup.relation.clone(), annotated.clone()),
+            || {
+                (
+                    setup.miner.clone(),
+                    setup.relation.clone(),
+                    annotated.clone(),
+                )
+            },
             |(mut miner, mut rel, tuples)| miner.add_annotated_tuples(&mut rel, tuples),
             BatchSize::LargeInput,
         )

@@ -18,7 +18,10 @@ fn scalability(c: &mut Criterion) {
         let rel = ds.relation;
         let miner = IncrementalMiner::mine_initial(
             &rel,
-            IncrementalConfig { thresholds: paper_thresholds(), ..Default::default() },
+            IncrementalConfig {
+                thresholds: paper_thresholds(),
+                ..Default::default()
+            },
         );
         let mut rng = StdRng::seed_from_u64(7);
         let batch = random_annotation_batch(&rel, &mut rng, 200);

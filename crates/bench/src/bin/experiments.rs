@@ -95,21 +95,44 @@ fn e1_fig16() {
     let mut rel = ds.relation;
     let mut miner = IncrementalMiner::mine_initial(
         &rel,
-        IncrementalConfig { thresholds: paper_thresholds(), ..Default::default() },
+        IncrementalConfig {
+            thresholds: paper_thresholds(),
+            ..Default::default()
+        },
     );
     let mut rng = StdRng::seed_from_u64(0xF16);
-    println!("    db={} tuples, initial rules={}", rel.len(), miner.rules().len());
-    println!("    {:<28} {:>14} {:>14} {:>9}", "operation", "incremental", "full re-mine", "speedup");
-    for (label, batch_size) in [("case3 +100 annotations", 100), ("case3 +400 annotations", 400), ("case3 +800 annotations", 800)] {
+    println!(
+        "    db={} tuples, initial rules={}",
+        rel.len(),
+        miner.rules().len()
+    );
+    println!(
+        "    {:<28} {:>14} {:>14} {:>9}",
+        "operation", "incremental", "full re-mine", "speedup"
+    );
+    for (label, batch_size) in [
+        ("case3 +100 annotations", 100),
+        ("case3 +400 annotations", 400),
+        ("case3 +800 annotations", 800),
+    ] {
         let batch = random_annotation_batch(&rel, &mut rng, batch_size);
         let (_, inc) = time_ms(|| miner.apply_annotations(&mut rel, batch));
         let full = median_ms(3, || {
             mine_rules(&rel, &paper_thresholds());
         });
         assert!(miner.verify_against_remine(&rel), "E1 exactness violated");
-        println!("    {:<28} {:>11.2} ms {:>11.1} ms {:>8.1}x", label, inc, full, full / inc.max(1e-9));
+        println!(
+            "    {:<28} {:>11.2} ms {:>11.1} ms {:>8.1}x",
+            label,
+            inc,
+            full,
+            full / inc.max(1e-9)
+        );
     }
-    for (label, annotated) in [("case1 +200 annotated", true), ("case2 +200 un-annotated", false)] {
+    for (label, annotated) in [
+        ("case1 +200 annotated", true),
+        ("case2 +200 un-annotated", false),
+    ] {
         let tuples = if annotated {
             random_annotated_tuples(&mut rel, &mut rng, 200, 8)
         } else {
@@ -126,9 +149,17 @@ fn e1_fig16() {
             mine_rules(&rel, &paper_thresholds());
         });
         assert!(miner.verify_against_remine(&rel), "E1 exactness violated");
-        println!("    {:<28} {:>11.2} ms {:>11.1} ms {:>8.1}x", label, inc, full, full / inc.max(1e-9));
+        println!(
+            "    {:<28} {:>11.2} ms {:>11.1} ms {:>8.1}x",
+            label,
+            inc,
+            full,
+            full / inc.max(1e-9)
+        );
     }
-    println!("    shape check: incremental ≪ full re-mine for every case ✓ (rules identical each step)");
+    println!(
+        "    shape check: incremental ≪ full re-mine for every case ✓ (rules identical each step)"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -185,7 +216,11 @@ fn e3_fig11_semantics() {
         let thresholds = Thresholds::new(0.15, 0.5);
         let mut miner = IncrementalMiner::mine_initial(
             &rel,
-            IncrementalConfig { thresholds, retention: 0.4, ..Default::default() },
+            IncrementalConfig {
+                thresholds,
+                retention: 0.4,
+                ..Default::default()
+            },
         );
         let before = miner.rules().clone();
         let mut rng = StdRng::seed_from_u64(1000 + seed);
@@ -210,7 +245,9 @@ fn e3_fig11_semantics() {
         // candidates so threshold-crossing does not hide direction info).
         let after_all = mine_rules(&rel, &Thresholds::new(0.0, 0.0));
         for rule in before.rules() {
-            let Some(now) = after_all.get(&rule.lhs, rule.rhs) else { continue };
+            let Some(now) = after_all.get(&rule.lhs, rule.rhs) else {
+                continue;
+            };
             let kind = match rule.kind() {
                 RuleKind::DataToAnnotation => "d2a",
                 RuleKind::AnnotationToAnnotation => "a2a",
@@ -220,7 +257,10 @@ fn e3_fig11_semantics() {
         }
     }
 
-    println!("    {:<22} {:<5} {:<3} {:>12}", "case", "kind", "", "directions");
+    println!(
+        "    {:<22} {:<5} {:<3} {:>12}",
+        "case", "kind", "", "directions"
+    );
     for ((case, kind, metric), [up, eq, down]) in &observed {
         let dirs: String = [("↑", up), ("=", eq), ("↓", down)]
             .iter()
@@ -233,16 +273,40 @@ fn e3_fig11_semantics() {
     let never = |case: &str, kind: &str, metric: &str, dir: usize| {
         observed
             .get(&(case, kind, metric))
-            .map_or(true, |slots| !slots[dir])
+            .is_none_or(|slots| !slots[dir])
     };
-    assert!(never("case2 +un-annotated", "d2a", "S", 0), "case2 d2a support rose");
-    assert!(never("case2 +un-annotated", "d2a", "C", 0), "case2 d2a confidence rose");
-    assert!(never("case2 +un-annotated", "a2a", "S", 0), "case2 a2a support rose");
-    assert!(never("case2 +un-annotated", "a2a", "C", 0), "case2 a2a confidence changed");
-    assert!(never("case2 +un-annotated", "a2a", "C", 2), "case2 a2a confidence changed");
-    assert!(never("case3 +annotations", "d2a", "S", 2), "case3 d2a support fell");
-    assert!(never("case3 +annotations", "d2a", "C", 2), "case3 d2a confidence fell");
-    assert!(never("case3 +annotations", "a2a", "S", 2), "case3 a2a support fell");
+    assert!(
+        never("case2 +un-annotated", "d2a", "S", 0),
+        "case2 d2a support rose"
+    );
+    assert!(
+        never("case2 +un-annotated", "d2a", "C", 0),
+        "case2 d2a confidence rose"
+    );
+    assert!(
+        never("case2 +un-annotated", "a2a", "S", 0),
+        "case2 a2a support rose"
+    );
+    assert!(
+        never("case2 +un-annotated", "a2a", "C", 0),
+        "case2 a2a confidence changed"
+    );
+    assert!(
+        never("case2 +un-annotated", "a2a", "C", 2),
+        "case2 a2a confidence changed"
+    );
+    assert!(
+        never("case3 +annotations", "d2a", "S", 2),
+        "case3 d2a support fell"
+    );
+    assert!(
+        never("case3 +annotations", "d2a", "C", 2),
+        "case3 d2a confidence fell"
+    );
+    assert!(
+        never("case3 +annotations", "a2a", "S", 2),
+        "case3 a2a support fell"
+    );
     println!("    semantics check: all forbidden directions absent ✓ (Fig. 11 reproduced)");
 }
 
@@ -256,7 +320,12 @@ fn e4_equivalence() {
         "\"the association rules resulting from both processes were identical\" (Cases 1-3)",
     );
     let trials = 25u32;
-    for (case, label) in [(0, "case1"), (1, "case2"), (2, "case3"), (3, "deletion (future work)")] {
+    for (case, label) in [
+        (0, "case1"),
+        (1, "case2"),
+        (2, "case3"),
+        (3, "deletion (future work)"),
+    ] {
         let mut identical = 0u32;
         for seed in 0..trials {
             let ds = generate(&GeneratorConfig::tiny(u64::from(seed) * 7 + case));
@@ -341,7 +410,9 @@ fn e6_generalization() {
     );
     // 8000 tuples; one latent concept split across 6 phrasings.
     let mut rel = AnnotatedRelation::new("fragmented");
-    let phrases: Vec<String> = (0..6).map(|i| format!("flagged invalid by curator {i}")).collect();
+    let phrases: Vec<String> = (0..6)
+        .map(|i| format!("flagged invalid by curator {i}"))
+        .collect();
     for i in 0..8000usize {
         let key = rel.vocab_mut().data(&format!("{}", 100 + i % 2));
         let val = rel.vocab_mut().data(&format!("{}", 200 + i % 5));
@@ -366,9 +437,15 @@ fn e6_generalization() {
         "    generalized mining: {:>3} rules in {gen_ms:.1} ms (extended DB + tautology filter)",
         gen_rules.len()
     );
-    assert!(raw_rules.is_empty(), "raw phrasings should fragment below threshold");
+    assert!(
+        raw_rules.is_empty(),
+        "raw phrasings should fragment below threshold"
+    );
     assert!(!gen_rules.is_empty(), "the concept rule must surface");
-    println!("    uplift check: raw 0 → generalized {} ✓", gen_rules.len());
+    println!(
+        "    uplift check: raw 0 → generalized {} ✓",
+        gen_rules.len()
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -403,7 +480,9 @@ fn e7_exploitation() {
             ms
         );
     }
-    println!("    shape check: high precision on planted correlations; recall bounded by rule coverage");
+    println!(
+        "    shape check: high precision on planted correlations; recall bounded by rule coverage"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -420,25 +499,37 @@ fn e8_ablations() {
     let alpha = 0.25;
 
     let tree = median_ms(3, || {
-        apriori(&transactions, alpha, &AprioriConfig {
-            mode: MiningMode::Annotated,
-            counting: CountingStrategy::HashTree,
-            max_len: None,
-        });
+        apriori(
+            &transactions,
+            alpha,
+            &AprioriConfig {
+                mode: MiningMode::Annotated,
+                counting: CountingStrategy::HashTree,
+                max_len: None,
+            },
+        );
     });
     let scan = median_ms(3, || {
-        apriori(&transactions, alpha, &AprioriConfig {
-            mode: MiningMode::Annotated,
-            counting: CountingStrategy::DirectScan,
-            max_len: None,
-        });
+        apriori(
+            &transactions,
+            alpha,
+            &AprioriConfig {
+                mode: MiningMode::Annotated,
+                counting: CountingStrategy::DirectScan,
+                max_len: None,
+            },
+        );
     });
     let par = median_ms(3, || {
-        apriori(&transactions, alpha, &AprioriConfig {
-            mode: MiningMode::Annotated,
-            counting: CountingStrategy::ParallelScan,
-            max_len: None,
-        });
+        apriori(
+            &transactions,
+            alpha,
+            &AprioriConfig {
+                mode: MiningMode::Annotated,
+                counting: CountingStrategy::ParallelScan,
+                max_len: None,
+            },
+        );
     });
     println!(
         "    counting:  hash tree {tree:>8.1} ms | direct scan {scan:>8.1} ms | parallel scan {par:>8.1} ms"
@@ -463,7 +554,10 @@ fn e8_ablations() {
     let (a1, _) = anns[0];
     let pattern = ItemSet::from_unsorted(ds.planted[0].lhs.clone());
     let indexed = median_ms(20, || {
-        let _ = rel.tuples_with(a1).filter(|(_, t)| pattern.matches(t)).count();
+        let _ = rel
+            .tuples_with(a1)
+            .filter(|(_, t)| pattern.matches(t))
+            .count();
     });
     let full = median_ms(20, || {
         let _ = rel
@@ -495,7 +589,10 @@ fn e9_scalability() {
         let mut rel = ds.relation;
         let mut miner = IncrementalMiner::mine_initial(
             &rel,
-            IncrementalConfig { thresholds: paper_thresholds(), ..Default::default() },
+            IncrementalConfig {
+                thresholds: paper_thresholds(),
+                ..Default::default()
+            },
         );
         let mut rng = StdRng::seed_from_u64(9);
         // Warm the memoized candidate tier so steady-state cost is measured.

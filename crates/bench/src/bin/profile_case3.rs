@@ -20,8 +20,7 @@ fn main() {
         setup.miner.table().len()
     );
     for (i, batch) in setup.batches.into_iter().enumerate() {
-        let (_, inc_ms) =
-            time_ms(|| setup.miner.apply_annotations(&mut setup.relation, batch));
+        let (_, inc_ms) = time_ms(|| setup.miner.apply_annotations(&mut setup.relation, batch));
         let (_, full_ms) = time_ms(|| mine_rules(&setup.relation, &paper_thresholds()));
         println!(
             "batch {i}: incremental {inc_ms:>8.2} ms | full re-mine {full_ms:>8.1} ms | table {} itemsets | {} discovered",

@@ -47,7 +47,10 @@ pub fn fig16_setup(batch_count: usize, batch_size: usize) -> Fig16Setup {
     let relation = ds.relation;
     let miner = IncrementalMiner::mine_initial(
         &relation,
-        IncrementalConfig { thresholds: paper_thresholds(), ..Default::default() },
+        IncrementalConfig {
+            thresholds: paper_thresholds(),
+            ..Default::default()
+        },
     );
     let mut rng = StdRng::seed_from_u64(0xBA7C);
     let mut batches = Vec::with_capacity(batch_count);
@@ -59,7 +62,11 @@ pub fn fig16_setup(batch_count: usize, batch_size: usize) -> Fig16Setup {
         scratch.apply_annotation_batch(batch.iter().copied());
         batches.push(batch);
     }
-    Fig16Setup { relation, miner, batches }
+    Fig16Setup {
+        relation,
+        miner,
+        batches,
+    }
 }
 
 /// Milliseconds spent in `f`.

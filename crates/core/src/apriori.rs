@@ -137,7 +137,9 @@ pub fn generate_candidates(
             group_start = i;
         }
         for a in &level[group_start..i] {
-            let Some(candidate) = a.join_prefix(&level[i]) else { continue };
+            let Some(candidate) = a.join_prefix(&level[i]) else {
+                continue;
+            };
             if !candidate.admitted_by(mode) {
                 continue;
             }
@@ -146,9 +148,9 @@ pub fn generate_candidates(
             // counted, and admissibility is downward-closed so an
             // inadmissible subset of an admissible candidate cannot occur;
             // the check is kept for Unrestricted completeness.
-            let all_frequent = candidate.sub_itemsets().all(|sub| {
-                level_set.contains(&sub) || frequent.contains(&sub)
-            });
+            let all_frequent = candidate
+                .sub_itemsets()
+                .all(|sub| level_set.contains(&sub) || frequent.contains(&sub));
             if all_frequent {
                 out.push(candidate);
             }
@@ -171,10 +173,7 @@ fn count_hash_tree(
 
 /// Count candidates by direct subset checks, bucketed by first item so each
 /// transaction only probes candidates that can possibly match.
-pub fn count_direct(
-    candidates: Vec<ItemSet>,
-    transactions: &[Transaction],
-) -> Vec<(ItemSet, u64)> {
+pub fn count_direct(candidates: Vec<ItemSet>, transactions: &[Transaction]) -> Vec<(ItemSet, u64)> {
     let mut by_first: anno_store::fxhash::FxHashMap<anno_store::Item, Vec<usize>> =
         Default::default();
     for (i, c) in candidates.iter().enumerate() {
@@ -185,7 +184,9 @@ pub fn count_direct(
     let mut counts = vec![0u64; candidates.len()];
     for t in transactions {
         for (pos, item) in t.iter().enumerate() {
-            let Some(bucket) = by_first.get(item) else { continue };
+            let Some(bucket) = by_first.get(item) else {
+                continue;
+            };
             for &ci in bucket {
                 if candidates[ci].is_subset_of(&t[pos..]) {
                     counts[ci] += 1;
@@ -227,7 +228,9 @@ pub fn count_parallel(
                     let mut counts = vec![0u64; candidates.len()];
                     for t in chunk {
                         for (pos, item) in t.iter().enumerate() {
-                            let Some(bucket) = by_first.get(item) else { continue };
+                            let Some(bucket) = by_first.get(item) else {
+                                continue;
+                            };
                             for &ci in bucket {
                                 if candidates[ci].is_subset_of(&t[pos..]) {
                                     counts[ci] += 1;
@@ -239,7 +242,10 @@ pub fn count_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("counter thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("counter thread"))
+            .collect()
     });
     let mut totals = vec![0u64; candidates.len()];
     for counts in chunk_counts {
@@ -304,11 +310,22 @@ mod tests {
             let tree = apriori(
                 &db,
                 0.25,
-                &AprioriConfig { mode, counting: CountingStrategy::HashTree, max_len: None },
+                &AprioriConfig {
+                    mode,
+                    counting: CountingStrategy::HashTree,
+                    max_len: None,
+                },
             );
             for counting in [CountingStrategy::DirectScan, CountingStrategy::ParallelScan] {
-                let other =
-                    apriori(&db, 0.25, &AprioriConfig { mode, counting, max_len: None });
+                let other = apriori(
+                    &db,
+                    0.25,
+                    &AprioriConfig {
+                        mode,
+                        counting,
+                        max_len: None,
+                    },
+                );
                 assert_eq!(tree.sorted(), other.sorted(), "{counting:?} diverges");
             }
         }
@@ -355,7 +372,10 @@ mod tests {
         let unrestricted = apriori(
             &db,
             0.5,
-            &AprioriConfig { mode: MiningMode::Unrestricted, ..Default::default() },
+            &AprioriConfig {
+                mode: MiningMode::Unrestricted,
+                ..Default::default()
+            },
         );
         assert!(unrestricted.contains(&ItemSet::from_unsorted(vec![d(1), a(1), a(2)])));
     }
@@ -366,7 +386,10 @@ mod tests {
         let f = apriori(
             &db,
             0.5,
-            &AprioriConfig { mode: MiningMode::DataToAnnotation, ..Default::default() },
+            &AprioriConfig {
+                mode: MiningMode::DataToAnnotation,
+                ..Default::default()
+            },
         );
         assert!(f.contains(&ItemSet::from_unsorted(vec![d(1), d(2)])));
         assert!(f.contains(&ItemSet::from_unsorted(vec![d(1), d(2), a(1)])));
@@ -401,7 +424,10 @@ mod tests {
         let f = apriori(
             &db,
             1.0,
-            &AprioriConfig { mode: MiningMode::Unrestricted, ..Default::default() },
+            &AprioriConfig {
+                mode: MiningMode::Unrestricted,
+                ..Default::default()
+            },
         );
         assert!(f.is_empty(), "no item occurs in all four transactions");
     }

@@ -79,7 +79,8 @@ impl IncrementalMiner {
     /// Render the checkpoint to a string.
     pub fn checkpoint_to_string(&self) -> String {
         let mut buf = Vec::new();
-        self.write_checkpoint(&mut buf).expect("writing to Vec cannot fail");
+        self.write_checkpoint(&mut buf)
+            .expect("writing to Vec cannot fail");
         String::from_utf8(buf).expect("checkpoint text is UTF-8")
     }
 
@@ -145,8 +146,7 @@ impl IncrementalMiner {
                     let raws = parts.next().unwrap_or("");
                     let mut items = Vec::new();
                     for tok in raws.split(',').filter(|t| !t.is_empty()) {
-                        let raw: u32 =
-                            tok.parse().map_err(|e| err(format!("bad item: {e}")))?;
+                        let raw: u32 = tok.parse().map_err(|e| err(format!("bad item: {e}")))?;
                         items.push(Item::from_raw(raw));
                     }
                     if items.is_empty() {
@@ -172,7 +172,11 @@ impl IncrementalMiner {
             table.insert(itemset, count);
         }
         let mut miner = IncrementalMiner {
-            config: IncrementalConfig { thresholds, retention, counting },
+            config: IncrementalConfig {
+                thresholds,
+                retention,
+                counting,
+            },
             table,
             valid: RuleSet::new(),
             near: RuleSet::new(),
@@ -227,10 +231,15 @@ mod tests {
         let text = miner.checkpoint_to_string();
         let restored = IncrementalMiner::checkpoint_from_string(&text).unwrap();
         assert!(restored.rules().identical_to(miner.rules()));
-        assert!(restored.candidate_rules().identical_to(miner.candidate_rules()));
+        assert!(restored
+            .candidate_rules()
+            .identical_to(miner.candidate_rules()));
         assert_eq!(restored.table().sorted(), miner.table().sorted());
         assert_eq!(restored.stats(), miner.stats());
-        assert_eq!(restored.remaining_tuple_budget(), miner.remaining_tuple_budget());
+        assert_eq!(
+            restored.remaining_tuple_budget(),
+            miner.remaining_tuple_budget()
+        );
         // Fixpoint on second round-trip.
         assert_eq!(restored.checkpoint_to_string(), text);
     }

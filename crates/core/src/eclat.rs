@@ -14,11 +14,7 @@ use crate::frequent::{support_count_threshold, FrequentItemsets};
 use crate::itemset::{ItemSet, MiningMode, Transaction};
 
 /// Mine all admissible itemsets with support ≥ `min_support` using Eclat.
-pub fn eclat(
-    transactions: &[Transaction],
-    min_support: f64,
-    mode: MiningMode,
-) -> FrequentItemsets {
+pub fn eclat(transactions: &[Transaction], min_support: f64, mode: MiningMode) -> FrequentItemsets {
     let db_size = transactions.len() as u64;
     let mut result = FrequentItemsets::new(db_size);
     if db_size == 0 {
@@ -135,19 +131,26 @@ mod tests {
         ] {
             let e = eclat(&db, 0.4, mode);
             let f = fpgrowth(&db, 0.4, mode);
-            let ap = apriori(&db, 0.4, &AprioriConfig { mode, ..Default::default() });
+            let ap = apriori(
+                &db,
+                0.4,
+                &AprioriConfig {
+                    mode,
+                    ..Default::default()
+                },
+            );
             assert_eq!(e.sorted(), ap.sorted(), "eclat vs apriori, mode {mode:?}");
-            assert_eq!(f.sorted(), ap.sorted(), "fpgrowth vs apriori, mode {mode:?}");
+            assert_eq!(
+                f.sorted(),
+                ap.sorted(),
+                "fpgrowth vs apriori, mode {mode:?}"
+            );
         }
     }
 
     #[test]
     fn eclat_counts_are_exact() {
-        let db: Vec<Transaction> = vec![
-            tx(&[d(1), d(2)]),
-            tx(&[d(1), d(2)]),
-            tx(&[d(1)]),
-        ];
+        let db: Vec<Transaction> = vec![tx(&[d(1), d(2)]), tx(&[d(1), d(2)]), tx(&[d(1)])];
         let e = eclat(&db, 0.3, MiningMode::Unrestricted);
         assert_eq!(e.count(&ItemSet::from_unsorted(vec![d(1)])), Some(3));
         assert_eq!(e.count(&ItemSet::from_unsorted(vec![d(1), d(2)])), Some(2));

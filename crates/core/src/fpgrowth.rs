@@ -232,9 +232,7 @@ fn admissible_or_extendable(pattern: &ItemSet, mode: MiningMode) -> bool {
         MiningMode::Unrestricted => true,
         MiningMode::DataToAnnotation => pattern.annotation_count() <= 1,
         MiningMode::AnnotationToAnnotation => pattern.data_count() == 0,
-        MiningMode::Annotated => {
-            pattern.data_count() == 0 || pattern.annotation_count() <= 1
-        }
+        MiningMode::Annotated => pattern.data_count() == 0 || pattern.annotation_count() <= 1,
     }
 }
 
@@ -271,7 +269,10 @@ mod tests {
         let g = apriori(
             &classic_db(),
             0.5,
-            &AprioriConfig { mode: MiningMode::Unrestricted, ..Default::default() },
+            &AprioriConfig {
+                mode: MiningMode::Unrestricted,
+                ..Default::default()
+            },
         );
         assert_eq!(f.sorted(), g.sorted());
     }
@@ -292,7 +293,14 @@ mod tests {
             MiningMode::AnnotationToAnnotation,
         ] {
             let f = fpgrowth(&db, 0.2, mode);
-            let g = apriori(&db, 0.2, &AprioriConfig { mode, ..Default::default() });
+            let g = apriori(
+                &db,
+                0.2,
+                &AprioriConfig {
+                    mode,
+                    ..Default::default()
+                },
+            );
             assert_eq!(f.sorted(), g.sorted(), "mode {mode:?} diverges");
         }
     }

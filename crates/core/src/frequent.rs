@@ -15,7 +15,10 @@ use crate::itemset::ItemSet;
 /// `db_size` transactions (at least 1 — an itemset occurring zero times is
 /// never frequent).
 pub fn support_count_threshold(alpha: f64, db_size: u64) -> u64 {
-    assert!((0.0..=1.0).contains(&alpha), "support fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "support fraction out of range"
+    );
     let exact = alpha * db_size as f64;
     // Guard against float error pushing e.g. 3200.0000000004 up to 3201.
     let count = (exact - 1e-9).ceil().max(0.0) as u64;
@@ -33,7 +36,10 @@ pub struct FrequentItemsets {
 impl FrequentItemsets {
     /// An empty table over a database of `db_size` transactions.
     pub fn new(db_size: u64) -> Self {
-        FrequentItemsets { counts: FxHashMap::default(), db_size }
+        FrequentItemsets {
+            counts: FxHashMap::default(),
+            db_size,
+        }
     }
 
     /// Number of transactions (the support denominator).
@@ -137,14 +143,13 @@ impl FrequentItemsets {
     /// itemsets with no frequent strict superset (the positive border).
     pub fn maximal_at(&self, alpha: f64) -> Vec<(ItemSet, u64)> {
         let min = support_count_threshold(alpha, self.db_size);
-        let frequent: Vec<(&ItemSet, u64)> =
-            self.iter().filter(|&(_, c)| c >= min).collect();
+        let frequent: Vec<(&ItemSet, u64)> = self.iter().filter(|&(_, c)| c >= min).collect();
         let mut out: Vec<(ItemSet, u64)> = frequent
             .iter()
             .filter(|(s, _)| {
-                !frequent.iter().any(|(t, _)| {
-                    t.len() > s.len() && s.items().iter().all(|i| t.contains(*i))
-                })
+                !frequent
+                    .iter()
+                    .any(|(t, _)| t.len() > s.len() && s.items().iter().all(|i| t.contains(*i)))
             })
             .map(|&(s, c)| (s.clone(), c))
             .collect();

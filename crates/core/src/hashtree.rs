@@ -177,12 +177,7 @@ mod tests {
     fn brute_force(candidates: &[ItemSet], transactions: &[Vec<Item>]) -> Vec<u64> {
         candidates
             .iter()
-            .map(|c| {
-                transactions
-                    .iter()
-                    .filter(|t| c.is_subset_of(t))
-                    .count() as u64
-            })
+            .map(|c| transactions.iter().filter(|t| c.is_subset_of(t)).count() as u64)
             .collect()
     }
 
@@ -209,7 +204,9 @@ mod tests {
         // leaf splits at several depths.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let k = 3;
@@ -222,8 +219,7 @@ mod tests {
         }
         let transactions: Vec<Vec<Item>> = (0..200)
             .map(|_| {
-                let mut items: Vec<Item> =
-                    (0..(3 + next() % 8)).map(|_| d(next() % 30)).collect();
+                let mut items: Vec<Item> = (0..(3 + next() % 8)).map(|_| d(next() % 30)).collect();
                 items.sort_unstable();
                 items.dedup();
                 items

@@ -149,13 +149,20 @@ impl IncrementalMiner {
         self.config.thresholds
     }
 
+    /// The full incremental configuration (thresholds, retention,
+    /// counting strategy) — used by serving layers that re-publish the
+    /// miner's state alongside its parameters.
+    pub fn config(&self) -> IncrementalConfig {
+        self.config
+    }
+
     /// Remaining Case-1/Case-2 tuple-addition budget before the next
     /// operation triggers a fallback re-mine.
     pub fn remaining_tuple_budget(&self) -> u64 {
         let mut lo = 0u64;
         let mut hi = self.base_size.max(1) * 2 + 1_000_000;
         while lo < hi {
-            let mid = lo + (hi - lo + 1) / 2;
+            let mid = lo + (hi - lo).div_ceil(2);
             if self.budget_ok_with(self.added_since + mid, self.table.db_size() + mid) {
                 lo = mid;
             } else {
@@ -204,8 +211,7 @@ impl IncrementalMiner {
         relation: &mut AnnotatedRelation,
         tuples: Vec<Tuple>,
     ) -> Vec<TupleId> {
-        let transactions: Vec<Transaction> =
-            tuples.iter().map(|t| Box::from(t.items())).collect();
+        let transactions: Vec<Transaction> = tuples.iter().map(|t| Box::from(t.items())).collect();
         let tids = relation.extend(tuples);
         self.added_since += tids.len() as u64;
         let new_size = relation.len() as u64;
@@ -278,7 +284,7 @@ impl IncrementalMiner {
             let single = ItemSet::single(a);
             if freq >= retention_min {
                 debug_assert!(
-                    self.table.count(&single).map_or(true, |c| c == freq),
+                    self.table.count(&single).is_none_or(|c| c == freq),
                     "incremental singleton count diverged from index"
                 );
                 self.table.insert(single, freq);
@@ -322,13 +328,16 @@ impl IncrementalMiner {
             let mut discovered_this_sweep = 0u64;
             for &a in &anns_sorted {
                 let single = ItemSet::single(a);
-                let Some(freq) = self.table.count(&single) else { continue };
+                let Some(freq) = self.table.count(&single) else {
+                    continue;
+                };
                 if freq < retention_min {
                     continue;
                 }
-                let Some(seed_ids) = seeds_per_ann.get(&a) else { continue };
-                let mut seeds: Vec<&ItemSet> =
-                    seed_ids.iter().map(|&idx| &keys[idx]).collect();
+                let Some(seed_ids) = seeds_per_ann.get(&a) else {
+                    continue;
+                };
+                let mut seeds: Vec<&ItemSet> = seed_ids.iter().map(|&idx| &keys[idx]).collect();
                 seeds.sort_unstable_by(|x, y| x.len().cmp(&y.len()).then(x.cmp(y)));
                 let postings: Vec<TupleId> = relation.index().tuples_with(a).collect();
                 for seed in seeds {
@@ -341,9 +350,9 @@ impl IncrementalMiner {
                     // count at the retention level. (Count-based, not mere
                     // presence: the table memoizes evaluated-but-infrequent
                     // candidates, and those must not admit supersets.)
-                    let closed = candidate.sub_itemsets().all(|sub| {
-                        self.table.count(&sub).is_some_and(|c| c >= retention_min)
-                    });
+                    let closed = candidate
+                        .sub_itemsets()
+                        .all(|sub| self.table.count(&sub).is_some_and(|c| c >= retention_min));
                     if !closed {
                         continue;
                     }
@@ -400,7 +409,10 @@ impl IncrementalMiner {
         let mut effective = 0usize;
         for u in updates {
             if relation.remove_annotation(u.tuple, u.annotation) {
-                removed_per_tuple.entry(u.tuple).or_default().push(u.annotation);
+                removed_per_tuple
+                    .entry(u.tuple)
+                    .or_default()
+                    .push(u.annotation);
                 removed_anns.insert(u.annotation);
                 effective += 1;
             }
@@ -447,14 +459,12 @@ impl IncrementalMiner {
     /// tuples actually deleted. Exact: the shrinking support denominator can
     /// promote below-retention itemsets, so the budget check may trigger a
     /// fallback re-mine.
-    pub fn delete_tuples(
-        &mut self,
-        relation: &mut AnnotatedRelation,
-        tids: &[TupleId],
-    ) -> usize {
+    pub fn delete_tuples(&mut self, relation: &mut AnnotatedRelation, tids: &[TupleId]) -> usize {
         let mut deleted_transactions: Vec<Transaction> = Vec::new();
         for &tid in tids {
-            let Some(tuple) = relation.tuple(tid) else { continue };
+            let Some(tuple) = relation.tuple(tid) else {
+                continue;
+            };
             let transaction: Transaction = Box::from(tuple.items());
             if relation.delete_tuple(tid) {
                 deleted_transactions.push(transaction);
@@ -507,15 +517,13 @@ impl IncrementalMiner {
             self.config.thresholds.min_support * self.config.retention,
             self.base_size,
         );
-        let current_min =
-            support_count_threshold(self.config.thresholds.min_support, db_size_now);
+        let current_min = support_count_threshold(self.config.thresholds.min_support, db_size_now);
         retained_min_then - 1 + added < current_min
     }
 
     fn full_remine(&mut self, relation: &AnnotatedRelation) {
         let transactions = transactions_of(relation, MiningMode::Annotated);
-        let retained_support =
-            self.config.thresholds.min_support * self.config.retention;
+        let retained_support = self.config.thresholds.min_support * self.config.retention;
         self.table = apriori(
             &transactions,
             retained_support,
@@ -563,7 +571,9 @@ fn matching_indices(
 ) -> Vec<usize> {
     let mut out = Vec::new();
     for (pos, item) in transaction.iter().enumerate() {
-        let Some(bucket) = by_first.get(item) else { continue };
+        let Some(bucket) = by_first.get(item) else {
+            continue;
+        };
         for &ci in bucket {
             if keys[ci].is_subset_of(&transaction[pos..]) {
                 out.push(ci);
@@ -592,7 +602,6 @@ fn count_itemsets_in(
         .filter(|&(_, c)| c > 0)
         .collect()
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -692,7 +701,10 @@ mod tests {
 
         let fresh = rel.vocab_mut().annotation("NEW");
         let updates: Vec<AnnotationUpdate> = (0..7)
-            .map(|i| AnnotationUpdate { tuple: TupleId(i), annotation: fresh })
+            .map(|i| AnnotationUpdate {
+                tuple: TupleId(i),
+                annotation: fresh,
+            })
             .collect();
         miner.apply_annotations(&mut rel, updates);
         assert!(miner.verify_against_remine(&rel));
@@ -713,8 +725,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         // One batch larger than the budget must force a re-mine and still
         // be exact.
-        let batch =
-            anno_store::random_annotated_tuples(&mut rel, &mut rng, budget as usize + 1, 4);
+        let batch = anno_store::random_annotated_tuples(&mut rel, &mut rng, budget as usize + 1, 4);
         miner.add_annotated_tuples(&mut rel, batch);
         assert_eq!(miner.stats().full_remines, 2);
         assert!(miner.verify_against_remine(&rel));
@@ -733,7 +744,10 @@ mod tests {
             .flat_map(|(tid, t)| {
                 t.annotations()
                     .iter()
-                    .map(move |&a| AnnotationUpdate { tuple: tid, annotation: a })
+                    .map(move |&a| AnnotationUpdate {
+                        tuple: tid,
+                        annotation: a,
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();

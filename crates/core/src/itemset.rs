@@ -272,10 +272,7 @@ mod tests {
         let ab = ItemSet::from_unsorted(vec![d(1), d(2)]);
         let ac = ItemSet::from_unsorted(vec![d(1), d(3)]);
         let bc = ItemSet::from_unsorted(vec![d(2), d(3)]);
-        assert_eq!(
-            ab.join_prefix(&ac).unwrap().items(),
-            &[d(1), d(2), d(3)]
-        );
+        assert_eq!(ab.join_prefix(&ac).unwrap().items(), &[d(1), d(2), d(3)]);
         assert!(ac.join_prefix(&ab).is_none(), "wrong order");
         assert!(ab.join_prefix(&bc).is_none(), "prefix differs");
         assert!(ab.join_prefix(&ab).is_none(), "equal last items");

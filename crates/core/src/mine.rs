@@ -50,17 +50,29 @@ pub fn mine_with(
         Miner::Apriori => apriori(
             &transactions,
             thresholds.min_support,
-            &AprioriConfig { mode, counting: CountingStrategy::HashTree, max_len: None },
+            &AprioriConfig {
+                mode,
+                counting: CountingStrategy::HashTree,
+                max_len: None,
+            },
         ),
         Miner::AprioriDirectScan => apriori(
             &transactions,
             thresholds.min_support,
-            &AprioriConfig { mode, counting: CountingStrategy::DirectScan, max_len: None },
+            &AprioriConfig {
+                mode,
+                counting: CountingStrategy::DirectScan,
+                max_len: None,
+            },
         ),
         Miner::AprioriParallel => apriori(
             &transactions,
             thresholds.min_support,
-            &AprioriConfig { mode, counting: CountingStrategy::ParallelScan, max_len: None },
+            &AprioriConfig {
+                mode,
+                counting: CountingStrategy::ParallelScan,
+                max_len: None,
+            },
         ),
         Miner::FpGrowth => crate::fpgrowth::fpgrowth(&transactions, thresholds.min_support, mode),
         Miner::Eclat => crate::eclat::eclat(&transactions, thresholds.min_support, mode),
@@ -75,11 +87,13 @@ pub fn mine_rules(relation: &AnnotatedRelation, thresholds: &Thresholds) -> Rule
 }
 
 /// Discover only data-to-annotation rules (Definition 4.2; menu option 1).
-pub fn mine_data_to_annotation(
-    relation: &AnnotatedRelation,
-    thresholds: &Thresholds,
-) -> RuleSet {
-    let r = mine_with(relation, thresholds, MiningMode::DataToAnnotation, Miner::Apriori);
+pub fn mine_data_to_annotation(relation: &AnnotatedRelation, thresholds: &Thresholds) -> RuleSet {
+    let r = mine_with(
+        relation,
+        thresholds,
+        MiningMode::DataToAnnotation,
+        Miner::Apriori,
+    );
     RuleSet::from_rules(
         r.rules
             .of_kind(RuleKind::DataToAnnotation)
@@ -157,8 +171,14 @@ mod tests {
     fn mine_rules_finds_both_shapes() {
         let rel = demo_relation();
         let rules = mine_rules(&rel, &Thresholds::new(0.3, 0.8));
-        let a = rel.vocab().get(anno_store::ItemKind::Annotation, "A").unwrap();
-        let b = rel.vocab().get(anno_store::ItemKind::Annotation, "B").unwrap();
+        let a = rel
+            .vocab()
+            .get(anno_store::ItemKind::Annotation, "A")
+            .unwrap();
+        let b = rel
+            .vocab()
+            .get(anno_store::ItemKind::Annotation, "B")
+            .unwrap();
         let x = rel.vocab().get(anno_store::ItemKind::Data, "10").unwrap();
         let y = rel.vocab().get(anno_store::ItemKind::Data, "20").unwrap();
         // {x, y} ⇒ A: 9/10 tuples with {x,y} carry A; support 9/12.

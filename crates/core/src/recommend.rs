@@ -47,14 +47,12 @@ impl Recommendation {
 /// `(tuple, annotation)`) and order by descending confidence, then support.
 fn finalize(mut recs: Vec<Recommendation>) -> Vec<Recommendation> {
     recs.sort_by(|a, b| {
-        (a.tuple, a.annotation)
-            .cmp(&(b.tuple, b.annotation))
-            .then(
-                b.rule
-                    .confidence()
-                    .partial_cmp(&a.rule.confidence())
-                    .unwrap(),
-            )
+        (a.tuple, a.annotation).cmp(&(b.tuple, b.annotation)).then(
+            b.rule
+                .confidence()
+                .partial_cmp(&a.rule.confidence())
+                .unwrap(),
+        )
     });
     recs.dedup_by(|a, b| a.tuple == b.tuple && a.annotation == b.annotation);
     recs.sort_by(|a, b| {
@@ -77,7 +75,9 @@ pub fn recommend_for_tuples<'a>(
 ) -> Vec<Recommendation> {
     let mut out = Vec::new();
     for tid in tuples {
-        let Some(tuple) = relation.tuple(tid) else { continue };
+        let Some(tuple) = relation.tuple(tid) else {
+            continue;
+        };
         for rule in rules.rules() {
             if !tuple.contains(rule.rhs) && rule.lhs.matches(tuple) {
                 out.push(Recommendation {
@@ -93,7 +93,11 @@ pub fn recommend_for_tuples<'a>(
 
 /// §5 Case 1: scan the whole database for missing annotations.
 pub fn recommend_missing(relation: &AnnotatedRelation, rules: &RuleSet) -> Vec<Recommendation> {
-    recommend_for_tuples(relation, rules, relation.iter().map(|(tid, _)| tid).collect::<Vec<_>>())
+    recommend_for_tuples(
+        relation,
+        rules,
+        relation.iter().map(|(tid, _)| tid).collect::<Vec<_>>(),
+    )
 }
 
 /// Prediction quality against hidden ground truth.
@@ -219,7 +223,10 @@ mod tests {
     fn scoring_computes_precision_recall_f1() {
         let (rel, rules, a, gap) = setup();
         let recs = recommend_missing(&rel, &rules);
-        let hidden = vec![AnnotationUpdate { tuple: gap, annotation: a }];
+        let hidden = vec![AnnotationUpdate {
+            tuple: gap,
+            annotation: a,
+        }];
         let q = score_recommendations(&recs, &hidden);
         assert_eq!(q.true_positives, 1);
         assert_eq!(q.false_positives, 0);
@@ -233,7 +240,10 @@ mod tests {
     fn scoring_counts_misses_and_spurious_predictions() {
         let q = score_recommendations(
             &[],
-            &[AnnotationUpdate { tuple: TupleId(0), annotation: Item::annotation(0) }],
+            &[AnnotationUpdate {
+                tuple: TupleId(0),
+                annotation: Item::annotation(0),
+            }],
         );
         assert_eq!(q.recall(), 0.0);
         assert_eq!(q.precision(), 1.0, "no predictions, vacuous precision");

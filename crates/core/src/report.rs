@@ -21,7 +21,11 @@ use crate::itemset::ItemSet;
 use crate::rules::RuleSet;
 
 /// Write `rules` in Fig. 7 format.
-pub fn write_rules<W: Write>(rules: &RuleSet, vocab: &Vocabulary, writer: &mut W) -> io::Result<()> {
+pub fn write_rules<W: Write>(
+    rules: &RuleSet,
+    vocab: &Vocabulary,
+    writer: &mut W,
+) -> io::Result<()> {
     writer.write_all(rules.render(vocab).as_bytes())
 }
 
@@ -73,9 +77,7 @@ pub fn parse_rules_file(vocab: &mut Vocabulary, text: &str) -> Result<Vec<Parsed
             (Some(c), Some(s)) => (c, s),
             _ => return Err(err("malformed metrics")),
         };
-        let (lhs_text, rhs_text) = body
-            .rsplit_once("->")
-            .ok_or_else(|| err("missing '->'"))?;
+        let (lhs_text, rhs_text) = body.rsplit_once("->").ok_or_else(|| err("missing '->'"))?;
         let rhs_name = rhs_text.trim();
         if rhs_name.is_empty() {
             return Err(err("empty consequent"));

@@ -29,8 +29,14 @@ impl Thresholds {
     /// Construct, validating both fractions.
     pub fn new(min_support: f64, min_confidence: f64) -> Thresholds {
         assert!((0.0..=1.0).contains(&min_support), "support out of range");
-        assert!((0.0..=1.0).contains(&min_confidence), "confidence out of range");
-        Thresholds { min_support, min_confidence }
+        assert!(
+            (0.0..=1.0).contains(&min_confidence),
+            "confidence out of range"
+        );
+        Thresholds {
+            min_support,
+            min_confidence,
+        }
     }
 
     /// The paper's running configuration: α = 0.4, β = 0.8 (§4.3 Results).
@@ -251,7 +257,11 @@ impl RuleSet {
     }
 
     /// The `k` rules maximising an arbitrary measure, descending.
-    pub fn top_by<F: Fn(&AssociationRule) -> f64>(&self, measure: F, k: usize) -> Vec<&AssociationRule> {
+    pub fn top_by<F: Fn(&AssociationRule) -> f64>(
+        &self,
+        measure: F,
+        k: usize,
+    ) -> Vec<&AssociationRule> {
         let mut order: Vec<&AssociationRule> = self.rules.iter().collect();
         order.sort_by(|a, b| {
             measure(b)
@@ -333,7 +343,14 @@ pub fn derive_rules_partitioned(
                 // only happens for non-closed tables; skip defensively.
                 continue;
             };
-            let rule = AssociationRule { lhs, rhs, union_count, lhs_count, rhs_count, db_size };
+            let rule = AssociationRule {
+                lhs,
+                rhs,
+                union_count,
+                lhs_count,
+                rhs_count,
+                db_size,
+            };
             if rule.confidence() < loose.min_confidence - 1e-12 {
                 continue;
             }
@@ -396,10 +413,7 @@ mod tests {
     #[test]
     fn pure_data_itemsets_never_become_rules() {
         let rules = derive_rules(&demo_table(), &Thresholds::new(0.1, 0.0));
-        assert!(rules
-            .rules()
-            .iter()
-            .all(|r| r.rhs.is_annotation_like()));
+        assert!(rules.rules().iter().all(|r| r.rhs.is_annotation_like()));
     }
 
     #[test]

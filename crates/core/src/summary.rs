@@ -30,7 +30,11 @@ impl MetricSummary {
             max = max.max(v);
             sum += v;
         }
-        Some(MetricSummary { min, max, mean: sum / values.len() as f64 })
+        Some(MetricSummary {
+            min,
+            max,
+            mean: sum / values.len() as f64,
+        })
     }
 }
 
@@ -109,7 +113,11 @@ impl RuleSetSummary {
         out.push_str("confidence histogram: ");
         for (i, &count) in self.confidence_histogram.iter().enumerate() {
             if count > 0 {
-                out.push_str(&format!("[{:.1}-{:.1}]:{count} ", i as f64 / 10.0, (i + 1) as f64 / 10.0));
+                out.push_str(&format!(
+                    "[{:.1}-{:.1}]:{count} ",
+                    i as f64 / 10.0,
+                    (i + 1) as f64 / 10.0
+                ));
             }
         }
         out.push('\n');
@@ -147,8 +155,8 @@ mod tests {
     #[test]
     fn counts_and_metrics_match_hand_computation() {
         let rules = RuleSet::from_rules(vec![
-            rule(&[1], 0, 10, 10),     // conf 1.0, sup 0.5
-            rule(&[1, 2], 1, 8, 16),   // conf 0.5, sup 0.4
+            rule(&[1], 0, 10, 10),   // conf 1.0, sup 0.5
+            rule(&[1, 2], 1, 8, 16), // conf 0.5, sup 0.4
         ]);
         let s = RuleSetSummary::of(&rules);
         assert_eq!(s.total, 2);

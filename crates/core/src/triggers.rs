@@ -26,7 +26,11 @@ impl CurationSession {
     /// Open a session over `relation`, mining the initial rules.
     pub fn open(relation: AnnotatedRelation, config: IncrementalConfig) -> CurationSession {
         let miner = IncrementalMiner::mine_initial(&relation, config);
-        CurationSession { relation, miner, pending: Vec::new() }
+        CurationSession {
+            relation,
+            miner,
+            pending: Vec::new(),
+        }
     }
 
     /// The underlying relation (read-only; mutations go through the
@@ -53,10 +57,10 @@ impl CurationSession {
         let tids = if annotated {
             self.miner.add_annotated_tuples(&mut self.relation, tuples)
         } else {
-            self.miner.add_unannotated_tuples(&mut self.relation, tuples)
+            self.miner
+                .add_unannotated_tuples(&mut self.relation, tuples)
         };
-        let recs =
-            recommend_for_tuples(&self.relation, self.miner.rules(), tids.iter().copied());
+        let recs = recommend_for_tuples(&self.relation, self.miner.rules(), tids.iter().copied());
         self.pending.extend(recs);
         tids
     }
@@ -104,7 +108,10 @@ impl CurationSession {
         let rec = self.pending.remove(index);
         let applied = self.miner.apply_annotations(
             &mut self.relation,
-            [AnnotationUpdate { tuple: rec.tuple, annotation: rec.annotation }],
+            [AnnotationUpdate {
+                tuple: rec.tuple,
+                annotation: rec.annotation,
+            }],
         );
         !applied.is_empty()
     }
@@ -175,7 +182,10 @@ mod tests {
         let (mut s, x, y, a) = session();
         let tids = s.insert_tuples(vec![Tuple::new([x, y], [])]);
         assert_eq!(s.pending().len(), 1);
-        let n = s.apply_annotations([AnnotationUpdate { tuple: tids[0], annotation: a }]);
+        let n = s.apply_annotations([AnnotationUpdate {
+            tuple: tids[0],
+            annotation: a,
+        }]);
         assert_eq!(n, 1);
         assert!(s.pending().is_empty(), "satisfied prediction was dropped");
     }

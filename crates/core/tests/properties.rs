@@ -4,8 +4,8 @@
 //! against re-mining over arbitrary operation sequences.
 
 use anno_mine::{
-    apriori, derive_rules, eclat, fpgrowth, mine_rules, AprioriConfig, CountingStrategy,
-    HashTree, IncrementalConfig, IncrementalMiner, ItemSet, MiningMode, Thresholds, Transaction,
+    apriori, derive_rules, eclat, fpgrowth, mine_rules, AprioriConfig, CountingStrategy, HashTree,
+    IncrementalConfig, IncrementalMiner, ItemSet, MiningMode, Thresholds, Transaction,
 };
 use anno_store::{AnnotatedRelation, AnnotationUpdate, Item, Tuple, TupleId};
 use proptest::prelude::*;
@@ -28,10 +28,7 @@ fn arb_transaction() -> impl Strategy<Value = Vec<Item>> {
 }
 
 fn arb_db() -> impl Strategy<Value = Vec<Transaction>> {
-    proptest::collection::vec(
-        arb_transaction().prop_map(|v| v.into_boxed_slice()),
-        1..24,
-    )
+    proptest::collection::vec(arb_transaction().prop_map(|v| v.into_boxed_slice()), 1..24)
 }
 
 /// Brute force: all frequent itemsets under `mode`, by enumerating every
@@ -46,7 +43,10 @@ fn brute_force(
     let mut all: std::collections::BTreeSet<ItemSet> = Default::default();
     for t in transactions {
         let items: Vec<Item> = if mode.annotations_only() {
-            t.iter().copied().filter(|i| i.is_annotation_like()).collect()
+            t.iter()
+                .copied()
+                .filter(|i| i.is_annotation_like())
+                .collect()
         } else {
             t.to_vec()
         };

@@ -98,7 +98,10 @@ mod tests {
         let a = Lineage::from_vars([Var(1)]);
         let b = Lineage::from_vars([Var(2), Var(3)]);
         let f = |v: Var| Var(v.0 % 2);
-        assert_eq!(rename(&a.plus(&b), &f), rename(&a, &f).plus(&rename(&b, &f)));
+        assert_eq!(
+            rename(&a.plus(&b), &f),
+            rename(&a, &f).plus(&rename(&b, &f))
+        );
         assert_eq!(
             rename(&a.times(&b), &f),
             rename(&a, &f).times(&rename(&b, &f))
@@ -107,10 +110,7 @@ mod tests {
 
     #[test]
     fn rename_why_maps_each_witness() {
-        let w = Why::from_witnesses([
-            BTreeSet::from([Var(1), Var(2)]),
-            BTreeSet::from([Var(3)]),
-        ]);
+        let w = Why::from_witnesses([BTreeSet::from([Var(1), Var(2)]), BTreeSet::from([Var(3)])]);
         let renamed = rename_why(&w, &|v| Var(v.0 + 100));
         assert_eq!(
             renamed,
@@ -134,10 +134,7 @@ mod tests {
 
     #[test]
     fn eval_why_sums_witness_products() {
-        let w = Why::from_witnesses([
-            BTreeSet::from([Var(2), Var(3)]),
-            BTreeSet::from([Var(5)]),
-        ]);
+        let w = Why::from_witnesses([BTreeSet::from([Var(2), Var(3)]), BTreeSet::from([Var(5)])]);
         let n = eval_why(&w, &|v: Var| Natural::from(u64::from(v.0)));
         assert_eq!(n, Natural::from(11u64)); // 2·3 + 5
     }

@@ -86,7 +86,9 @@ pub mod prelude {
     pub use crate::natural::Natural;
     pub use crate::polynomial::{Monomial, Polynomial};
     pub use crate::security::Security;
-    pub use crate::traits::{CommutativeMonoid, Monus, NaturallyOrdered, Semiring, SemiringHom, Var};
+    pub use crate::traits::{
+        CommutativeMonoid, Monus, NaturallyOrdered, Semiring, SemiringHom, Var,
+    };
     pub use crate::tropical::Tropical;
     pub use crate::viterbi::{Fuzzy, Viterbi};
     pub use crate::why::Why;

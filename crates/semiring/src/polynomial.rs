@@ -404,14 +404,8 @@ mod tests {
 
     #[test]
     fn monus_is_coefficientwise_truncated_subtraction() {
-        let p = Polynomial::from_terms([
-            (Monomial::var(Var(1)), 5),
-            (Monomial::var(Var(2)), 2),
-        ]);
-        let q = Polynomial::from_terms([
-            (Monomial::var(Var(1)), 3),
-            (Monomial::var(Var(2)), 7),
-        ]);
+        let p = Polynomial::from_terms([(Monomial::var(Var(1)), 5), (Monomial::var(Var(2)), 2)]);
+        let q = Polynomial::from_terms([(Monomial::var(Var(1)), 3), (Monomial::var(Var(2)), 7)]);
         let d = p.monus(&q);
         assert_eq!(d.coefficient(&Monomial::var(Var(1))), 2);
         assert_eq!(d.coefficient(&Monomial::var(Var(2))), 0);

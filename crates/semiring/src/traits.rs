@@ -166,7 +166,11 @@ mod tests {
 
     #[test]
     fn sum_and_product_fold_in_order() {
-        let xs = [Natural::from(2u64), Natural::from(3u64), Natural::from(4u64)];
+        let xs = [
+            Natural::from(2u64),
+            Natural::from(3u64),
+            Natural::from(4u64),
+        ];
         assert_eq!(Natural::sum(xs.iter()), Natural::from(9u64));
         assert_eq!(Natural::product(xs.iter()), Natural::from(24u64));
     }

@@ -20,7 +20,10 @@ impl Tropical {
 
     /// A finite cost. Panics if `cost == u64::MAX`, which is reserved for ∞.
     pub fn finite(cost: u64) -> Self {
-        assert!(cost != u64::MAX, "u64::MAX is reserved for Tropical::INFINITY");
+        assert!(
+            cost != u64::MAX,
+            "u64::MAX is reserved for Tropical::INFINITY"
+        );
         Tropical(cost)
     }
 

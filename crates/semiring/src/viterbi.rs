@@ -18,7 +18,10 @@ pub struct Prob(f64);
 impl Prob {
     /// Construct a probability, panicking if `p` is outside `[0, 1]` or NaN.
     pub fn new(p: f64) -> Self {
-        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "probability out of range: {p}");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "probability out of range: {p}"
+        );
         Prob(p)
     }
 

@@ -167,8 +167,14 @@ mod tests {
     fn to_lineage_is_a_homomorphism_on_samples() {
         let a = Why::from_witnesses([w(&[1]), w(&[2])]);
         let b = Why::from_witnesses([w(&[3])]);
-        assert_eq!(a.plus(&b).to_lineage(), a.to_lineage().plus(&b.to_lineage()));
-        assert_eq!(a.times(&b).to_lineage(), a.to_lineage().times(&b.to_lineage()));
+        assert_eq!(
+            a.plus(&b).to_lineage(),
+            a.to_lineage().plus(&b.to_lineage())
+        );
+        assert_eq!(
+            a.times(&b).to_lineage(),
+            a.to_lineage().times(&b.to_lineage())
+        );
     }
 
     #[test]

@@ -18,8 +18,16 @@ fn check_laws<S: Semiring>(a: &S, b: &S, c: &S) {
     assert_eq!(a.plus(&S::zero()), a.clone(), "zero is additive identity");
     // Multiplicative commutative monoid.
     assert_eq!(a.times(b), b.times(a), "times commutes");
-    assert_eq!(a.times(&b.times(c)), a.times(b).times(c), "times associates");
-    assert_eq!(a.times(&S::one()), a.clone(), "one is multiplicative identity");
+    assert_eq!(
+        a.times(&b.times(c)),
+        a.times(b).times(c),
+        "times associates"
+    );
+    assert_eq!(
+        a.times(&S::one()),
+        a.clone(),
+        "one is multiplicative identity"
+    );
     // Distributivity and annihilation.
     assert_eq!(
         a.times(&b.plus(c)),

@@ -1,0 +1,49 @@
+//! `annod` — the correlation-serving daemon.
+//!
+//! ```text
+//! annod                 # interactive REPL on stdin/stdout
+//! annod repl
+//! annod serve           # TCP on 127.0.0.1:7171
+//! annod serve 0.0.0.0:9000
+//! ```
+//!
+//! Both modes speak the same line protocol (`help` lists the commands);
+//! see the workspace README for the full reference and
+//! `examples/annod_session.rs` for a scripted walkthrough.
+
+use std::sync::Arc;
+
+use anno_service::server::{run_repl, serve_tcp};
+use anno_service::Service;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let service = Arc::new(Service::new());
+    let result = match args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        [] | ["repl"] => {
+            let stdin = std::io::stdin();
+            run_repl(service, stdin.lock(), std::io::stdout())
+        }
+        ["serve"] => serve_tcp(service, DEFAULT_ADDR),
+        ["serve", addr] => serve_tcp(service, addr),
+        ["--help" | "-h" | "help"] => {
+            eprintln!("usage: annod [repl | serve [<addr>]]   (default addr {DEFAULT_ADDR})");
+            return;
+        }
+        other => {
+            eprintln!("annod: unknown arguments {other:?}; try `annod --help`");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("annod: {e}");
+        std::process::exit(1);
+    }
+}

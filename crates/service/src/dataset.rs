@@ -1,0 +1,734 @@
+//! One served dataset: an [`AnnotatedRelation`] + [`IncrementalMiner`]
+//! pair behind a coalescing write queue and an atomically published
+//! snapshot.
+//!
+//! # Concurrency contract
+//!
+//! * **Readers never block on writers.** [`Dataset::snapshot`] takes the
+//!   `published` read lock only long enough to clone an `Arc` — the write
+//!   side takes the matching write lock only to swap the pointer. Neither
+//!   side holds it across real work, so a query served from a snapshot
+//!   proceeds even while a maintenance batch is mid-flight on the write
+//!   mutex.
+//! * **One writer.** All mutations funnel through the queue into a single
+//!   writer thread, which owns the `write` mutex during a drain. The
+//!   relation lives in an `Arc`; `Arc::make_mut` copy-on-writes it when a
+//!   snapshot still references the old version. Since the published
+//!   snapshot always holds one such reference, that is one full relation
+//!   clone per *effective drain* — amortized across every op the drain
+//!   coalesced, and skipped entirely for no-op drains, but still O(|D|)
+//!   per publish. Serving rules-only snapshots (no relation) or a
+//!   persistent tuple store would remove it; see ROADMAP.
+//! * **Exactness.** The writer applies each coalesced batch through the
+//!   miner's §4.3 incremental maintenance, so every published snapshot's
+//!   rules are exactly what a from-scratch mine would produce
+//!   ([`Dataset::verify`] checks this on demand).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use anno_mine::{IncrementalConfig, IncrementalMiner};
+use anno_store::{parse_tuple_line, AnnotatedRelation, AnnotationUpdate, ItemKind, Tuple};
+
+use crate::error::ServiceError;
+use crate::metrics::{timed, Metrics, MetricsReport};
+use crate::queue::{coalesce, QueueState, UpdateOp};
+use crate::snapshot::RuleSnapshot;
+
+struct WriteState {
+    relation: Arc<AnnotatedRelation>,
+    miner: Option<IncrementalMiner>,
+}
+
+struct Inner {
+    name: String,
+    config: IncrementalConfig,
+    write: Mutex<WriteState>,
+    published: RwLock<Option<Arc<RuleSnapshot>>>,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    publish_seq: AtomicU64,
+    /// Live tuple count, refreshed by the writer after each drain so
+    /// listings never contend on the write mutex.
+    tuples_hint: AtomicU64,
+    metrics: Metrics,
+}
+
+/// A served dataset handle. Cheap to clone via `Arc` (the [`Service`]
+/// registry hands out `Arc<Dataset>`); all methods take `&self`.
+///
+/// [`Service`]: crate::service::Service
+pub struct Dataset {
+    inner: Arc<Inner>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Dataset {
+    /// Create an empty dataset and start its writer thread. Errs (instead
+    /// of panicking) if the OS refuses a new thread, so a registry holding
+    /// its lock across creation survives resource exhaustion.
+    pub fn spawn(name: &str, config: IncrementalConfig) -> Result<Dataset, ServiceError> {
+        let inner = Arc::new(Inner {
+            name: name.to_string(),
+            config,
+            write: Mutex::new(WriteState {
+                relation: Arc::new(AnnotatedRelation::new(name)),
+                miner: None,
+            }),
+            published: RwLock::new(None),
+            queue: Mutex::new(QueueState::default()),
+            queue_cv: Condvar::new(),
+            publish_seq: AtomicU64::new(0),
+            tuples_hint: AtomicU64::new(0),
+            metrics: Metrics::new(),
+        });
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name(format!("annod-writer-{name}"))
+            .spawn(move || writer_loop(&worker_inner))
+            .map_err(|e| ServiceError::Io(format!("cannot spawn writer thread: {e}")))?;
+        Ok(Dataset {
+            inner,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// The dataset's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The mining configuration this dataset was created with.
+    pub fn config(&self) -> IncrementalConfig {
+        self.inner.config
+    }
+
+    /// Queue one mutation. Returns the op's sequence number (pass it to
+    /// nothing — [`Dataset::flush`] waits for everything queued so far).
+    ///
+    /// Applies backpressure: past the queue's high-water mark of pending
+    /// individual updates, this blocks until the writer drains, so a fast
+    /// client cannot grow the daemon's memory without bound. An op larger
+    /// than the whole cap is still accepted once the queue is empty.
+    pub fn enqueue(&self, op: UpdateOp) -> Result<u64, ServiceError> {
+        let mut q = self.inner.queue.lock().expect("queue lock");
+        loop {
+            // A writer panic sets both flags and notifies, so a blocked
+            // client fails fast instead of hanging on the condvar.
+            if q.shutdown {
+                return Err(ServiceError::ShutDown(self.inner.name.clone()));
+            }
+            if q.pending.is_empty() || q.pending_updates + op.len() <= q.cap_updates {
+                break;
+            }
+            q = self.inner.queue_cv.wait(q).expect("queue lock");
+        }
+        self.inner.metrics.record_enqueue(op.len() as u64);
+        q.pending_updates += op.len();
+        q.pending.push(op);
+        q.enqueued += 1;
+        let seq = q.enqueued;
+        self.inner.queue_cv.notify_all();
+        Ok(seq)
+    }
+
+    /// Block until every op enqueued before this call has been applied and
+    /// its snapshot published — however long a legitimate pass takes (a
+    /// budget-triggered full re-mine can run minutes on large relations;
+    /// an arbitrary timeout here would misreport still-queued work as
+    /// failed and invite duplicate re-submission). Errs only when the
+    /// writer actually died with the work undone.
+    pub fn flush(&self) -> Result<(), ServiceError> {
+        self.inner.metrics.record_flush();
+        let mut q = self.inner.queue.lock().expect("queue lock");
+        let target = q.enqueued;
+        while q.applied < target {
+            if q.writer_dead {
+                return Err(ServiceError::ShutDown(self.inner.name.clone()));
+            }
+            q = self.inner.queue_cv.wait(q).expect("queue lock");
+        }
+        Ok(())
+    }
+
+    /// The write mutex, with poisoning (a writer panic mid-apply) mapped
+    /// to [`ServiceError::ShutDown`] instead of propagating the panic.
+    fn write_lock(&self) -> Result<std::sync::MutexGuard<'_, WriteState>, ServiceError> {
+        self.inner
+            .write
+            .lock()
+            .map_err(|_| ServiceError::ShutDown(self.inner.name.clone()))
+    }
+
+    /// Drain the queue, then mine the relation from scratch and publish
+    /// the first snapshot (or re-mine and re-publish if already mined).
+    pub fn mine(&self) -> Result<Arc<RuleSnapshot>, ServiceError> {
+        self.flush()?;
+        let mut w = self.write_lock()?;
+        let miner = IncrementalMiner::mine_initial(&w.relation, self.inner.config);
+        w.miner = Some(miner);
+        Ok(publish(&self.inner, &w).expect("just mined"))
+    }
+
+    /// The latest published snapshot. Never blocks on the write path.
+    pub fn snapshot(&self) -> Result<Arc<RuleSnapshot>, ServiceError> {
+        self.inner.metrics.record_snapshot_read();
+        self.inner
+            .published
+            .read()
+            .map_err(|_| ServiceError::ShutDown(self.inner.name.clone()))?
+            .clone()
+            .ok_or_else(|| ServiceError::NotMined(self.inner.name.clone()))
+    }
+
+    /// The latest snapshot, if one has been published.
+    pub fn try_snapshot(&self) -> Option<Arc<RuleSnapshot>> {
+        self.inner.metrics.record_snapshot_read();
+        self.inner.published.read().ok()?.clone()
+    }
+
+    /// `true` once [`Dataset::mine`] has published a snapshot.
+    pub fn is_mined(&self) -> bool {
+        self.inner
+            .published
+            .read()
+            .map(|guard| guard.is_some())
+            .unwrap_or(false)
+    }
+
+    /// The paper's validation check: drain the queue, then compare the
+    /// maintained rules against a from-scratch mine of the live relation.
+    pub fn verify(&self) -> Result<bool, ServiceError> {
+        self.flush()?;
+        let w = self.write_lock()?;
+        match &w.miner {
+            Some(miner) => Ok(miner.verify_against_remine(&w.relation)),
+            None => Err(ServiceError::NotMined(self.inner.name.clone())),
+        }
+    }
+
+    /// Point-in-time operation counters.
+    pub fn metrics(&self) -> MetricsReport {
+        self.inner.metrics.report()
+    }
+
+    /// Live counters, for in-crate layers that record query latencies.
+    pub(crate) fn raw_metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Live tuple count as of the last completed write pass. Lock-free —
+    /// does not wait on an in-flight drain (prefer
+    /// [`RuleSnapshot::db_size`] once mined).
+    pub fn live_tuples(&self) -> usize {
+        self.inner.tuples_hint.load(Ordering::Relaxed) as usize
+    }
+
+    /// Stop the writer thread, draining anything already queued. Further
+    /// enqueues fail with [`ServiceError::ShutDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            q.shutdown = true;
+            self.inner.queue_cv.notify_all();
+        }
+        if let Some(handle) = self.worker.lock().expect("worker lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Dataset {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("name", &self.inner.name)
+            .field("mined", &self.is_mined())
+            .finish()
+    }
+}
+
+/// Build and swap in a fresh snapshot; no-op (returning `None`) pre-mine.
+fn publish(inner: &Inner, w: &WriteState) -> Option<Arc<RuleSnapshot>> {
+    let miner = w.miner.as_ref()?;
+    let epoch = inner.publish_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let snap = Arc::new(RuleSnapshot::build(
+        &inner.name,
+        epoch,
+        Arc::clone(&w.relation),
+        miner,
+    ));
+    *inner.published.write().expect("published lock") = Some(Arc::clone(&snap));
+    inner.metrics.record_publish();
+    Some(snap)
+}
+
+fn writer_loop(inner: &Inner) {
+    loop {
+        let (ops, drained_to) = {
+            let mut q = inner.queue.lock().expect("queue lock");
+            while q.pending.is_empty() && !q.shutdown {
+                q = inner.queue_cv.wait(q).expect("queue lock");
+            }
+            if q.pending.is_empty() {
+                debug_assert!(q.shutdown);
+                return;
+            }
+            q.pending_updates = 0;
+            // Wake enqueuers blocked on backpressure now that the queue is
+            // empty again; they need not wait for the apply below.
+            inner.queue_cv.notify_all();
+            (std::mem::take(&mut q.pending), q.enqueued)
+        };
+        let (batches, folded) = coalesce(ops);
+        // Defense in depth: prefilter screens out every known panic source
+        // (mis-kinded items, dead targets), but an unforeseen panic in
+        // maintenance code must disable the dataset loudly — clients get
+        // `ShutDown` — rather than silently wedge enqueue/flush forever.
+        let pass = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            timed(|| {
+                let mut applied = 0u64;
+                let mut w = inner.write.lock().expect("write lock");
+                for batch in batches {
+                    if apply_op(&mut w, batch) {
+                        applied += 1;
+                    }
+                }
+                inner
+                    .tuples_hint
+                    .store(w.relation.len() as u64, Ordering::Relaxed);
+                // Republish only when the drain actually changed the
+                // relation (prefiltered no-op batches leave the epoch
+                // untouched) or no snapshot exists yet — snapshot builds
+                // clone the rule set and rebuild the recommendation index,
+                // so skipping them keeps ineffective drains cheap.
+                let stale = match inner.published.read().expect("published lock").as_ref() {
+                    Some(snap) => snap.relation_epoch() != w.relation.epoch(),
+                    None => true,
+                };
+                if stale {
+                    publish(inner, &w);
+                }
+                applied
+            })
+        }));
+        match pass {
+            Ok((batch_count, nanos)) => {
+                inner.metrics.record_write_pass(batch_count, folded, nanos);
+                let mut q = inner.queue.lock().expect("queue lock");
+                q.applied = q.applied.max(drained_to);
+                inner.queue_cv.notify_all();
+            }
+            Err(_) => {
+                eprintln!(
+                    "annod: writer for dataset {:?} panicked; dataset disabled",
+                    inner.name
+                );
+                let mut q = inner.queue.lock().expect("queue lock");
+                q.shutdown = true;
+                q.writer_dead = true;
+                inner.queue_cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// Apply one coalesced batch: through the miner's incremental maintenance
+/// once mined, directly to the relation during the pre-mine loading phase.
+///
+/// Ops are pre-filtered against the *immutable* relation first: a batch
+/// that cannot change anything (dead targets, already-present/absent
+/// annotations, comment-only rows) returns `false` before `Arc::make_mut`,
+/// so ineffective drains neither copy-on-write clone the relation nor
+/// intern stray names into the vocabulary. Returns `true` iff a
+/// maintenance pass actually ran.
+fn apply_op(state: &mut WriteState, op: UpdateOp) -> bool {
+    let Some(op) = prefilter(&state.relation, op) else {
+        return false;
+    };
+    let WriteState { relation, miner } = state;
+    let rel = Arc::make_mut(relation);
+    match op {
+        UpdateOp::InsertRows(lines) => {
+            let tuples: Vec<Tuple> = lines
+                .iter()
+                .filter_map(|line| parse_tuple_line(rel.vocab_mut(), line))
+                .collect();
+            insert_tuples(rel, miner, tuples);
+        }
+        UpdateOp::InsertTuples(tuples) => insert_tuples(rel, miner, tuples),
+        UpdateOp::Annotate(updates) => annotate(rel, miner, updates),
+        UpdateOp::AnnotateNamed(named) => {
+            let updates: Vec<AnnotationUpdate> = named
+                .into_iter()
+                .map(|(tuple, name)| AnnotationUpdate {
+                    tuple,
+                    annotation: rel.vocab_mut().annotation(&name),
+                })
+                .collect();
+            annotate(rel, miner, updates);
+        }
+        UpdateOp::RemoveAnnotations(updates) => remove(rel, miner, &updates),
+        UpdateOp::RemoveNamed(named) => {
+            let updates: Vec<AnnotationUpdate> = named
+                .into_iter()
+                .filter_map(|(tuple, name)| {
+                    rel.vocab()
+                        .get(ItemKind::Annotation, &name)
+                        .map(|annotation| AnnotationUpdate { tuple, annotation })
+                })
+                .collect();
+            remove(rel, miner, &updates);
+        }
+        UpdateOp::DeleteTuples(tids) => match miner {
+            Some(m) => {
+                m.delete_tuples(rel, &tids);
+            }
+            None => {
+                for tid in tids {
+                    rel.delete_tuple(tid);
+                }
+            }
+        },
+    }
+    true
+}
+
+/// Drop the parts of `op` that are no-ops against the current relation;
+/// `None` if nothing effective remains. Read-only: never interns names.
+fn prefilter(rel: &AnnotatedRelation, op: UpdateOp) -> Option<UpdateOp> {
+    let filtered = match op {
+        UpdateOp::InsertRows(lines) => UpdateOp::InsertRows(
+            lines
+                .into_iter()
+                .filter(|line| anno_store::line_has_items(line))
+                .collect(),
+        ),
+        // Zero-item tuples would silently inflate every support
+        // denominator (the same hazard `line_has_items` guards on the
+        // text path), so they are dropped here too.
+        UpdateOp::InsertTuples(tuples) => UpdateOp::InsertTuples(
+            tuples
+                .into_iter()
+                .filter(|t| !t.items().is_empty())
+                .collect(),
+        ),
+        UpdateOp::Annotate(updates) => UpdateOp::Annotate(
+            updates
+                .into_iter()
+                // The kind check matters: a data-kind Item would panic the
+                // store's annotate path inside the writer thread.
+                .filter(|u| {
+                    u.annotation.is_annotation_like()
+                        && rel
+                            .tuple(u.tuple)
+                            .is_some_and(|t| !t.contains(u.annotation))
+                })
+                .collect(),
+        ),
+        UpdateOp::AnnotateNamed(named) => UpdateOp::AnnotateNamed(
+            named
+                .into_iter()
+                .filter(|(tid, name)| match rel.tuple(*tid) {
+                    // Dead target: dropping here keeps the vocabulary free
+                    // of names that never attach to anything.
+                    None => false,
+                    Some(t) => rel
+                        .vocab()
+                        .get(ItemKind::Annotation, name)
+                        .is_none_or(|item| !t.contains(item)),
+                })
+                .collect(),
+        ),
+        UpdateOp::RemoveAnnotations(updates) => UpdateOp::RemoveAnnotations(
+            updates
+                .into_iter()
+                .filter(|u| {
+                    u.annotation.is_annotation_like()
+                        && rel.tuple(u.tuple).is_some_and(|t| t.contains(u.annotation))
+                })
+                .collect(),
+        ),
+        UpdateOp::RemoveNamed(named) => UpdateOp::RemoveNamed(
+            named
+                .into_iter()
+                .filter(|(tid, name)| {
+                    rel.vocab()
+                        .get(ItemKind::Annotation, name)
+                        .is_some_and(|item| rel.tuple(*tid).is_some_and(|t| t.contains(item)))
+                })
+                .collect(),
+        ),
+        UpdateOp::DeleteTuples(tids) => {
+            UpdateOp::DeleteTuples(tids.into_iter().filter(|&tid| rel.is_live(tid)).collect())
+        }
+    };
+    (!filtered.is_empty()).then_some(filtered)
+}
+
+fn insert_tuples(
+    rel: &mut AnnotatedRelation,
+    miner: &mut Option<IncrementalMiner>,
+    tuples: Vec<Tuple>,
+) {
+    if tuples.is_empty() {
+        return;
+    }
+    match miner {
+        // Case split keeps the miner's per-case statistics meaningful.
+        Some(m) if tuples.iter().all(Tuple::is_unannotated) => {
+            m.add_unannotated_tuples(rel, tuples);
+        }
+        Some(m) => {
+            m.add_annotated_tuples(rel, tuples);
+        }
+        None => {
+            rel.extend(tuples);
+        }
+    }
+}
+
+fn annotate(
+    rel: &mut AnnotatedRelation,
+    miner: &mut Option<IncrementalMiner>,
+    updates: Vec<AnnotationUpdate>,
+) {
+    match miner {
+        Some(m) => {
+            m.apply_annotations(rel, updates);
+        }
+        None => {
+            rel.apply_annotation_batch(updates);
+        }
+    }
+}
+
+fn remove(
+    rel: &mut AnnotatedRelation,
+    miner: &mut Option<IncrementalMiner>,
+    updates: &[AnnotationUpdate],
+) {
+    match miner {
+        Some(m) => {
+            m.remove_annotations(rel, updates);
+        }
+        None => {
+            for u in updates {
+                rel.remove_annotation(u.tuple, u.annotation);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anno_mine::Thresholds;
+    use anno_store::TupleId;
+
+    fn config() -> IncrementalConfig {
+        IncrementalConfig {
+            thresholds: Thresholds::new(0.4, 0.7),
+            ..Default::default()
+        }
+    }
+
+    const FIG4: [&str; 5] = [
+        "28 85 Annot_1",
+        "28 85 Annot_1",
+        "28 85 Annot_1",
+        "28 85",
+        "17 99",
+    ];
+
+    fn loaded() -> Dataset {
+        let ds = Dataset::spawn("db", config()).unwrap();
+        ds.enqueue(UpdateOp::InsertRows(
+            FIG4.iter().map(|s| s.to_string()).collect(),
+        ))
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn pre_mine_loading_then_mine_publishes() {
+        let ds = loaded();
+        assert!(!ds.is_mined());
+        assert!(matches!(ds.snapshot(), Err(ServiceError::NotMined(_))));
+        let snap = ds.mine().unwrap();
+        assert_eq!(snap.db_size(), 5);
+        assert_eq!(snap.rules().len(), 3);
+        assert_eq!(snap.epoch(), 1);
+    }
+
+    #[test]
+    fn queued_updates_republish_and_stay_exact() {
+        let ds = loaded();
+        let first = ds.mine().unwrap();
+        ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+            TupleId(3),
+            "Annot_1".into(),
+        )]))
+        .unwrap();
+        ds.enqueue(UpdateOp::InsertRows(vec!["17 99 Annot_2".into()]))
+            .unwrap();
+        ds.flush().unwrap();
+        let snap = ds.snapshot().unwrap();
+        assert!(snap.epoch() > first.epoch());
+        assert_eq!(snap.db_size(), 6);
+        // The pre-update snapshot is untouched (copy-on-write relation).
+        assert_eq!(first.db_size(), 5);
+        assert!(ds.verify().unwrap());
+        let m = ds.metrics();
+        assert!(m.batches_applied >= 2);
+        assert!(m.snapshots_published >= 2);
+    }
+
+    #[test]
+    fn deletion_ops_flow_through_the_miner() {
+        let ds = loaded();
+        ds.mine().unwrap();
+        ds.enqueue(UpdateOp::RemoveNamed(vec![
+            (TupleId(0), "Annot_1".into()),
+            (TupleId(0), "NoSuchAnnotation".into()),
+        ]))
+        .unwrap();
+        ds.enqueue(UpdateOp::DeleteTuples(vec![TupleId(4)]))
+            .unwrap();
+        ds.flush().unwrap();
+        let snap = ds.snapshot().unwrap();
+        assert_eq!(snap.db_size(), 4);
+        assert!(ds.verify().unwrap());
+        assert!(snap.stats().deletion_batches >= 2);
+    }
+
+    #[test]
+    fn ineffective_drains_neither_republish_nor_pollute_the_vocab() {
+        let ds = loaded();
+        let snap = ds.mine().unwrap();
+        // Dead target, duplicate annotation, unknown removal, dead delete:
+        // all no-ops; none may cost a republish or intern a stray name.
+        ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+            TupleId(999),
+            "StrayName".into(),
+        )]))
+        .unwrap();
+        ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+            TupleId(0),
+            "Annot_1".into(),
+        )]))
+        .unwrap();
+        ds.enqueue(UpdateOp::RemoveNamed(vec![(TupleId(0), "NoSuch".into())]))
+            .unwrap();
+        ds.enqueue(UpdateOp::DeleteTuples(vec![TupleId(999)]))
+            .unwrap();
+        let batches_before = ds.metrics().batches_applied;
+        ds.flush().unwrap();
+        let after = ds.snapshot().unwrap();
+        assert_eq!(
+            after.epoch(),
+            snap.epoch(),
+            "no-op drain must not republish"
+        );
+        assert_eq!(
+            ds.metrics().batches_applied,
+            batches_before,
+            "prefiltered batches must not count as applied"
+        );
+        assert!(
+            after
+                .relation()
+                .vocab()
+                .get(anno_store::ItemKind::Annotation, "StrayName")
+                .is_none(),
+            "dead-target annotate must not intern its name"
+        );
+        // An effective op afterwards still publishes normally.
+        ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+            TupleId(3),
+            "Annot_1".into(),
+        )]))
+        .unwrap();
+        ds.flush().unwrap();
+        assert!(ds.snapshot().unwrap().epoch() > snap.epoch());
+        assert!(ds.verify().unwrap());
+    }
+
+    #[test]
+    fn mis_kinded_annotate_is_dropped_not_fatal() {
+        // A data-kind Item in an annotation op would panic the store's
+        // annotate path inside the writer; prefilter must screen it out so
+        // the dataset survives (previously: dead writer + 120s flush hang).
+        let ds = loaded();
+        ds.mine().unwrap();
+        ds.enqueue(UpdateOp::Annotate(vec![AnnotationUpdate {
+            tuple: TupleId(0),
+            annotation: anno_store::Item::data(42),
+        }]))
+        .unwrap();
+        ds.enqueue(UpdateOp::RemoveAnnotations(vec![AnnotationUpdate {
+            tuple: TupleId(0),
+            annotation: anno_store::Item::data(42),
+        }]))
+        .unwrap();
+        ds.flush().unwrap();
+        assert!(ds.verify().unwrap(), "dataset still serving and exact");
+    }
+
+    #[test]
+    fn backpressure_blocks_enqueue_without_deadlock_or_loss() {
+        let ds = loaded();
+        ds.mine().unwrap();
+        // Tiny high-water mark: every enqueue below must ride through the
+        // wait path at least once and still land exactly once.
+        ds.inner.queue.lock().unwrap().cap_updates = 2;
+        for round in 0..20u32 {
+            ds.enqueue(UpdateOp::InsertRows(vec![
+                format!("{} {}", 1_000 + round, 2_000 + round),
+                format!("{} {}", 3_000 + round, 4_000 + round),
+            ]))
+            .unwrap();
+        }
+        ds.flush().unwrap();
+        let snap = ds.snapshot().unwrap();
+        assert_eq!(
+            snap.db_size(),
+            5 + 40,
+            "no queued row lost under backpressure"
+        );
+        assert!(ds.verify().unwrap());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_drains_old() {
+        let ds = loaded();
+        ds.mine().unwrap();
+        ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+            TupleId(3),
+            "Annot_1".into(),
+        )]))
+        .unwrap();
+        ds.shutdown();
+        assert!(matches!(
+            ds.enqueue(UpdateOp::DeleteTuples(vec![TupleId(0)])),
+            Err(ServiceError::ShutDown(_))
+        ));
+        // The queued annotate was drained before the writer exited.
+        let snap = ds.try_snapshot().unwrap();
+        assert_eq!(
+            snap.relation()
+                .tuple(TupleId(3))
+                .unwrap()
+                .annotations()
+                .len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type shared by the service, protocol, and server layers.
+
+use std::fmt;
+
+/// Anything that can go wrong serving correlations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No dataset registered under this name.
+    UnknownDataset(String),
+    /// A dataset with this name already exists.
+    DatasetExists(String),
+    /// The dataset has not been mined yet; rule/recommendation queries
+    /// need a published snapshot.
+    NotMined(String),
+    /// The dataset's writer has shut down (dataset was dropped).
+    ShutDown(String),
+    /// A protocol command or its arguments could not be parsed.
+    BadCommand(String),
+    /// An I/O problem in the TCP/REPL server.
+    Io(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            ServiceError::DatasetExists(name) => write!(f, "dataset {name:?} already exists"),
+            ServiceError::NotMined(name) => {
+                write!(
+                    f,
+                    "dataset {name:?} has no published snapshot; run `mine` first"
+                )
+            }
+            ServiceError::ShutDown(name) => {
+                write!(f, "dataset {name:?} writer has shut down")
+            }
+            ServiceError::BadCommand(msg) => write!(f, "bad command: {msg}"),
+            ServiceError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e.to_string())
+    }
+}

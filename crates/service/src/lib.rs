@@ -1,0 +1,81 @@
+//! `anno-service`: a concurrent, multi-tenant correlation-serving engine.
+//!
+//! The paper's promise — association rules over annotated data that are
+//! *maintained incrementally* as the database evolves (§4.3) and
+//! *exploited online* to recommend missing annotations (§5) — only pays
+//! off inside a long-lived serving layer that answers queries while
+//! updates stream in. This crate is that layer, wrapping `anno-store` +
+//! `anno-mine`:
+//!
+//! * [`Service`](service::Service) — a registry of named datasets, each an
+//!   [`AnnotatedRelation`](anno_store::AnnotatedRelation) +
+//!   [`IncrementalMiner`](anno_mine::IncrementalMiner) pair with its own
+//!   write-behind worker thread ([`Dataset`](dataset::Dataset));
+//! * **snapshot reads** — queries run against an immutable
+//!   [`RuleSnapshot`](snapshot::RuleSnapshot) behind an `Arc`; readers
+//!   clone the `Arc` and never block on an in-flight write batch
+//!   (copy-on-write via `Arc::make_mut` on the relation);
+//! * **batched writes** — a coalescing [`queue`] folds streams of
+//!   [`UpdateOp`](queue::UpdateOp)s into single incremental-maintenance
+//!   passes (cases 1–3 of §4.3, plus the deletion cases) and atomically
+//!   publishes one fresh snapshot per drain;
+//! * a **query layer** ([`query`]) — rule listing/filtering by antecedent,
+//!   top-k missing-annotation recommendations, stats — and per-op
+//!   [`metrics`];
+//! * a **line protocol** ([`protocol`]) served over TCP or a stdin REPL
+//!   ([`server`]) by the `annod` binary.
+//!
+//! See the workspace `README.md` for the `annod` protocol reference and
+//! `examples/annod_session.rs` for an end-to-end walkthrough.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use anno_service::{Service, ServiceConfig};
+//! use anno_service::queue::UpdateOp;
+//!
+//! let service = Service::new();
+//! let config = ServiceConfig {
+//!     thresholds: anno_mine::Thresholds::new(0.4, 0.7),
+//!     ..Default::default()
+//! };
+//! let ds = service.create("db", config).unwrap();
+//! ds.enqueue(UpdateOp::InsertRows(vec![
+//!     "28 85 Annot_1".into(),
+//!     "28 85 Annot_1".into(),
+//!     "28 85 Annot_1".into(),
+//!     "28 85".into(),
+//!     "17 99".into(),
+//! ])).unwrap();
+//! ds.flush().unwrap();
+//! let snap = ds.mine().unwrap();
+//! assert_eq!(snap.rules().len(), 3); // {28}⇒A, {85}⇒A, {28,85}⇒A
+//!
+//! // Stream an update; the queue applies it incrementally and publishes
+//! // a new snapshot. The old snapshot stays valid for ongoing readers.
+//! ds.enqueue(UpdateOp::AnnotateNamed(vec![(anno_store::TupleId(3), "Annot_1".into())])).unwrap();
+//! ds.flush().unwrap();
+//! assert!(ds.snapshot().unwrap().epoch() > snap.epoch());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod query;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+
+pub use dataset::Dataset;
+pub use error::ServiceError;
+pub use metrics::MetricsReport;
+pub use protocol::{Engine, Reply};
+pub use query::{RuleFilter, RuleOrder, TopRecommendation};
+pub use queue::UpdateOp;
+pub use service::{DatasetSummary, Service, ServiceConfig};
+pub use snapshot::RuleSnapshot;

@@ -1,0 +1,184 @@
+//! Lock-free per-dataset operation counters.
+//!
+//! Every counter is a relaxed [`AtomicU64`]: the numbers are service
+//! telemetry, not synchronization, so the cheapest ordering is correct.
+//! [`Metrics::report`] takes a point-in-time copy for rendering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Live counters for one dataset.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    rule_queries: AtomicU64,
+    recommend_queries: AtomicU64,
+    snapshot_reads: AtomicU64,
+    read_nanos: AtomicU64,
+    ops_enqueued: AtomicU64,
+    updates_enqueued: AtomicU64,
+    batches_applied: AtomicU64,
+    ops_coalesced: AtomicU64,
+    snapshots_published: AtomicU64,
+    write_nanos: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one snapshot pointer clone.
+    pub fn record_snapshot_read(&self) {
+        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a rule-listing/filtering query taking `nanos`.
+    pub fn record_rule_query(&self, nanos: u64) {
+        self.rule_queries.fetch_add(1, Ordering::Relaxed);
+        self.read_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record a recommendation query taking `nanos`.
+    pub fn record_recommend_query(&self, nanos: u64) {
+        self.recommend_queries.fetch_add(1, Ordering::Relaxed);
+        self.read_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record an enqueue of one op carrying `updates` individual updates.
+    pub fn record_enqueue(&self, updates: u64) {
+        self.ops_enqueued.fetch_add(1, Ordering::Relaxed);
+        self.updates_enqueued.fetch_add(updates, Ordering::Relaxed);
+    }
+
+    /// Record one drained write pass: `batches` maintenance batches after
+    /// folding away `coalesced` ops, taking `nanos` of writer time.
+    pub fn record_write_pass(&self, batches: u64, coalesced: u64, nanos: u64) {
+        self.batches_applied.fetch_add(batches, Ordering::Relaxed);
+        self.ops_coalesced.fetch_add(coalesced, Ordering::Relaxed);
+        self.write_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record one snapshot publication.
+    pub fn record_publish(&self) {
+        self.snapshots_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one `flush` barrier.
+    pub fn record_flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            rule_queries: self.rule_queries.load(Ordering::Relaxed),
+            recommend_queries: self.recommend_queries.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            read_nanos: self.read_nanos.load(Ordering::Relaxed),
+            ops_enqueued: self.ops_enqueued.load(Ordering::Relaxed),
+            updates_enqueued: self.updates_enqueued.load(Ordering::Relaxed),
+            batches_applied: self.batches_applied.load(Ordering::Relaxed),
+            ops_coalesced: self.ops_coalesced.load(Ordering::Relaxed),
+            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            write_nanos: self.write_nanos.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Time `f`, returning its result and the elapsed nanoseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    (
+        out,
+        u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    )
+}
+
+/// A frozen copy of one dataset's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Rule-listing/filtering queries served.
+    pub rule_queries: u64,
+    /// Recommendation queries served.
+    pub recommend_queries: u64,
+    /// Snapshot pointer clones handed to readers.
+    pub snapshot_reads: u64,
+    /// Total nanoseconds spent inside read-path query evaluation.
+    pub read_nanos: u64,
+    /// Ops accepted by the update queue.
+    pub ops_enqueued: u64,
+    /// Individual updates inside those ops.
+    pub updates_enqueued: u64,
+    /// Maintenance batches actually applied by the writer.
+    pub batches_applied: u64,
+    /// Ops folded into a neighbouring batch by coalescing.
+    pub ops_coalesced: u64,
+    /// Snapshots atomically published.
+    pub snapshots_published: u64,
+    /// Total nanoseconds of writer time (apply + snapshot build).
+    pub write_nanos: u64,
+    /// Flush barriers awaited.
+    pub flushes: u64,
+}
+
+impl MetricsReport {
+    /// Mean read-path latency in nanoseconds, if any reads happened.
+    pub fn mean_read_nanos(&self) -> Option<u64> {
+        let n = self.rule_queries + self.recommend_queries;
+        (n > 0).then(|| self.read_nanos / n)
+    }
+
+    /// Render as `key=value` pairs for the protocol's `stats` command.
+    pub fn render(&self) -> String {
+        format!(
+            "rule_queries={} recommend_queries={} snapshot_reads={} \
+             ops_enqueued={} updates_enqueued={} batches_applied={} \
+             ops_coalesced={} snapshots_published={} flushes={} \
+             read_nanos={} write_nanos={}",
+            self.rule_queries,
+            self.recommend_queries,
+            self.snapshot_reads,
+            self.ops_enqueued,
+            self.updates_enqueued,
+            self.batches_applied,
+            self.ops_coalesced,
+            self.snapshots_published,
+            self.flushes,
+            self.read_nanos,
+            self.write_nanos,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_report() {
+        let m = Metrics::new();
+        m.record_snapshot_read();
+        m.record_rule_query(100);
+        m.record_recommend_query(300);
+        m.record_enqueue(5);
+        m.record_write_pass(2, 3, 1_000);
+        m.record_publish();
+        m.record_flush();
+        let r = m.report();
+        assert_eq!(r.snapshot_reads, 1);
+        assert_eq!(r.rule_queries, 1);
+        assert_eq!(r.recommend_queries, 1);
+        assert_eq!(r.mean_read_nanos(), Some(200));
+        assert_eq!(r.ops_enqueued, 1);
+        assert_eq!(r.updates_enqueued, 5);
+        assert_eq!(r.batches_applied, 2);
+        assert_eq!(r.ops_coalesced, 3);
+        assert_eq!(r.snapshots_published, 1);
+        assert_eq!(r.flushes, 1);
+        assert!(r.render().contains("updates_enqueued=5"));
+    }
+}

@@ -1,0 +1,713 @@
+//! The `annod` line protocol: one command per line, text in, text out.
+//!
+//! Replies are one `OK …` / `ERR …` header line; commands that return a
+//! listing follow the header with payload lines and a lone `.` terminator
+//! (the classic SMTP/NNTP framing, trivially scriptable with netcat).
+//!
+//! ```text
+//! open db 0.4 0.7          -> OK open db alpha=0.4 beta=0.7 retention=0.5
+//! row db 28 85 Annot_1     -> OK queued seq=1
+//! mine db                  -> OK mined rules=3 epoch=1
+//! rules db contains 28     -> OK 2 rules ... payload ... .
+//! recommend db tuple 3     -> OK 1 recommendations ... payload ... .
+//! ```
+//!
+//! Write commands (`row`, `annotate`, `unannotate`, `delete`) only
+//! enqueue: they return as soon as the op is queued, and the writer thread
+//! folds queued ops into batches. `flush` is the barrier; read commands
+//! (`rules`, `recommend`, `stats`) serve from the latest published
+//! snapshot and never wait on writes.
+
+use std::sync::Arc;
+
+use anno_mine::RuleKind;
+use anno_store::{Item, ItemKind, TupleId};
+
+use crate::error::ServiceError;
+use crate::metrics::timed;
+use crate::query::{top_k_for_items, top_k_for_tuple, RuleFilter, RuleOrder, TopRecommendation};
+use crate::queue::UpdateOp;
+use crate::service::{Service, ServiceConfig};
+use crate::snapshot::RuleSnapshot;
+
+/// Default `k` for `recommend` when no `top k` clause is given.
+const DEFAULT_TOP_K: usize = 10;
+
+/// One reply: the lines to send back, and whether to close the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Lines to write, in order. Multi-line listings end with `"."`.
+    pub lines: Vec<String>,
+    /// `true` after `quit`.
+    pub quit: bool,
+}
+
+impl Reply {
+    fn ok(msg: impl Into<String>) -> Reply {
+        Reply {
+            lines: vec![format!("OK {}", msg.into())],
+            quit: false,
+        }
+    }
+
+    fn block(header: impl Into<String>, mut payload: Vec<String>) -> Reply {
+        let mut lines = vec![format!("OK {}", header.into())];
+        lines.append(&mut payload);
+        lines.push(".".to_string());
+        Reply { lines, quit: false }
+    }
+
+    fn err(e: impl std::fmt::Display) -> Reply {
+        Reply {
+            lines: vec![format!("ERR {e}")],
+            quit: false,
+        }
+    }
+
+    /// The whole reply as one `\n`-terminated chunk.
+    pub fn to_text(&self) -> String {
+        let mut out = self.lines.join("\n");
+        out.push('\n');
+        out
+    }
+}
+
+/// A stateless command interpreter over a shared [`Service`]. One engine
+/// serves any number of concurrent sessions.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    service: Arc<Service>,
+}
+
+impl Engine {
+    /// An engine over `service`.
+    pub fn new(service: Arc<Service>) -> Engine {
+        Engine { service }
+    }
+
+    /// The shared registry.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Execute one command line.
+    pub fn execute(&self, line: &str) -> Reply {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some((&cmd, args)) = tokens.split_first() else {
+            return Reply::err("empty command; try `help`");
+        };
+        match self.dispatch(&cmd.to_ascii_lowercase(), args) {
+            Ok(reply) => reply,
+            Err(e) => Reply::err(e),
+        }
+    }
+
+    fn dispatch(&self, cmd: &str, args: &[&str]) -> Result<Reply, ServiceError> {
+        match cmd {
+            "ping" => Ok(Reply::ok("pong")),
+            "help" => Ok(help()),
+            "quit" | "exit" => Ok(Reply {
+                lines: vec!["OK bye".into()],
+                quit: true,
+            }),
+            "datasets" => Ok(self.datasets()),
+            "open" => self.open(args),
+            "drop" => {
+                let [name] = expect_args::<1>(args, "drop <dataset>")?;
+                self.service.remove(name)?;
+                Ok(Reply::ok(format!("dropped {name}")))
+            }
+            "row" => self.row(args),
+            "annotate" => self.annotation_op(args, true),
+            "unannotate" => self.annotation_op(args, false),
+            "delete" => self.delete(args),
+            "mine" => {
+                let [name] = expect_args::<1>(args, "mine <dataset>")?;
+                let snap = self.service.get(name)?.mine()?;
+                Ok(Reply::ok(format!(
+                    "mined rules={} epoch={}",
+                    snap.rules().len(),
+                    snap.epoch()
+                )))
+            }
+            "flush" => {
+                let [name] = expect_args::<1>(args, "flush <dataset>")?;
+                let ds = self.service.get(name)?;
+                ds.flush()?;
+                let epoch = ds.try_snapshot().map_or(0, |s| s.epoch());
+                Ok(Reply::ok(format!("flushed epoch={epoch}")))
+            }
+            "rules" => self.rules(args),
+            "recommend" => self.recommend(args),
+            "stats" => self.stats(args),
+            "verify" => {
+                let [name] = expect_args::<1>(args, "verify <dataset>")?;
+                let exact = self.service.get(name)?.verify()?;
+                Ok(Reply::ok(format!("exact={exact}")))
+            }
+            other => Err(ServiceError::BadCommand(format!(
+                "unknown command {other:?}; try `help`"
+            ))),
+        }
+    }
+
+    fn datasets(&self) -> Reply {
+        let payload: Vec<String> = self
+            .service
+            .list()
+            .into_iter()
+            .map(|d| {
+                format!(
+                    "{} tuples={} rules={} epoch={} mined={}",
+                    d.name, d.tuples, d.rules, d.epoch, d.mined
+                )
+            })
+            .collect();
+        Reply::block(format!("{} datasets", payload.len()), payload)
+    }
+
+    fn open(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let (name, rest) = args
+            .split_first()
+            .ok_or_else(|| bad("open <dataset> [<alpha> <beta> [<retention>]]"))?;
+        let mut config = ServiceConfig::default();
+        match rest {
+            [] => {}
+            [alpha, beta, rest2 @ ..] => {
+                let alpha = parse_fraction(alpha, "alpha")?;
+                let beta = parse_fraction(beta, "beta")?;
+                config.thresholds = anno_mine::Thresholds::new(alpha, beta);
+                match rest2 {
+                    [] => {}
+                    [retention] => config.retention = parse_fraction(retention, "retention")?,
+                    _ => return Err(bad("open <dataset> [<alpha> <beta> [<retention>]]")),
+                }
+            }
+            _ => return Err(bad("open takes alpha and beta together")),
+        }
+        self.service.create(name, config)?;
+        Ok(Reply::ok(format!(
+            "open {name} alpha={} beta={} retention={}",
+            config.thresholds.min_support, config.thresholds.min_confidence, config.retention
+        )))
+    }
+
+    fn row(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let (name, rest) = args
+            .split_first()
+            .ok_or_else(|| bad("row <dataset> <value|annotation>..."))?;
+        if rest.is_empty() {
+            return Err(bad("row needs at least one value"));
+        }
+        let line = rest.join(" ");
+        // A line the parser skips (comment/blank/separator-only) would
+        // silently vanish at apply time; err immediately instead of
+        // replying `queued`.
+        if !anno_store::line_has_items(&line) {
+            return Err(bad(
+                "row has no items (comment, blank, or separators only) and would be dropped",
+            ));
+        }
+        let ds = self.service.get(name)?;
+        let seq = ds.enqueue(UpdateOp::InsertRows(vec![line]))?;
+        Ok(Reply::ok(format!("queued seq={seq}")))
+    }
+
+    fn annotation_op(&self, args: &[&str], attach: bool) -> Result<Reply, ServiceError> {
+        let usage = if attach {
+            "annotate <dataset> <tuple-id> <annotation>..."
+        } else {
+            "unannotate <dataset> <tuple-id> <annotation>..."
+        };
+        let [name, tid, anns @ ..] = args else {
+            return Err(bad(usage));
+        };
+        if anns.is_empty() {
+            return Err(bad(usage));
+        }
+        let tid = parse_tid(tid)?;
+        let named: Vec<(TupleId, String)> = anns.iter().map(|a| (tid, a.to_string())).collect();
+        let ds = self.service.get(name)?;
+        let op = if attach {
+            UpdateOp::AnnotateNamed(named)
+        } else {
+            UpdateOp::RemoveNamed(named)
+        };
+        let seq = ds.enqueue(op)?;
+        Ok(Reply::ok(format!("queued seq={seq}")))
+    }
+
+    fn delete(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let [name, tids @ ..] = args else {
+            return Err(bad("delete <dataset> <tuple-id>..."));
+        };
+        if tids.is_empty() {
+            return Err(bad("delete needs at least one tuple id"));
+        }
+        let tids = tids
+            .iter()
+            .map(|t| parse_tid(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        let seq = self
+            .service
+            .get(name)?
+            .enqueue(UpdateOp::DeleteTuples(tids))?;
+        Ok(Reply::ok(format!("queued seq={seq}")))
+    }
+
+    fn rules(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let (name, mut rest) = args.split_first().ok_or_else(|| {
+            bad("rules <dataset> [contains <item>...] [kind data|ann] [minconf <x>] [top <k>]")
+        })?;
+        let ds = self.service.get(name)?;
+        let snap = ds.snapshot()?;
+        let mut filter = RuleFilter::default();
+        // An unknown `contains` item means an empty result, but only after
+        // the whole command parses — a success reply must never mask a
+        // malformed later clause.
+        let mut unknown_item = false;
+        while let Some((&clause, after)) = rest.split_first() {
+            rest = match clause.to_ascii_lowercase().as_str() {
+                "contains" => {
+                    let mut cursor = after;
+                    let mut consumed = 0usize;
+                    while let Some((&tok, next)) = cursor.split_first() {
+                        let (item_tok, literal) = unescape_item(tok);
+                        if !literal && is_clause_keyword(tok) {
+                            break;
+                        }
+                        consumed += 1;
+                        match resolve_item(&snap, item_tok) {
+                            Some(item) => filter.antecedent.push(item),
+                            None => unknown_item = true,
+                        }
+                        cursor = next;
+                    }
+                    if consumed == 0 {
+                        return Err(bad("contains needs at least one item"));
+                    }
+                    cursor
+                }
+                "kind" => {
+                    let (&kind, next) = after.split_first().ok_or_else(|| bad("kind data|ann"))?;
+                    filter.kind = Some(match kind.to_ascii_lowercase().as_str() {
+                        "data" | "d2a" => RuleKind::DataToAnnotation,
+                        "ann" | "a2a" => RuleKind::AnnotationToAnnotation,
+                        other => return Err(bad(format!("unknown rule kind {other:?}"))),
+                    });
+                    next
+                }
+                "minconf" => {
+                    let (&x, next) = after.split_first().ok_or_else(|| bad("minconf <x>"))?;
+                    filter.min_confidence = Some(parse_fraction(x, "minconf")?);
+                    next
+                }
+                "top" => {
+                    let (&k, next) = after.split_first().ok_or_else(|| bad("top <k>"))?;
+                    filter.top = Some(parse_count(k)?);
+                    next
+                }
+                "by" => {
+                    let (&o, next) = after.split_first().ok_or_else(|| bad("by conf|sup|lift"))?;
+                    filter.order = match o.to_ascii_lowercase().as_str() {
+                        "conf" | "confidence" => RuleOrder::Confidence,
+                        "sup" | "support" => RuleOrder::Support,
+                        "lift" => RuleOrder::Lift,
+                        other => return Err(bad(format!("unknown order {other:?}"))),
+                    };
+                    next
+                }
+                other => return Err(bad(format!("unknown rules clause {other:?}"))),
+            };
+        }
+        if unknown_item {
+            // Still a served rule query; count it.
+            ds.raw_metrics().record_rule_query(0);
+            return Ok(Reply::block("0 rules (unknown item)", vec![]));
+        }
+        let (payload, nanos) = timed(|| {
+            let vocab = snap.relation().vocab();
+            filter
+                .apply(&snap)
+                .into_iter()
+                .map(|r| r.render(vocab))
+                .collect::<Vec<String>>()
+        });
+        ds.raw_metrics().record_rule_query(nanos);
+        Ok(Reply::block(format!("{} rules", payload.len()), payload))
+    }
+
+    fn recommend(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let usage = "recommend <dataset> tuple <id> [top <k>] | recommend <dataset> items <item>... [top <k>]";
+        let [name, mode, rest @ ..] = args else {
+            return Err(bad(usage));
+        };
+        let ds = self.service.get(name)?;
+        let snap = ds.snapshot()?;
+        let (recs, nanos): (Option<Vec<TopRecommendation>>, u64) =
+            match mode.to_ascii_lowercase().as_str() {
+                "tuple" => {
+                    let [tid, k @ ..] = rest else {
+                        return Err(bad(usage));
+                    };
+                    let tid = parse_tid(tid)?;
+                    let k = parse_top_clause(k)?;
+                    timed(|| top_k_for_tuple(&snap, tid, k))
+                }
+                "items" => {
+                    let (toks, k) = split_top_clause(rest)?;
+                    if toks.is_empty() {
+                        return Err(bad(usage));
+                    }
+                    let items: Vec<Item> = toks
+                        .iter()
+                        .filter_map(|t| resolve_item(&snap, unescape_item(t).0))
+                        .collect();
+                    timed(|| Some(top_k_for_items(&snap, &items, k)))
+                }
+                _ => return Err(bad(usage)),
+            };
+        ds.raw_metrics().record_recommend_query(nanos);
+        let Some(recs) = recs else {
+            return Err(ServiceError::BadCommand(
+                "tuple is dead or out of range in the current snapshot".into(),
+            ));
+        };
+        let payload: Vec<String> = recs
+            .into_iter()
+            .map(|r| {
+                format!(
+                    "add {} conf={:.4} sup={:.4} [{}]",
+                    r.name, r.confidence, r.support, r.rule
+                )
+            })
+            .collect();
+        Ok(Reply::block(
+            format!("{} recommendations", payload.len()),
+            payload,
+        ))
+    }
+
+    fn stats(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let [name] = expect_args::<1>(args, "stats <dataset>")?;
+        let ds = self.service.get(name)?;
+        let mut payload = Vec::new();
+        match ds.try_snapshot() {
+            Some(snap) => {
+                let cfg = snap.config();
+                let t = cfg.thresholds;
+                let s = snap.stats();
+                payload.push(format!(
+                    "tuples={} rules={} candidates={} epoch={} relation_epoch={}",
+                    snap.db_size(),
+                    snap.rules().len(),
+                    snap.candidates().len(),
+                    snap.epoch(),
+                    snap.relation_epoch(),
+                ));
+                payload.push(format!(
+                    "alpha={} beta={} retention={}",
+                    t.min_support, t.min_confidence, cfg.retention
+                ));
+                payload.push(format!(
+                    "full_remines={} case1_batches={} case2_batches={} case3_batches={} \
+                     deletion_batches={} discovered_itemsets={}",
+                    s.full_remines,
+                    s.case1_batches,
+                    s.case2_batches,
+                    s.case3_batches,
+                    s.deletion_batches,
+                    s.discovered_itemsets,
+                ));
+            }
+            None => payload.push(format!("tuples={} (not mined)", ds.live_tuples())),
+        }
+        payload.push(ds.metrics().render());
+        Ok(Reply::block(format!("stats {name}"), payload))
+    }
+}
+
+fn help() -> Reply {
+    let payload = vec![
+        "ping | help | quit".into(),
+        "datasets".into(),
+        "open <ds> [<alpha> <beta> [<retention>]]".into(),
+        "drop <ds>".into(),
+        "row <ds> <value|annotation>...        (queued write)".into(),
+        "annotate <ds> <tid> <annotation>...   (queued write; names are single tokens)".into(),
+        "unannotate <ds> <tid> <annotation>... (queued write; names are single tokens)".into(),
+        "delete <ds> <tid>...                  (queued write)".into(),
+        "mine <ds>     full mine + first snapshot".into(),
+        "flush <ds>    wait until queued writes are published".into(),
+        "rules <ds> [contains <item>...] [kind data|ann] [minconf <x>] [by conf|sup|lift] [top <k>]".into(),
+        "recommend <ds> tuple <tid> [top <k>]".into(),
+        "recommend <ds> items <item>... [top <k>]".into(),
+        "  (item escapes: =name for keyword collisions, ann:name / data:name to force a kind)"
+            .into(),
+        "stats <ds> | verify <ds>".into(),
+    ];
+    Reply::block("commands", payload)
+}
+
+fn bad(msg: impl Into<String>) -> ServiceError {
+    ServiceError::BadCommand(msg.into())
+}
+
+fn expect_args<'a, const N: usize>(
+    args: &[&'a str],
+    usage: &str,
+) -> Result<[&'a str; N], ServiceError> {
+    <[&str; N]>::try_from(args.to_vec()).map_err(|_| bad(usage))
+}
+
+fn parse_fraction(tok: &str, what: &str) -> Result<f64, ServiceError> {
+    let x: f64 = tok
+        .parse()
+        .map_err(|_| bad(format!("{what} must be a number, got {tok:?}")))?;
+    if !(0.0..=1.0).contains(&x) {
+        return Err(bad(format!("{what} must be in [0, 1], got {x}")));
+    }
+    Ok(x)
+}
+
+fn parse_tid(tok: &str) -> Result<TupleId, ServiceError> {
+    tok.parse::<u32>().map(TupleId).map_err(|_| {
+        bad(format!(
+            "tuple id must be a non-negative integer, got {tok:?}"
+        ))
+    })
+}
+
+fn parse_count(tok: &str) -> Result<usize, ServiceError> {
+    tok.parse::<usize>()
+        .map_err(|_| bad(format!("count must be a non-negative integer, got {tok:?}")))
+}
+
+/// Strip the `=` literal-item escape: `=top` names an item called `top`
+/// even though bare `top` would parse as a clause keyword (annotations can
+/// carry any single-token name, including the grammar's reserved words).
+fn unescape_item(tok: &str) -> (&str, bool) {
+    match tok.strip_prefix('=') {
+        Some(rest) => (rest, true),
+        None => (tok, false),
+    }
+}
+
+fn is_clause_keyword(tok: &str) -> bool {
+    matches!(
+        tok.to_ascii_lowercase().as_str(),
+        "contains" | "kind" | "minconf" | "top" | "by"
+    )
+}
+
+/// Parse an optional trailing `top <k>` clause.
+fn parse_top_clause(rest: &[&str]) -> Result<usize, ServiceError> {
+    match rest {
+        [] => Ok(DEFAULT_TOP_K),
+        [kw, k] if kw.eq_ignore_ascii_case("top") => parse_count(k),
+        _ => Err(bad("expected `top <k>`")),
+    }
+}
+
+/// Split `tokens... [top <k>]` into the tokens and the effective k.
+fn split_top_clause<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, usize), ServiceError> {
+    if let Some(pos) = rest.iter().position(|t| t.eq_ignore_ascii_case("top")) {
+        let k = match &rest[pos + 1..] {
+            [k] => parse_count(k)?,
+            _ => return Err(bad("expected `top <k>` at end")),
+        };
+        Ok((rest[..pos].to_vec(), k))
+    } else {
+        Ok((rest.to_vec(), DEFAULT_TOP_K))
+    }
+}
+
+/// Resolve a protocol token against the snapshot's vocabulary without
+/// interning. `ann:<name>` / `data:<name>` force a kind (the only way to
+/// reach an annotation whose digit-only name shadows a data value);
+/// otherwise the shared Fig. 4 convention (`anno_store::token_kind`)
+/// picks the preferred kind, falling back to the other on a miss so
+/// digit-named annotations stay queryable when unambiguous.
+fn resolve_item(snap: &RuleSnapshot, tok: &str) -> Option<Item> {
+    let vocab = snap.relation().vocab();
+    if let Some(rest) = tok.strip_prefix("ann:") {
+        return vocab.get(ItemKind::Annotation, rest);
+    }
+    if let Some(rest) = tok.strip_prefix("data:") {
+        return vocab.get(ItemKind::Data, rest);
+    }
+    let preferred = anno_store::token_kind(tok);
+    let fallback = match preferred {
+        ItemKind::Data => ItemKind::Annotation,
+        _ => ItemKind::Data,
+    };
+    vocab
+        .get(preferred, tok)
+        .or_else(|| vocab.get(fallback, tok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(Arc::new(Service::new()))
+    }
+
+    fn ok(e: &Engine, line: &str) -> Vec<String> {
+        let reply = e.execute(line);
+        assert!(
+            reply.lines[0].starts_with("OK"),
+            "{line:?} -> {:?}",
+            reply.lines
+        );
+        reply.lines
+    }
+
+    #[test]
+    fn full_session_walkthrough() {
+        let e = engine();
+        ok(&e, "ping");
+        ok(&e, "open db 0.4 0.7");
+        for row in [
+            "28 85 Annot_1",
+            "28 85 Annot_1",
+            "28 85 Annot_1",
+            "28 85",
+            "17 99",
+        ] {
+            ok(&e, &format!("row db {row}"));
+        }
+        let mined = ok(&e, "mine db");
+        assert!(mined[0].contains("rules=3"), "{mined:?}");
+
+        let rules = ok(&e, "rules db");
+        assert_eq!(rules.len(), 3 + 2, "header + 3 rules + terminator");
+        assert_eq!(rules.last().unwrap(), ".");
+
+        let filtered = ok(&e, "rules db contains 28 top 1");
+        assert!(filtered[0].starts_with("OK 1 rules") || filtered[0].starts_with("OK 2 rules"));
+
+        let recs = ok(&e, "recommend db tuple 3");
+        assert!(recs[0].contains("1 recommendations"), "{recs:?}");
+        assert!(recs[1].contains("add Annot_1"), "{recs:?}");
+
+        let by_items = ok(&e, "recommend db items 28 85 top 5");
+        assert!(by_items[0].contains("1 recommendations"), "{by_items:?}");
+
+        ok(&e, "annotate db 3 Annot_1");
+        ok(&e, "flush db");
+        let after = ok(&e, "recommend db tuple 3");
+        assert!(after[0].contains("0 recommendations"), "{after:?}");
+
+        let stats = ok(&e, "stats db");
+        assert!(
+            stats.iter().any(|l| l.contains("case3_batches=1")),
+            "{stats:?}"
+        );
+        assert!(
+            stats.iter().any(|l| l.contains("snapshots_published=")),
+            "{stats:?}"
+        );
+
+        let verify = ok(&e, "verify db");
+        assert!(verify[0].contains("exact=true"), "{verify:?}");
+
+        let listing = ok(&e, "datasets");
+        assert!(listing[1].starts_with("db "), "{listing:?}");
+
+        let bye = e.execute("quit");
+        assert!(bye.quit);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let e = engine();
+        assert!(e.execute("").lines[0].starts_with("ERR"));
+        assert!(e.execute("bogus").lines[0].starts_with("ERR"));
+        assert!(e.execute("rules nosuch").lines[0].starts_with("ERR"));
+        assert!(e.execute("open db 2.0 0.5").lines[0].starts_with("ERR"));
+        ok(&e, "open db");
+        assert!(
+            e.execute("open db").lines[0].starts_with("ERR"),
+            "duplicate open"
+        );
+        assert!(
+            e.execute("rules db").lines[0].starts_with("ERR"),
+            "not mined yet"
+        );
+        assert!(e.execute("annotate db xyz A").lines[0].starts_with("ERR"));
+        assert!(e.execute("delete db").lines[0].starts_with("ERR"));
+        assert!(
+            e.execute("row db # comment only").lines[0].starts_with("ERR"),
+            "comment-only rows would be silently dropped; must err upfront"
+        );
+        assert!(
+            e.execute("row db ,").lines[0].starts_with("ERR"),
+            "separator-only rows parse to no items and must err, not insert an empty tuple"
+        );
+        e.execute("row db 1 X");
+        e.execute("row db 1 X");
+        e.execute("mine db");
+        assert!(
+            e.execute("rules db contains kind ann").lines[0].starts_with("ERR"),
+            "contains with no items must be a usage error, not an unfiltered listing"
+        );
+        ok(&e, "drop db");
+        assert!(e.execute("flush db").lines[0].starts_with("ERR"));
+    }
+
+    #[test]
+    fn digit_named_annotations_stay_queryable() {
+        // `annotate` accepts any name, including digit-only ones that the
+        // Fig. 4 convention would read as data values. Queries must fall
+        // back to the annotation vocabulary and still find them.
+        let e = engine();
+        ok(&e, "open db 0.3 0.5");
+        for _ in 0..3 {
+            ok(&e, "row db 1 2");
+        }
+        ok(&e, "annotate db 0 123 Annot_X");
+        ok(&e, "annotate db 1 123 Annot_X");
+        ok(&e, "annotate db 2 123");
+        ok(&e, "mine db");
+        // {123} ⇒ Annot_X holds at conf 2/3 ≥ 0.5; `contains 123` must
+        // resolve 123 as the annotation, not a nonexistent data value.
+        let rules = ok(&e, "rules db contains 123 kind ann");
+        assert!(!rules[0].contains("0 rules"), "{rules:?}");
+        let recs = ok(&e, "recommend db items 123");
+        assert!(recs.iter().any(|l| l.contains("add Annot_X")), "{recs:?}");
+    }
+
+    #[test]
+    fn keyword_named_items_are_queryable_with_equals_escape() {
+        let e = engine();
+        ok(&e, "open db 0.3 0.5");
+        for _ in 0..3 {
+            ok(&e, "row db 1 2");
+        }
+        ok(&e, "annotate db 0 top Annot_X");
+        ok(&e, "annotate db 1 top Annot_X");
+        ok(&e, "annotate db 2 top");
+        ok(&e, "mine db");
+        // Bare `top` parses as a clause keyword; `=top` names the item.
+        assert!(e.execute("rules db contains top").lines[0].starts_with("ERR"));
+        let rules = ok(&e, "rules db contains =top kind ann");
+        assert!(!rules[0].contains("0 rules"), "{rules:?}");
+        let recs = ok(&e, "recommend db items =top");
+        assert!(recs.iter().any(|l| l.contains("add Annot_X")), "{recs:?}");
+    }
+
+    #[test]
+    fn unknown_query_items_yield_empty_results() {
+        let e = engine();
+        ok(&e, "open db 0.4 0.7");
+        ok(&e, "row db 1 2 X");
+        ok(&e, "row db 1 2 X");
+        ok(&e, "mine db");
+        let rules = ok(&e, "rules db contains 999999");
+        assert!(rules[0].contains("0 rules"), "{rules:?}");
+        let recs = ok(&e, "recommend db items NoSuchAnnotation");
+        assert!(recs[0].contains("0 recommendations"), "{recs:?}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Std-only transports for the [`Engine`]: TCP and a stdin REPL.
+//!
+//! The TCP server is thread-per-connection over a shared [`Engine`]
+//! (itself over a shared [`Service`](crate::service::Service)) — every
+//! connection sees the same datasets, which is the point of a multi-tenant
+//! serving layer. No async runtime: the workspace is dependency-free by
+//! construction, and blocking I/O per connection is plenty for the line
+//! protocol.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::protocol::Engine;
+use crate::service::Service;
+
+/// Longest command line a TCP client may send. Bounds per-connection
+/// memory: without it, a newline-free byte stream would accumulate into
+/// one ever-growing String until the daemon OOMs.
+const MAX_LINE_BYTES: u64 = 64 * 1024;
+
+/// Read one `\n`-terminated line of at most `max` bytes. `Ok(None)` at
+/// EOF; an error if the line exceeds the bound or is not UTF-8.
+fn read_bounded_line<R: BufRead>(reader: &mut R, max: u64) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let n = reader.by_ref().take(max + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    } else if n as u64 > max {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("line exceeds {max} bytes"),
+        ));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Serve one accepted connection until `quit`, EOF, or an I/O error.
+pub fn handle_connection(engine: &Engine, stream: TcpStream) -> std::io::Result<()> {
+    let peer = stream.peer_addr()?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "OK annod ready ({peer})")?;
+    while let Some(line) = read_bounded_line(&mut reader, MAX_LINE_BYTES)? {
+        let reply = engine.execute(&line);
+        writer.write_all(reply.to_text().as_bytes())?;
+        writer.flush()?;
+        if reply.quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Accept connections forever on an already-bound listener, spawning one
+/// thread per connection. Transient accept errors (fd exhaustion under a
+/// connection burst, aborted handshakes) are logged and survived — one
+/// recoverable error must not tear down every dataset in the daemon.
+pub fn serve_listener(service: Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    let engine = Engine::new(service);
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("annod: accept error (continuing): {e}");
+                // Back off briefly so an EMFILE storm doesn't spin hot.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+        };
+        let engine = engine.clone();
+        let spawned = std::thread::Builder::new()
+            .name("annod-conn".to_string())
+            .spawn(move || {
+                if let Err(e) = handle_connection(&engine, stream) {
+                    eprintln!("annod: connection error: {e}");
+                }
+            });
+        if let Err(e) = spawned {
+            // Same resource-exhaustion class as an accept error: shed this
+            // connection (dropping the stream closes it), keep the daemon.
+            eprintln!("annod: could not spawn connection thread (shedding): {e}");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+    Ok(())
+}
+
+/// Bind `addr` and serve forever.
+pub fn serve_tcp(service: Arc<Service>, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("annod: listening on {}", listener.local_addr()?);
+    serve_listener(service, listener)
+}
+
+/// Interactive REPL over arbitrary reader/writer pairs (used with
+/// stdin/stdout by `annod repl`, and by tests with in-memory buffers).
+pub fn run_repl<R: BufRead, W: Write>(
+    service: Arc<Service>,
+    input: R,
+    mut output: W,
+) -> std::io::Result<()> {
+    let engine = Engine::new(service);
+    writeln!(output, "OK annod repl ready (try `help`)")?;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = engine.execute(&line);
+        output.write_all(reply.to_text().as_bytes())?;
+        output.flush()?;
+        if reply.quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn repl_runs_a_scripted_session() {
+        let script = "\
+open db 0.4 0.7
+row db 28 85 Annot_1
+row db 28 85 Annot_1
+row db 28 85 Annot_1
+row db 28 85
+mine db
+recommend db tuple 3
+quit
+";
+        let mut out = Vec::new();
+        run_repl(Arc::new(Service::new()), Cursor::new(script), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("OK mined rules="), "{text}");
+        assert!(text.contains("add Annot_1"), "{text}");
+        assert!(text.trim_end().ends_with("OK bye"), "{text}");
+    }
+
+    #[test]
+    fn bounded_line_reader_enforces_the_cap() {
+        let mut ok_input = Cursor::new(b"ping\r\nquit\n".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut ok_input, 16).unwrap().as_deref(),
+            Some("ping")
+        );
+        assert_eq!(
+            read_bounded_line(&mut ok_input, 16).unwrap().as_deref(),
+            Some("quit")
+        );
+        assert_eq!(read_bounded_line(&mut ok_input, 16).unwrap(), None);
+
+        // A newline-free flood must error out instead of accumulating.
+        let mut flood = Cursor::new(vec![b'x'; 1024]);
+        let err = read_bounded_line(&mut flood, 64).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Exactly at the cap with a terminator is fine.
+        let mut exact = Cursor::new(b"abcd\n".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut exact, 4).unwrap().as_deref(),
+            Some("abcd")
+        );
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let service = Arc::new(Service::new());
+        std::thread::spawn(move || serve_listener(service, listener));
+
+        let stream = TcpStream::connect(addr).expect("connect loopback");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let mut banner = String::new();
+        reader.read_line(&mut banner).unwrap();
+        assert!(banner.starts_with("OK annod ready"), "{banner}");
+
+        for cmd in ["open db 0.4 0.7", "row db 1 2 X", "row db 1 2 X", "mine db"] {
+            writeln!(writer, "{cmd}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("OK"), "{cmd:?} -> {line}");
+        }
+        writeln!(writer, "rules db").unwrap();
+        let mut block = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let done = line.trim_end() == ".";
+            block.push(line);
+            if done {
+                break;
+            }
+        }
+        assert!(block[0].starts_with("OK"), "{block:?}");
+        assert!(block.len() > 2, "some rules listed: {block:?}");
+        writeln!(writer, "quit").unwrap();
+        let mut bye = String::new();
+        reader.read_line(&mut bye).unwrap();
+        assert_eq!(bye.trim_end(), "OK bye");
+    }
+}

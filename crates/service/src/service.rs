@@ -1,0 +1,190 @@
+//! The multi-tenant registry: named datasets, each with its own writer.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use anno_mine::{CountingStrategy, IncrementalConfig, Thresholds};
+
+use crate::dataset::Dataset;
+use crate::error::ServiceError;
+
+/// Per-dataset mining configuration, with serving-friendly defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Minimum support / confidence (α, β). Default: the paper's 0.4/0.8.
+    pub thresholds: Thresholds,
+    /// Retention factor for the near-threshold candidate store.
+    pub retention: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            thresholds: Thresholds::paper(),
+            retention: 0.5,
+        }
+    }
+}
+
+impl From<ServiceConfig> for IncrementalConfig {
+    fn from(cfg: ServiceConfig) -> IncrementalConfig {
+        IncrementalConfig {
+            thresholds: cfg.thresholds,
+            retention: cfg.retention,
+            counting: CountingStrategy::HashTree,
+        }
+    }
+}
+
+/// One row of the `datasets` listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Live tuples (from the snapshot if mined, else the write state).
+    pub tuples: usize,
+    /// Valid rules in the latest snapshot (0 pre-mine).
+    pub rules: usize,
+    /// Latest published snapshot epoch (0 pre-mine).
+    pub epoch: u64,
+    /// Whether a snapshot has been published.
+    pub mined: bool,
+}
+
+/// The concurrent, multi-tenant correlation-serving engine.
+///
+/// Thread-safe: share it behind an `Arc` between protocol handlers,
+/// background writers, and embedding applications.
+#[derive(Debug, Default)]
+pub struct Service {
+    datasets: RwLock<BTreeMap<String, Arc<Dataset>>>,
+}
+
+impl Service {
+    /// An empty registry.
+    pub fn new() -> Service {
+        Service::default()
+    }
+
+    /// Register a new dataset and start its writer thread.
+    pub fn create(&self, name: &str, config: ServiceConfig) -> Result<Arc<Dataset>, ServiceError> {
+        let mut map = self.datasets.write().expect("registry lock");
+        if map.contains_key(name) {
+            return Err(ServiceError::DatasetExists(name.to_string()));
+        }
+        let ds = Arc::new(Dataset::spawn(name, config.into())?);
+        map.insert(name.to_string(), Arc::clone(&ds));
+        Ok(ds)
+    }
+
+    /// Look up a dataset by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, ServiceError> {
+        self.datasets
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))
+    }
+
+    /// Unregister a dataset, stopping its writer (queued work is drained).
+    pub fn remove(&self, name: &str) -> Result<(), ServiceError> {
+        let ds = self
+            .datasets
+            .write()
+            .expect("registry lock")
+            .remove(name)
+            .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))?;
+        ds.shutdown();
+        Ok(())
+    }
+
+    /// Summaries of every registered dataset, in name order.
+    pub fn list(&self) -> Vec<DatasetSummary> {
+        let map = self.datasets.read().expect("registry lock");
+        map.values()
+            .map(|ds| match ds.try_snapshot() {
+                Some(snap) => DatasetSummary {
+                    name: ds.name().to_string(),
+                    tuples: snap.db_size(),
+                    rules: snap.rules().len(),
+                    epoch: snap.epoch(),
+                    mined: true,
+                },
+                None => DatasetSummary {
+                    name: ds.name().to_string(),
+                    tuples: ds.live_tuples(),
+                    rules: 0,
+                    epoch: 0,
+                    mined: false,
+                },
+            })
+            .collect()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Stop every writer deterministically; Dataset::drop would do it
+        // too, but only once the last outside Arc is gone.
+        for ds in self.datasets.read().expect("registry lock").values() {
+            ds.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::UpdateOp;
+
+    #[test]
+    fn registry_create_get_list_remove() {
+        let service = Service::new();
+        let ds = service.create("a", ServiceConfig::default()).unwrap();
+        assert!(matches!(
+            service.create("a", ServiceConfig::default()),
+            Err(ServiceError::DatasetExists(_))
+        ));
+        service.create("b", ServiceConfig::default()).unwrap();
+
+        ds.enqueue(UpdateOp::InsertRows(vec!["1 2 X".into()]))
+            .unwrap();
+        ds.flush().unwrap();
+
+        let listing = service.list();
+        assert_eq!(listing.len(), 2);
+        assert_eq!(listing[0].name, "a");
+        assert_eq!(listing[0].tuples, 1);
+        assert!(!listing[0].mined);
+
+        assert!(service.get("a").is_ok());
+        service.remove("a").unwrap();
+        assert!(matches!(
+            service.get("a"),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            service.remove("a"),
+            Err(ServiceError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let service = Service::new();
+        let a = service.create("a", ServiceConfig::default()).unwrap();
+        let b = service.create("b", ServiceConfig::default()).unwrap();
+        a.enqueue(UpdateOp::InsertRows(vec!["1 2 X".into(), "1 2 X".into()]))
+            .unwrap();
+        b.enqueue(UpdateOp::InsertRows(vec!["9 Z".into()])).unwrap();
+        a.mine().unwrap();
+        b.mine().unwrap();
+        let sa = a.snapshot().unwrap();
+        let sb = b.snapshot().unwrap();
+        assert_eq!(sa.db_size(), 2);
+        assert_eq!(sb.db_size(), 1);
+        assert_eq!(sa.dataset(), "a");
+        assert_eq!(sb.dataset(), "b");
+    }
+}

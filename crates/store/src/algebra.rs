@@ -32,7 +32,10 @@ pub struct KRelation<K: Semiring> {
 impl<K: Semiring> KRelation<K> {
     /// An empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
-        KRelation { arity, rows: Vec::new() }
+        KRelation {
+            arity,
+            rows: Vec::new(),
+        }
     }
 
     /// The number of attributes per row.
@@ -99,19 +102,17 @@ impl<K: Semiring> KRelation<K> {
     pub fn select(&self, pred: impl Fn(&[Item]) -> bool) -> KRelation<K> {
         KRelation {
             arity: self.arity,
-            rows: self
-                .rows
-                .iter()
-                .filter(|(r, _)| pred(r))
-                .cloned()
-                .collect(),
+            rows: self.rows.iter().filter(|(r, _)| pred(r)).cloned().collect(),
         }
     }
 
     /// Projection π: keep the attributes at `cols` (in the given order);
     /// merge collapsing tuples with `+`.
     pub fn project(&self, cols: &[usize]) -> KRelation<K> {
-        assert!(cols.iter().all(|&c| c < self.arity), "projection out of range");
+        assert!(
+            cols.iter().all(|&c| c < self.arity),
+            "projection out of range"
+        );
         let mut out = KRelation::new(cols.len());
         for (row, k) in &self.rows {
             let proj: Vec<Item> = cols.iter().map(|&c| row[c]).collect();
@@ -149,7 +150,9 @@ impl<K: Semiring> KRelation<K> {
         }
         for (lrow, lk) in &self.rows {
             let key: Vec<Item> = on.iter().map(|&(l, _)| lrow[l]).collect();
-            let Some(matches) = table.get(&key) else { continue };
+            let Some(matches) = table.get(&key) else {
+                continue;
+            };
             for &ri in matches {
                 let (rrow, rk) = &other.rows[ri];
                 let mut row: Vec<Item> = lrow.to_vec();

@@ -97,7 +97,11 @@ impl BitSet {
             self.blocks.resize(other.blocks.len(), 0);
         }
         let mut ones = 0usize;
-        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter().chain(std::iter::repeat(&0))) {
+        for (a, b) in self
+            .blocks
+            .iter_mut()
+            .zip(other.blocks.iter().chain(std::iter::repeat(&0)))
+        {
             *a |= b;
             ones += a.count_ones() as usize;
         }
@@ -192,7 +196,10 @@ mod tests {
             s.insert(i);
         }
         assert_eq!(s.len(), 6);
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 1000]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 1000]
+        );
     }
 
     #[test]
@@ -200,7 +207,10 @@ mod tests {
         let a: BitSet = [1u32, 2, 3, 64, 65].into_iter().collect();
         let b: BitSet = [2u32, 3, 4, 65, 128].into_iter().collect();
         assert_eq!(a.intersection_count(&b), 3);
-        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2, 3, 65]);
+        assert_eq!(
+            a.intersection(&b).iter().collect::<Vec<_>>(),
+            vec![2, 3, 65]
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl Taxonomy {
     /// edge) if it would create a cycle or is a self-loop.
     pub fn add_edge(&mut self, source: Item, label: Item) -> bool {
         assert!(source.is_annotation_like(), "only annotations generalize");
-        assert!(label.kind() == ItemKind::Label, "generalization target must be a label");
+        assert!(
+            label.kind() == ItemKind::Label,
+            "generalization target must be a label"
+        );
         if source == label || self.ancestors(label).contains(&source) {
             return false;
         }
@@ -290,7 +293,10 @@ mod tests {
         // Tuple 1 had Annot_4 → Annot_Y.
         assert!(rel.tuple(crate::tuple::TupleId(1)).unwrap().contains(y));
         // Tuple 2 was unannotated → untouched.
-        assert!(rel.tuple(crate::tuple::TupleId(2)).unwrap().is_unannotated());
+        assert!(rel
+            .tuple(crate::tuple::TupleId(2))
+            .unwrap()
+            .is_unannotated());
         assert_eq!(rel.index().frequency(x), 1);
         rel.check_consistency().unwrap();
     }
@@ -298,11 +304,7 @@ mod tests {
     #[test]
     fn multi_level_chains_reach_all_ancestors() {
         let mut vocab = Vocabulary::new();
-        let tax = taxonomy_from_rules(
-            "Annot_1 -> Mid\nMid -> Top",
-            &mut vocab,
-        )
-        .unwrap();
+        let tax = taxonomy_from_rules("Annot_1 -> Mid\nMid -> Top", &mut vocab).unwrap();
         let a1 = vocab.get(ItemKind::Annotation, "Annot_1").unwrap();
         let mid = vocab.get(ItemKind::Label, "Mid").unwrap();
         let top = vocab.get(ItemKind::Label, "Top").unwrap();

@@ -228,7 +228,10 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticDataset {
         rule.lhs.sort_unstable();
     }
 
-    SyntheticDataset { relation: rel, planted }
+    SyntheticDataset {
+        relation: rel,
+        planted,
+    }
 }
 
 /// Build a random Case-3 annotation batch: `size` additions of existing
@@ -257,7 +260,10 @@ pub fn random_annotation_batch(
                 .iter()
                 .any(|u: &AnnotationUpdate| u.tuple == tid && u.annotation == ann)
         {
-            out.push(AnnotationUpdate { tuple: tid, annotation: ann });
+            out.push(AnnotationUpdate {
+                tuple: tid,
+                annotation: ann,
+            });
         }
     }
     out
@@ -324,7 +330,10 @@ pub fn hide_annotations(
     for (tid, ann) in occurrences {
         if rng.gen_bool(fraction) {
             out.remove_annotation(tid, ann);
-            hidden.push(AnnotationUpdate { tuple: tid, annotation: ann });
+            hidden.push(AnnotationUpdate {
+                tuple: tid,
+                annotation: ann,
+            });
         }
     }
     (out, hidden)
@@ -385,7 +394,10 @@ mod tests {
         assert!(!batch.is_empty());
         for u in &batch {
             let t = ds.relation.tuple(u.tuple).unwrap();
-            assert!(!t.contains(u.annotation), "batch re-adds existing annotation");
+            assert!(
+                !t.contains(u.annotation),
+                "batch re-adds existing annotation"
+            );
         }
         // No duplicate (tuple, annotation) pairs inside the batch.
         let mut seen = std::collections::BTreeSet::new();

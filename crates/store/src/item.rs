@@ -255,7 +255,10 @@ mod tests {
         let mut v = Vocabulary::new();
         let a = v.annotation("a");
         let b = v.annotation("b");
-        assert_eq!(v.items(ItemKind::Annotation).collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(
+            v.items(ItemKind::Annotation).collect::<Vec<_>>(),
+            vec![a, b]
+        );
     }
 
     #[test]

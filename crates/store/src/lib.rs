@@ -41,7 +41,9 @@ pub mod tuple;
 
 pub use algebra::KRelation;
 pub use bitset::BitSet;
-pub use generalize::{keyword_rule, parse_rules, taxonomy_from_rules, GeneralizationRule, Taxonomy};
+pub use generalize::{
+    keyword_rule, parse_rules, taxonomy_from_rules, GeneralizationRule, Taxonomy,
+};
 pub use generate::{
     generate, hide_annotations, random_annotated_tuples, random_annotation_batch,
     random_unannotated_tuples, GeneratorConfig, PlantedRule, SyntheticDataset,
@@ -49,11 +51,10 @@ pub use generate::{
 pub use index::AnnotationIndex;
 pub use item::{Item, ItemKind, Vocabulary};
 pub use relation::{AnnotatedRelation, AnnotationDelta, AnnotationUpdate};
-pub use snapshot::{
-    read_snapshot, snapshot_from_string, snapshot_to_string, write_snapshot,
-};
+pub use snapshot::{read_snapshot, snapshot_from_string, snapshot_to_string, write_snapshot};
 pub use textio::{
-    dataset_to_string, format_annotation_batch, format_tuple, parse_annotation_batch,
-    parse_dataset, parse_tuple_line, read_dataset, write_dataset, ParseError,
+    dataset_to_string, format_annotation_batch, format_tuple, line_has_items,
+    parse_annotation_batch, parse_dataset, parse_tuple_line, read_dataset, token_kind,
+    write_dataset, ParseError,
 };
 pub use tuple::{Tuple, TupleId};

@@ -75,6 +75,7 @@ pub struct AnnotatedRelation {
     alive: BitSet,
     live_count: usize,
     index: AnnotationIndex,
+    epoch: u64,
 }
 
 impl AnnotatedRelation {
@@ -106,6 +107,13 @@ impl AnnotatedRelation {
         &self.index
     }
 
+    /// Monotonic mutation counter: bumped once per *effective* change
+    /// (tuple inserted or deleted, annotation attached or detached).
+    /// Snapshot layers use it to detect staleness without diffing state.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Number of **live** tuples — the `|D|` denominator of every support
     /// computation.
     pub fn len(&self) -> usize {
@@ -132,6 +140,7 @@ impl AnnotatedRelation {
         self.alive.insert(tid.0);
         self.live_count += 1;
         self.tuples.push(tuple);
+        self.epoch += 1;
         tid
     }
 
@@ -177,6 +186,7 @@ impl AnnotatedRelation {
         let added = self.tuples[tid.0 as usize].add_annotation(ann);
         if added {
             self.index.insert(tid, ann);
+            self.epoch += 1;
         }
         added
     }
@@ -205,6 +215,7 @@ impl AnnotatedRelation {
         let removed = self.tuples[tid.0 as usize].remove_annotation(ann);
         if removed {
             self.index.remove(tid, ann);
+            self.epoch += 1;
         }
         removed
     }
@@ -219,6 +230,7 @@ impl AnnotatedRelation {
         for &ann in self.tuples[tid.0 as usize].annotations() {
             self.index.remove(tid, ann);
         }
+        self.epoch += 1;
         true
     }
 
@@ -233,26 +245,18 @@ impl AnnotatedRelation {
             }
             live += 1;
             for &ann in tuple.annotations() {
-                let posted = self
-                    .index
-                    .postings(ann)
-                    .is_some_and(|b| b.contains(tid.0));
+                let posted = self.index.postings(ann).is_some_and(|b| b.contains(tid.0));
                 if !posted {
                     return Err(format!("annotation {ann:?} of {tid} missing from index"));
                 }
             }
         }
         if live != self.live_count {
-            return Err(format!(
-                "live_count {} != actual {live}",
-                self.live_count
-            ));
+            return Err(format!("live_count {} != actual {live}", self.live_count));
         }
         for ann in self.index.annotations() {
             for tid in self.index.tuples_with(ann) {
-                let ok = self
-                    .tuple(tid)
-                    .is_some_and(|t| t.contains(ann));
+                let ok = self.tuple(tid).is_some_and(|t| t.contains(ann));
                 if !ok {
                     return Err(format!("index points {ann:?} at {tid} which lacks it"));
                 }
@@ -280,7 +284,10 @@ mod tests {
         let ids = rel.extend([t0, t1]);
         assert_eq!(ids, vec![TupleId(0), TupleId(1)]);
         assert_eq!(rel.len(), 2);
-        let a1 = rel.vocab().get(crate::item::ItemKind::Annotation, "Annot_1").unwrap();
+        let a1 = rel
+            .vocab()
+            .get(crate::item::ItemKind::Annotation, "Annot_1")
+            .unwrap();
         assert_eq!(rel.index().frequency(a1), 1);
         rel.check_consistency().unwrap();
     }
@@ -295,10 +302,22 @@ mod tests {
         let b = rel.vocab_mut().annotation("B");
         rel.delete_tuple(TupleId(1));
         let delta = rel.apply_annotation_batch([
-            AnnotationUpdate { tuple: TupleId(0), annotation: a }, // duplicate
-            AnnotationUpdate { tuple: TupleId(0), annotation: b }, // effective
-            AnnotationUpdate { tuple: TupleId(1), annotation: b }, // dead target
-            AnnotationUpdate { tuple: TupleId(9), annotation: b }, // out of range
+            AnnotationUpdate {
+                tuple: TupleId(0),
+                annotation: a,
+            }, // duplicate
+            AnnotationUpdate {
+                tuple: TupleId(0),
+                annotation: b,
+            }, // effective
+            AnnotationUpdate {
+                tuple: TupleId(1),
+                annotation: b,
+            }, // dead target
+            AnnotationUpdate {
+                tuple: TupleId(9),
+                annotation: b,
+            }, // out of range
         ]);
         assert_eq!(delta.len(), 1);
         assert_eq!(delta.added[0].annotation, b);
@@ -347,6 +366,23 @@ mod tests {
         let a = rel.vocab_mut().annotation("A");
         let hits: Vec<TupleId> = rel.tuples_with(a).map(|(tid, _)| tid).collect();
         assert_eq!(hits, vec![TupleId(0), TupleId(2)]);
+    }
+
+    #[test]
+    fn epoch_counts_effective_mutations_only() {
+        let mut rel = AnnotatedRelation::new("R");
+        assert_eq!(rel.epoch(), 0);
+        let t0 = tup(&mut rel, &["1"], &["A"]);
+        rel.insert(t0); // +1
+        let a = rel.vocab_mut().annotation("A");
+        let b = rel.vocab_mut().annotation("B");
+        assert!(!rel.add_annotation(TupleId(0), a)); // duplicate: no bump
+        assert!(rel.add_annotation(TupleId(0), b)); // +1
+        assert!(rel.remove_annotation(TupleId(0), b)); // +1
+        assert!(!rel.remove_annotation(TupleId(0), b)); // absent: no bump
+        assert!(rel.delete_tuple(TupleId(0))); // +1
+        assert!(!rel.delete_tuple(TupleId(0))); // dead: no bump
+        assert_eq!(rel.epoch(), 4);
     }
 
     #[test]

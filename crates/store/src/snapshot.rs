@@ -83,7 +83,12 @@ pub fn write_snapshot<W: Write>(rel: &AnnotatedRelation, writer: &mut W) -> io::
     writeln!(writer, "name {}", escape_name(rel.name()))?;
     for kind in ItemKind::ALL {
         for item in rel.vocab().items(kind) {
-            writeln!(writer, "vocab {} {}", kind_tag(kind), escape_name(rel.vocab().name(item)))?;
+            writeln!(
+                writer,
+                "vocab {} {}",
+                kind_tag(kind),
+                escape_name(rel.vocab().name(item))
+            )?;
         }
     }
     writeln!(writer, "slots {}", rel.slot_count())?;
@@ -153,8 +158,7 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<AnnotatedRelation, String>
                     .map_err(|e| err(format!("bad tuple id: {e}")))?;
                 let mut items = Vec::new();
                 for tok in parts {
-                    let raw: u32 =
-                        tok.parse().map_err(|e| err(format!("bad item: {e}")))?;
+                    let raw: u32 = tok.parse().map_err(|e| err(format!("bad item: {e}")))?;
                     items.push(Item::from_raw(raw));
                 }
                 live.push((TupleId(tid), items));
@@ -244,7 +248,9 @@ mod tests {
         }
         // Vocabulary preserved including namespaces and spaced names.
         assert_eq!(
-            restored.vocab().get(ItemKind::Annotation, "looks wrong to me"),
+            restored
+                .vocab()
+                .get(ItemKind::Annotation, "looks wrong to me"),
             rel.vocab().get(ItemKind::Annotation, "looks wrong to me"),
         );
         assert_eq!(
@@ -260,7 +266,10 @@ mod tests {
     fn snapshot_preserves_index_queries() {
         let rel = sample();
         let restored = snapshot_from_string(&snapshot_to_string(&rel)).unwrap();
-        let ann = rel.vocab().get(ItemKind::Annotation, "looks wrong to me").unwrap();
+        let ann = rel
+            .vocab()
+            .get(ItemKind::Annotation, "looks wrong to me")
+            .unwrap();
         assert_eq!(restored.index().frequency(ann), rel.index().frequency(ann));
     }
 
@@ -268,7 +277,10 @@ mod tests {
     fn malformed_snapshots_are_rejected() {
         assert!(snapshot_from_string("").is_err());
         assert!(snapshot_from_string("wrong header\nend\n").is_err());
-        assert!(snapshot_from_string("annodb-snapshot v1\nslots 0\n").is_err(), "missing end");
+        assert!(
+            snapshot_from_string("annodb-snapshot v1\nslots 0\n").is_err(),
+            "missing end"
+        );
         assert!(
             snapshot_from_string("annodb-snapshot v1\nbogus x\nend\n").is_err(),
             "unknown directive"

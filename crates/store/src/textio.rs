@@ -17,7 +17,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use crate::item::{Item, Vocabulary};
+use crate::item::{Item, ItemKind, Vocabulary};
 use crate::relation::{AnnotatedRelation, AnnotationUpdate};
 use crate::tuple::{Tuple, TupleId};
 
@@ -38,27 +38,57 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn parse_token(vocab: &mut Vocabulary, tok: &str) -> Item {
+/// The Fig. 4 token-kind convention: digit-only tokens are data values,
+/// anything else is an annotation. The single classification both the
+/// dataset parser and name-resolving layers (e.g. the serving protocol)
+/// must share — re-implementing it risks write/read-side divergence.
+pub fn token_kind(tok: &str) -> ItemKind {
     if !tok.is_empty() && tok.bytes().all(|b| b.is_ascii_digit()) {
-        vocab.data(tok)
+        ItemKind::Data
     } else {
-        vocab.annotation(tok)
+        ItemKind::Annotation
     }
 }
 
-/// Parse one Fig. 4 dataset line into a tuple. Returns `None` for blank or
-/// comment (`#`) lines.
-pub fn parse_tuple_line(vocab: &mut Vocabulary, line: &str) -> Option<Tuple> {
-    let body = line.split('#').next().unwrap_or("").trim();
-    if body.is_empty() {
-        return None;
+fn parse_token(vocab: &mut Vocabulary, tok: &str) -> Item {
+    match token_kind(tok) {
+        ItemKind::Data => vocab.data(tok),
+        _ => vocab.annotation(tok),
     }
+}
+
+/// The line with any `#` comment stripped and whitespace trimmed — the
+/// single source of truth for what the Fig. 4 parsers look at.
+fn comment_stripped(line: &str) -> &str {
+    line.split('#').next().unwrap_or("").trim()
+}
+
+/// `true` iff `line` holds at least one item token — i.e.
+/// [`parse_tuple_line`] would return `Some`. The single predicate layers
+/// use to pre-validate rows (serving protocol, write-queue prefilter)
+/// without re-implementing the skip rule: blank lines, `#` comments, and
+/// separator-only lines (`","`) all fail it.
+pub fn line_has_items(line: &str) -> bool {
+    comment_stripped(line)
+        .split([',', ' ', '\t'])
+        .any(|t| !t.trim().is_empty())
+}
+
+/// Parse one Fig. 4 dataset line into a tuple. Returns `None` for lines
+/// with no items: blank, comment (`#`), or separator-only (e.g. `","`) —
+/// an empty tuple must never be inserted, since it would silently grow
+/// every support denominator.
+pub fn parse_tuple_line(vocab: &mut Vocabulary, line: &str) -> Option<Tuple> {
+    let body = comment_stripped(line);
     let items: Vec<Item> = body
         .split([',', ' ', '\t'])
         .map(str::trim)
         .filter(|t| !t.is_empty())
         .map(|t| parse_token(vocab, t))
         .collect();
+    if items.is_empty() {
+        return None;
+    }
     Some(Tuple::from_items(items))
 }
 
@@ -206,8 +236,11 @@ mod tests {
         for (tid, tuple) in rel.iter() {
             let names: Vec<&str> = tuple.items().iter().map(|&i| rel.vocab().name(i)).collect();
             let tuple2 = rel2.tuple(tid).unwrap();
-            let names2: Vec<&str> =
-                tuple2.items().iter().map(|&i| rel2.vocab().name(i)).collect();
+            let names2: Vec<&str> = tuple2
+                .items()
+                .iter()
+                .map(|&i| rel2.vocab().name(i))
+                .collect();
             let mut a = names.clone();
             let mut b = names2.clone();
             a.sort_unstable();

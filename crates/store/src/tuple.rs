@@ -44,11 +44,7 @@ impl Tuple {
     {
         let mut items: Vec<Item> = data.into_iter().collect();
         items.extend(annotations);
-        debug_assert!(
-            items
-                .iter()
-                .all(|i| i.is_data() || i.is_annotation_like()),
-        );
+        debug_assert!(items.iter().all(|i| i.is_data() || i.is_annotation_like()),);
         Tuple::from_items(items)
     }
 
@@ -86,7 +82,10 @@ impl Tuple {
     /// tuple. `pattern` **must** be sorted; itemsets produced by the miner
     /// always are. Runs as a linear merge-walk.
     pub fn contains_all(&self, pattern: &[Item]) -> bool {
-        debug_assert!(pattern.windows(2).all(|w| w[0] < w[1]), "pattern must be sorted");
+        debug_assert!(
+            pattern.windows(2).all(|w| w[0] < w[1]),
+            "pattern must be sorted"
+        );
         let mut mine = self.items.iter();
         'outer: for want in pattern {
             for have in mine.by_ref() {
@@ -105,7 +104,10 @@ impl Tuple {
     /// unchanged) if it was already present — "a data tuple can have a given
     /// label at most once" (paper §4.1.1).
     pub(crate) fn add_annotation(&mut self, ann: Item) -> bool {
-        assert!(ann.is_annotation_like(), "cannot annotate with a data value");
+        assert!(
+            ann.is_annotation_like(),
+            "cannot annotate with a data value"
+        );
         match self.items.binary_search(&ann) {
             Ok(_) => false,
             Err(pos) => {
@@ -117,7 +119,10 @@ impl Tuple {
 
     /// Remove an annotation-like item. Returns `false` if absent.
     pub(crate) fn remove_annotation(&mut self, ann: Item) -> bool {
-        assert!(ann.is_annotation_like(), "cannot remove a data value as an annotation");
+        assert!(
+            ann.is_annotation_like(),
+            "cannot remove a data value as an annotation"
+        );
         match self.items.binary_search(&ann) {
             Ok(pos) => {
                 self.items.remove(pos);
@@ -170,7 +175,10 @@ mod tests {
     fn data_and_annotation_partition() {
         let tup = t(&[5, 1], &[2, 0]);
         assert_eq!(tup.data(), &[Item::data(1), Item::data(5)]);
-        assert_eq!(tup.annotations(), &[Item::annotation(0), Item::annotation(2)]);
+        assert_eq!(
+            tup.annotations(),
+            &[Item::annotation(0), Item::annotation(2)]
+        );
         assert!(!tup.is_unannotated());
         assert!(t(&[1], &[]).is_unannotated());
     }

@@ -1,0 +1,112 @@
+//! End-to-end `annod` client walkthrough: load a dataset, mine it, stream
+//! updates through the batched write path, and query rules and top-k
+//! recommendations — first through the typed `anno-service` API, then the
+//! exact same session over the `annod` line protocol.
+//!
+//! Run with: `cargo run --example annod_session`
+
+use std::sync::Arc;
+
+use annomine::mine::Thresholds;
+use annomine::service::protocol::Engine;
+use annomine::service::query::top_k_for_tuple;
+use annomine::service::{Service, ServiceConfig, UpdateOp};
+use annomine::store::TupleId;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The typed API: what an embedding application uses.
+    // ------------------------------------------------------------------
+    println!("== typed API ==");
+    let service = Arc::new(Service::new());
+    let config = ServiceConfig {
+        thresholds: Thresholds::new(0.4, 0.7),
+        ..Default::default()
+    };
+    let ds = service.create("curation", config).expect("fresh dataset");
+
+    // Load the Fig. 4-style running example: three annotated {28, 85}
+    // tuples, one un-annotated, one unrelated.
+    ds.enqueue(UpdateOp::InsertRows(vec![
+        "28 85 Annot_1".into(),
+        "28 85 Annot_1".into(),
+        "28 85 Annot_1".into(),
+        "28 85".into(),
+        "17 99".into(),
+    ]))
+    .expect("load rows");
+    ds.flush().expect("loaded");
+
+    // Mine: publishes the first immutable snapshot.
+    let snap = ds.mine().expect("initial mine");
+    println!(
+        "mined {} rules over {} tuples:",
+        snap.rules().len(),
+        snap.db_size()
+    );
+    for rule in snap.rules().rules() {
+        println!("  {}", rule.render(snap.relation().vocab()));
+    }
+
+    // Top-k recommendations: tuple 3 is {28, 85} without the annotation.
+    let recs = top_k_for_tuple(&snap, TupleId(3), 5).expect("live tuple");
+    for r in &recs {
+        println!(
+            "recommend: add {} (conf={:.2}) because {}",
+            r.name, r.confidence, r.rule
+        );
+    }
+
+    // Stream updates: the curator accepts the recommendation, new rows
+    // arrive. The queue coalesces and applies them incrementally; readers
+    // holding `snap` are unaffected.
+    ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+        TupleId(3),
+        "Annot_1".into(),
+    )]))
+    .expect("accept recommendation");
+    ds.enqueue(UpdateOp::InsertRows(vec![
+        "17 99 Annot_2".into(),
+        "17 99 Annot_2".into(),
+    ]))
+    .expect("new rows");
+    ds.flush().expect("applied");
+
+    let fresh = ds.snapshot().expect("published");
+    println!(
+        "after updates: epoch {} -> {}, {} tuples, {} rules (old snapshot still sees {})",
+        snap.epoch(),
+        fresh.epoch(),
+        fresh.db_size(),
+        fresh.rules().len(),
+        snap.db_size(),
+    );
+    println!("exact vs re-mine: {}", ds.verify().expect("mined"));
+    println!("metrics: {}", ds.metrics().render());
+
+    // ------------------------------------------------------------------
+    // 2. The same session as an `annod` protocol script.
+    // ------------------------------------------------------------------
+    println!("\n== annod protocol ==");
+    let engine = Engine::new(Arc::new(Service::new()));
+    let script = [
+        "open curation 0.4 0.7",
+        "row curation 28 85 Annot_1",
+        "row curation 28 85 Annot_1",
+        "row curation 28 85 Annot_1",
+        "row curation 28 85",
+        "row curation 17 99",
+        "mine curation",
+        "rules curation contains 28",
+        "recommend curation tuple 3",
+        "annotate curation 3 Annot_1",
+        "flush curation",
+        "recommend curation tuple 3",
+        "stats curation",
+        "verify curation",
+    ];
+    for line in script {
+        println!("> {line}");
+        print!("{}", engine.execute(line).to_text());
+    }
+}

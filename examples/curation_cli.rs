@@ -52,7 +52,9 @@ fn load(path: &str) -> Result<AnnotatedRelation, String> {
 
 fn thresholds(sup: &str, conf: &str) -> Result<Thresholds, String> {
     let s: f64 = sup.parse().map_err(|_| format!("bad support {sup:?}"))?;
-    let c: f64 = conf.parse().map_err(|_| format!("bad confidence {conf:?}"))?;
+    let c: f64 = conf
+        .parse()
+        .map_err(|_| format!("bad confidence {conf:?}"))?;
     Ok(Thresholds::new(s, c))
 }
 
@@ -96,8 +98,7 @@ subcommands (the paper's menu options):
                     .map_err(|e| e.to_string())?;
                 // A Fig. 14-style annotation batch against the dataset.
                 let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
-                let batch =
-                    annomine::store::random_annotation_batch(&ds.relation, &mut rng, 40);
+                let batch = annomine::store::random_annotation_batch(&ds.relation, &mut rng, 40);
                 fs::write(
                     format!("{dir}/batch.txt"),
                     format_annotation_batch(ds.relation.vocab(), &batch),
@@ -131,9 +132,7 @@ subcommands (the paper's menu options):
                     fs::read_to_string(tuples_file).map_err(|e| format!("{tuples_file}: {e}"))?;
                 let mut added = 0usize;
                 for line in text.lines() {
-                    if let Some(tuple) =
-                        annomine::store::parse_tuple_line(rel.vocab_mut(), line)
-                    {
+                    if let Some(tuple) = annomine::store::parse_tuple_line(rel.vocab_mut(), line) {
                         rel.insert(tuple);
                         added += 1;
                     }
@@ -146,8 +145,8 @@ subcommands (the paper's menu options):
                 let mut rel = load(dataset)?;
                 let text =
                     fs::read_to_string(batch_file).map_err(|e| format!("{batch_file}: {e}"))?;
-                let updates = parse_annotation_batch(rel.vocab_mut(), &text)
-                    .map_err(|e| e.to_string())?;
+                let updates =
+                    parse_annotation_batch(rel.vocab_mut(), &text).map_err(|e| e.to_string())?;
                 let requested = updates.len();
                 let delta = rel.apply_annotation_batch(updates);
                 fs::write(out_dataset, dataset_to_string(&rel)).map_err(|e| e.to_string())?;
@@ -184,7 +183,10 @@ subcommands (the paper's menu options):
                 let rel = load(dataset)?;
                 let miner = IncrementalMiner::mine_initial(
                     &rel,
-                    IncrementalConfig { thresholds: thresholds(sup, conf)?, ..Default::default() },
+                    IncrementalConfig {
+                        thresholds: thresholds(sup, conf)?,
+                        ..Default::default()
+                    },
                 );
                 fs::write(format!("{prefix}.snap"), snapshot_to_string(&rel))
                     .map_err(|e| e.to_string())?;
@@ -206,8 +208,8 @@ subcommands (the paper's menu options):
                 let before = miner.rules().len();
                 let text =
                     fs::read_to_string(batch_file).map_err(|e| format!("{batch_file}: {e}"))?;
-                let updates = parse_annotation_batch(rel.vocab_mut(), &text)
-                    .map_err(|e| e.to_string())?;
+                let updates =
+                    parse_annotation_batch(rel.vocab_mut(), &text).map_err(|e| e.to_string())?;
                 let delta = miner.apply_annotations(&mut rel, updates);
                 fs::write(format!("{prefix}.snap"), snapshot_to_string(&rel))
                     .map_err(|e| e.to_string())?;

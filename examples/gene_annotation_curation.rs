@@ -33,8 +33,16 @@ fn build_gene_table() -> AnnotatedRelation {
     ];
     let reviews = ["reviewed by curator A", "reviewed by curator B"];
     for i in 0..120 {
-        let pathway = if i % 3 == 0 { "pathway:p53" } else { "pathway:other" };
-        let assay = if i % 2 == 0 { "assay:rnaseq" } else { "assay:microarray" };
+        let pathway = if i % 3 == 0 {
+            "pathway:p53"
+        } else {
+            "pathway:other"
+        };
+        let assay = if i % 2 == 0 {
+            "assay:rnaseq"
+        } else {
+            "assay:microarray"
+        };
         let p = rel.vocab_mut().data(pathway);
         let a = rel.vocab_mut().data(assay);
         let mut anns = Vec::new();
@@ -62,7 +70,10 @@ fn main() {
     // --- Step 1: raw mining misses the correlation (three phrasings split
     // the support/confidence three ways).
     let raw = mine_rules(&rel, &thresholds);
-    println!("raw mining: {} rules (free-text flags are too fragmented)", raw.len());
+    println!(
+        "raw mining: {} rules (free-text flags are too fragmented)",
+        raw.len()
+    );
 
     // --- Step 2: keyword generalization (Fig. 8) + multi-level concepts.
     let mut tax = Taxonomy::new();
@@ -101,14 +112,18 @@ fn main() {
     let hidden_concepts: Vec<annomine::store::AnnotationUpdate> = hidden
         .iter()
         .flat_map(|u| {
-            tax.ancestors(u.annotation)
-                .into_iter()
-                .map(move |label| annomine::store::AnnotationUpdate {
+            tax.ancestors(u.annotation).into_iter().map(move |label| {
+                annomine::store::AnnotationUpdate {
                     tuple: u.tuple,
                     annotation: label,
-                })
+                }
+            })
         })
-        .filter(|u| !damaged_ext.tuple(u.tuple).is_some_and(|t| t.contains(u.annotation)))
+        .filter(|u| {
+            !damaged_ext
+                .tuple(u.tuple)
+                .is_some_and(|t| t.contains(u.annotation))
+        })
         .collect();
     let concept_recs: Vec<_> = recs
         .iter()
@@ -131,13 +146,25 @@ fn main() {
     // probably missing, and the curator accepts the first suggestion.
     let mut session = CurationSession::open(
         extended,
-        IncrementalConfig { thresholds, ..Default::default() },
+        IncrementalConfig {
+            thresholds,
+            ..Default::default()
+        },
     );
-    let p = session.relation().vocab().get(annomine::store::ItemKind::Data, "pathway:p53");
-    let a = session.relation().vocab().get(annomine::store::ItemKind::Data, "assay:rnaseq");
+    let p = session
+        .relation()
+        .vocab()
+        .get(annomine::store::ItemKind::Data, "pathway:p53");
+    let a = session
+        .relation()
+        .vocab()
+        .get(annomine::store::ItemKind::Data, "assay:rnaseq");
     let (p, a) = (p.unwrap(), a.unwrap());
     session.insert_tuples(vec![Tuple::new([p, a], []), Tuple::new([p, a], [])]);
-    println!("\ninsert trigger queued {} predictions for 2 new genes:", session.pending().len());
+    println!(
+        "\ninsert trigger queued {} predictions for 2 new genes:",
+        session.pending().len()
+    );
     for rec in session.pending().iter().take(4) {
         println!("    {}", rec.render(session.relation().vocab()));
     }

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use annomine::mine::{mine_rules, IncrementalConfig, IncrementalMiner, Thresholds};
 use annomine::store::{
-    generate, random_annotation_batch, random_annotated_tuples, random_unannotated_tuples,
+    generate, random_annotated_tuples, random_annotation_batch, random_unannotated_tuples,
     GeneratorConfig, TupleId,
 };
 use rand::rngs::StdRng;
@@ -32,7 +32,10 @@ fn main() {
     let t0 = Instant::now();
     let mut miner = IncrementalMiner::mine_initial(
         rel,
-        IncrementalConfig { thresholds, ..Default::default() },
+        IncrementalConfig {
+            thresholds,
+            ..Default::default()
+        },
     );
     let initial_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!(

@@ -66,8 +66,7 @@ fn main() {
     print_rel(&rel, &visible);
 
     // --- The universal view: N[X] polynomials record everything.
-    let poly: KRelation<Polynomial> =
-        KRelation::from_annotated(&rel, 2, &|v| Polynomial::var(v));
+    let poly: KRelation<Polynomial> = KRelation::from_annotated(&rel, 2, &|v| Polynomial::var(v));
     let universal = poly.project(&[0, 1]);
     println!("provenance polynomials (the universal semiring):");
     for (row, k) in universal.iter() {

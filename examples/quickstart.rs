@@ -41,7 +41,9 @@ fn main() {
         "Loaded {} tuples over {} data values and {} annotations.",
         relation.len(),
         relation.vocab().count(annomine::store::ItemKind::Data),
-        relation.vocab().count(annomine::store::ItemKind::Annotation),
+        relation
+            .vocab()
+            .count(annomine::store::ItemKind::Annotation),
     );
 
     // Discover all data-to-annotation and annotation-to-annotation rules

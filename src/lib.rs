@@ -20,21 +20,28 @@
 //!   [`IncrementalMiner`](mine::IncrementalMiner) covering all three
 //!   evolution cases of §4.3 (plus deletion, the paper's future work), and
 //!   the §5 recommendation/trigger layer.
+//! * [`service`] — the serving subsystem: a concurrent, multi-tenant
+//!   [`Service`](service::Service) registry of datasets with snapshot-based
+//!   reads, a coalescing batched write queue over the incremental miner,
+//!   per-op metrics, and the `annod` line protocol (TCP / REPL).
 //!
-//! See the `examples/` directory for runnable walkthroughs and
-//! `crates/bench` for the harness regenerating every measured figure of
-//! the paper.
+//! See the workspace `README.md` for layout, quickstart, and the `annod`
+//! protocol reference; the `examples/` directory for runnable
+//! walkthroughs; and `crates/bench` for the harness regenerating every
+//! measured figure of the paper.
 
 #![forbid(unsafe_code)]
 
 pub use anno_mine as mine;
 pub use anno_semiring as semiring;
+pub use anno_service as service;
 pub use anno_store as store;
 
 /// One-stop prelude: the items most programs need.
 pub mod prelude {
     pub use anno_mine::prelude::*;
     pub use anno_semiring::prelude::*;
+    pub use anno_service::{Service, ServiceConfig, UpdateOp};
     pub use anno_store::{
         AnnotatedRelation, AnnotationUpdate, Item, ItemKind, Taxonomy, Tuple, TupleId, Vocabulary,
     };

@@ -15,7 +15,7 @@
 
 use annomine::mine::{mine_rules, IncrementalConfig, IncrementalMiner, RuleKind, Thresholds};
 use annomine::store::{
-    generate, random_annotation_batch, random_annotated_tuples, random_unannotated_tuples,
+    generate, random_annotated_tuples, random_annotation_batch, random_unannotated_tuples,
     GeneratorConfig,
 };
 use rand::rngs::StdRng;
@@ -101,7 +101,10 @@ fn case3_a2a_confidence_can_genuinely_decrease_via_lhs() {
     let victim = rel.insert(annomine::store::Tuple::new([x], []));
     let mut miner = IncrementalMiner::mine_initial(
         &rel,
-        IncrementalConfig { thresholds: Thresholds::new(0.3, 0.5), ..Default::default() },
+        IncrementalConfig {
+            thresholds: Thresholds::new(0.3, 0.5),
+            ..Default::default()
+        },
     );
     let rule_before = miner
         .rules()
@@ -112,7 +115,10 @@ fn case3_a2a_confidence_can_genuinely_decrease_via_lhs() {
 
     miner.apply_annotations(
         &mut rel,
-        [annomine::store::AnnotationUpdate { tuple: victim, annotation: a }],
+        [annomine::store::AnnotationUpdate {
+            tuple: victim,
+            annotation: a,
+        }],
     );
     assert!(miner.verify_against_remine(&rel));
     let rule_after = miner
@@ -120,7 +126,10 @@ fn case3_a2a_confidence_can_genuinely_decrease_via_lhs() {
         .get(&annomine::mine::ItemSet::single(a), b)
         .expect("{A} ⇒ B still valid")
         .clone();
-    assert_eq!(rule_after.lhs_count, 9, "LHS denominator grew (Fig. 12 Step 2)");
+    assert_eq!(
+        rule_after.lhs_count, 9,
+        "LHS denominator grew (Fig. 12 Step 2)"
+    );
     assert_eq!(rule_after.union_count, 8, "numerator unchanged");
     assert!(
         rule_after.confidence() < rule_before.confidence(),

@@ -33,7 +33,10 @@ fn multi_level_labels_reach_every_ancestor() {
     let (rel, tax) = setup();
     let extended = tax.extend_relation(&rel);
     let broken = extended.vocab().get(ItemKind::Label, "Broken").unwrap();
-    let quality = extended.vocab().get(ItemKind::Label, "QualityIssue").unwrap();
+    let quality = extended
+        .vocab()
+        .get(ItemKind::Label, "QualityIssue")
+        .unwrap();
     assert_eq!(extended.index().frequency(broken), 12);
     assert_eq!(extended.index().frequency(quality), 12);
     extended.check_consistency().unwrap();
@@ -45,13 +48,25 @@ fn multi_level_labels_reach_every_ancestor() {
 fn generalized_rules_exist_at_every_level() {
     let (rel, tax) = setup();
     let thresholds = Thresholds::new(0.3, 0.9);
-    assert!(mine_rules(&rel, &thresholds).is_empty(), "raw phrasings fragment");
+    assert!(
+        mine_rules(&rel, &thresholds).is_empty(),
+        "raw phrasings fragment"
+    );
     let (extended, rules) = mine_generalized(&rel, &tax, &thresholds);
     let x = extended.vocab().get(ItemKind::Data, "7").unwrap();
     let broken = extended.vocab().get(ItemKind::Label, "Broken").unwrap();
-    let quality = extended.vocab().get(ItemKind::Label, "QualityIssue").unwrap();
-    assert!(rules.get(&ItemSet::single(x), broken).is_some(), "level-1 rule");
-    assert!(rules.get(&ItemSet::single(x), quality).is_some(), "level-2 rule");
+    let quality = extended
+        .vocab()
+        .get(ItemKind::Label, "QualityIssue")
+        .unwrap();
+    assert!(
+        rules.get(&ItemSet::single(x), broken).is_some(),
+        "level-1 rule"
+    );
+    assert!(
+        rules.get(&ItemSet::single(x), quality).is_some(),
+        "level-2 rule"
+    );
 }
 
 #[test]
@@ -59,13 +74,20 @@ fn hierarchical_tautologies_are_filtered() {
     let (rel, tax) = setup();
     let (extended, rules) = mine_generalized(&rel, &tax, &Thresholds::new(0.2, 0.9));
     let broken = extended.vocab().get(ItemKind::Label, "Broken").unwrap();
-    let quality = extended.vocab().get(ItemKind::Label, "QualityIssue").unwrap();
+    let quality = extended
+        .vocab()
+        .get(ItemKind::Label, "QualityIssue")
+        .unwrap();
     // {Broken} ⇒ QualityIssue holds with confidence 1.0 *by construction*
     // and must be filtered as uninformative.
     assert!(rules.get(&ItemSet::single(broken), quality).is_none());
     // No surviving rule has its RHS as an ancestor of an LHS item.
     for rule in rules.rules() {
-        assert!(!rule.lhs.items().iter().any(|&l| tax.is_ancestor(rule.rhs, l)));
+        assert!(!rule
+            .lhs
+            .items()
+            .iter()
+            .any(|&l| tax.is_ancestor(rule.rhs, l)));
     }
 }
 

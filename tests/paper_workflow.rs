@@ -31,12 +31,27 @@ fn menu_option_1_and_2_discover_both_rule_kinds() {
     let thresholds = Thresholds::new(0.3, 0.8);
 
     let d2a = mine_data_to_annotation(&rel, &thresholds);
-    assert!(d2a.rules().iter().all(|r| r.kind() == RuleKind::DataToAnnotation));
-    let annot1 = rel.vocab().get(annomine::store::ItemKind::Annotation, "Annot_1").unwrap();
-    let x28 = rel.vocab().get(annomine::store::ItemKind::Data, "28").unwrap();
-    let x85 = rel.vocab().get(annomine::store::ItemKind::Data, "85").unwrap();
+    assert!(d2a
+        .rules()
+        .iter()
+        .all(|r| r.kind() == RuleKind::DataToAnnotation));
+    let annot1 = rel
+        .vocab()
+        .get(annomine::store::ItemKind::Annotation, "Annot_1")
+        .unwrap();
+    let x28 = rel
+        .vocab()
+        .get(annomine::store::ItemKind::Data, "28")
+        .unwrap();
+    let x85 = rel
+        .vocab()
+        .get(annomine::store::ItemKind::Data, "85")
+        .unwrap();
     let headline = d2a
-        .get(&annomine::mine::ItemSet::from_unsorted(vec![x28, x85]), annot1)
+        .get(
+            &annomine::mine::ItemSet::from_unsorted(vec![x28, x85]),
+            annot1,
+        )
         .expect("{28,85} ⇒ Annot_1");
     assert_eq!(headline.union_count, 9);
     assert_eq!(headline.lhs_count, 10);
@@ -46,7 +61,10 @@ fn menu_option_1_and_2_discover_both_rule_kinds() {
         .rules()
         .iter()
         .all(|r| r.kind() == RuleKind::AnnotationToAnnotation));
-    let annot5 = rel.vocab().get(annomine::store::ItemKind::Annotation, "Annot_5").unwrap();
+    let annot5 = rel
+        .vocab()
+        .get(annomine::store::ItemKind::Annotation, "Annot_5")
+        .unwrap();
     let chain = a2a
         .get(&annomine::mine::ItemSet::single(annot1), annot5)
         .expect("{Annot_1} ⇒ Annot_5");
@@ -87,7 +105,10 @@ fn fig14_batch_drives_incremental_maintenance() {
     let thresholds = Thresholds::new(0.3, 0.8);
     let mut miner = IncrementalMiner::mine_initial(
         &rel,
-        IncrementalConfig { thresholds, ..Default::default() },
+        IncrementalConfig {
+            thresholds,
+            ..Default::default()
+        },
     );
 
     // Fig. 14 format: "tuple: annotation". Annotate the gap tuple (id 9)
@@ -103,12 +124,24 @@ fn fig14_batch_drives_incremental_maintenance() {
     assert!(miner.verify_against_remine(&rel), "incremental ≡ re-mine");
 
     // {28,85} ⇒ Annot_1 is now exact 10/10.
-    let annot1 = rel.vocab().get(annomine::store::ItemKind::Annotation, "Annot_1").unwrap();
-    let x28 = rel.vocab().get(annomine::store::ItemKind::Data, "28").unwrap();
-    let x85 = rel.vocab().get(annomine::store::ItemKind::Data, "85").unwrap();
+    let annot1 = rel
+        .vocab()
+        .get(annomine::store::ItemKind::Annotation, "Annot_1")
+        .unwrap();
+    let x28 = rel
+        .vocab()
+        .get(annomine::store::ItemKind::Data, "28")
+        .unwrap();
+    let x85 = rel
+        .vocab()
+        .get(annomine::store::ItemKind::Data, "85")
+        .unwrap();
     let rule = miner
         .rules()
-        .get(&annomine::mine::ItemSet::from_unsorted(vec![x28, x85]), annot1)
+        .get(
+            &annomine::mine::ItemSet::from_unsorted(vec![x28, x85]),
+            annot1,
+        )
         .unwrap();
     assert_eq!(rule.union_count, 10);
     assert_eq!(rule.lhs_count, 10);
@@ -120,7 +153,10 @@ fn all_three_cases_compose_through_text_formats() {
     let thresholds = Thresholds::new(0.25, 0.7);
     let mut miner = IncrementalMiner::mine_initial(
         &rel,
-        IncrementalConfig { thresholds, ..Default::default() },
+        IncrementalConfig {
+            thresholds,
+            ..Default::default()
+        },
     );
 
     // Case 1: annotated tuples arrive as dataset lines.

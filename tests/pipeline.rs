@@ -78,8 +78,7 @@ fn long_mixed_workload_never_diverges() {
                 miner.add_annotated_tuples(&mut rel, tuples);
             }
             2 => {
-                let tuples =
-                    annomine::store::random_unannotated_tuples(&mut rel, &mut rng, 6, 4);
+                let tuples = annomine::store::random_unannotated_tuples(&mut rel, &mut rng, 6, 4);
                 miner.add_unannotated_tuples(&mut rel, tuples);
             }
             _ => {
@@ -94,7 +93,10 @@ fn long_mixed_workload_never_diverges() {
         );
     }
     // The workload ran incrementally, not by re-mining every step.
-    assert!(miner.stats().full_remines <= 2, "too many fallback re-mines");
+    assert!(
+        miner.stats().full_remines <= 2,
+        "too many fallback re-mines"
+    );
 }
 
 #[test]
@@ -109,8 +111,16 @@ fn hidden_annotation_recovery_beats_chance() {
     // Planted implications at ~0.95 confidence: recall should be solid and
     // precision far above the ~2% density of random (tuple, annotation)
     // pairs.
-    assert!(quality.recall() > 0.5, "recall {} too low", quality.recall());
-    assert!(quality.precision() > 0.3, "precision {} too low", quality.precision());
+    assert!(
+        quality.recall() > 0.5,
+        "recall {} too low",
+        quality.recall()
+    );
+    assert!(
+        quality.precision() > 0.3,
+        "precision {} too low",
+        quality.precision()
+    );
 }
 
 #[test]
@@ -119,12 +129,22 @@ fn candidate_rules_sit_strictly_between_thresholds() {
     let thresholds = Thresholds::new(0.3, 0.8);
     let miner = IncrementalMiner::mine_initial(
         &ds.relation,
-        IncrementalConfig { thresholds, retention: 0.5, ..Default::default() },
+        IncrementalConfig {
+            thresholds,
+            retention: 0.5,
+            ..Default::default()
+        },
     );
     for rule in miner.candidate_rules().rules() {
-        assert!(!rule.meets(&thresholds), "candidate rule meets the strict thresholds");
+        assert!(
+            !rule.meets(&thresholds),
+            "candidate rule meets the strict thresholds"
+        );
     }
     for rule in miner.rules().rules() {
-        assert!(rule.meets(&thresholds), "valid rule misses the strict thresholds");
+        assert!(
+            rule.meets(&thresholds),
+            "valid rule misses the strict thresholds"
+        );
     }
 }

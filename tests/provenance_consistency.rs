@@ -71,8 +71,7 @@ fn polynomial_provenance_factors_through_concrete_semirings() {
 
     let val = |v: Var| Tropical::finite(u64::from(v.0 % 13));
     let into_trop = merged.map_annotations(&|p: &Polynomial| p.eval(&val));
-    let direct_trop: KRelation<Tropical> =
-        KRelation::from_annotated(rel, 2, &val).project(&[0]);
+    let direct_trop: KRelation<Tropical> = KRelation::from_annotated(rel, 2, &val).project(&[0]);
     assert_eq!(into_trop, direct_trop, "tropical factorisation");
 }
 

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset of the criterion 0.5 API the workspace's bench
+//! targets use — [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock measurement
+//! loop. No statistics, plots, or baselines: each benchmark runs a warm-up
+//! iteration, then as many timed iterations as fit a small time budget
+//! (bounded by `sample_size`), and prints the mean time per iteration.
+//! The point is that `cargo bench` compiles and produces indicative
+//! numbers; swap the real criterion back in for publishable measurements.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark time budget for the measurement loop.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// How batched inputs are grouped (accepted, not acted on: every batch is
+/// one iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+    /// Explicit batch count.
+    NumBatches(u64),
+    /// Explicit iteration count.
+    NumIterations(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn run<F: FnMut()>(max_iters: u64, mut one_iteration: F) -> Bencher {
+        // Warm-up (also primes lazy setup inside the routine).
+        one_iteration();
+        let mut iterations = 0u64;
+        let start = Instant::now();
+        while iterations < max_iters && (iterations == 0 || start.elapsed() < TIME_BUDGET) {
+            one_iteration();
+            iterations += 1;
+        }
+        Bencher {
+            iterations,
+            total: start.elapsed(),
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let sampled = Self::run(self.iterations.max(1), || {
+            black_box(routine());
+        });
+        *self = sampled;
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up.
+        black_box(routine(setup()));
+        let max_iters = self.iterations.max(1);
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let budget_start = Instant::now();
+        while iterations < max_iters && (iterations == 0 || budget_start.elapsed() < TIME_BUDGET) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iterations += 1;
+        }
+        self.iterations = iterations;
+        self.total = total;
+    }
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    let per_iter = if b.iterations == 0 {
+        Duration::ZERO
+    } else {
+        b.total / u32::try_from(b.iterations.max(1)).unwrap_or(u32::MAX)
+    };
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "bench: {label:<55} {per_iter:>12.2?}/iter  (n={})",
+        b.iterations
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upper bound on timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub keeps its fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &b);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &b);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Run one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iterations: 20,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        report("", id, &b);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench` (and possibly filter args);
+            // the stub runs everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("iter", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,727 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! re-implements the slice of the proptest 1.x API the workspace's tests
+//! use: the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, the [`Strategy`](strategy::Strategy) trait
+//! with `prop_map`, [`Just`](strategy::Just), `any::<T>()`, integer /
+//! float range strategies, regex-ish string strategies (the small pattern
+//! subset the tests use), `collection::{vec, btree_set, btree_map}`, and
+//! `sample::select`.
+//!
+//! Semantics differ from upstream in one deliberate way: failing cases are
+//! reported with their inputs' debug description but are **not shrunk**.
+//! Generation is deterministic per test (seeded from the test name), so
+//! failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner types: configuration, RNG, and case-level errors.
+pub mod test_runner {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    pub use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Deterministic RNG for one named test.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        TestRng::seed_from_u64(h.finish() ^ 0xA55E_55ED_5EED_5EED)
+    }
+
+    /// How many cases each `proptest!` test runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case failed with the given message.
+        Fail(String),
+        /// The case was rejected (unsatisfiable assumption).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Fail the current case with `reason`.
+        pub fn fail<D: std::fmt::Display>(reason: D) -> Self {
+            TestCaseError::Fail(reason.to_string())
+        }
+
+        /// Reject the current case with `reason`.
+        pub fn reject<D: std::fmt::Display>(reason: D) -> Self {
+            TestCaseError::Reject(reason.to_string())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and basic combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of one value type
+    /// (built by [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+    }
+
+    impl<V> Union<V> {
+        /// An empty union; populate with [`Union::with`].
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        /// Add an arm with the given weight.
+        pub fn with<S: Strategy<Value = V> + 'static>(mut self, weight: u32, s: S) -> Self {
+            assert!(weight > 0, "prop_oneof weights must be positive");
+            self.arms.push((weight, Box::new(s)));
+            self
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u32 = self.arms.iter().map(|(w, _)| w).sum();
+            assert!(total > 0, "prop_oneof needs at least one arm");
+            let mut pick = rng.gen_range(0..total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`] trait behind it.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies: `vec`, `btree_set`, `btree_map`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Anything usable as a collection size specification.
+    pub trait SizeRange {
+        /// Sample a concrete size.
+        fn sample_size(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_size(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_size(&self, rng: &mut TestRng) -> usize {
+            if self.is_empty() {
+                self.start
+            } else {
+                rng.gen_range(self.clone())
+            }
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_size(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample_size(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for BTreeSetStrategy<S, R>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.sample_size(rng);
+            // Duplicates collapse, so the set size is ≤ n (upstream retries
+            // to hit n exactly; the tests here only rely on the bound).
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A set of at most `size` elements drawn from `element`.
+    pub fn btree_set<S: Strategy, R: SizeRange>(element: S, size: R) -> BTreeSetStrategy<S, R> {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V, R> {
+        key: K,
+        value: V,
+        size: R,
+    }
+
+    impl<K: Strategy, V: Strategy, R: SizeRange> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.sample_size(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// A map of at most `size` entries.
+    pub fn btree_map<K: Strategy, V: Strategy, R: SizeRange>(
+        key: K,
+        value: V,
+        size: R,
+    ) -> BTreeMapStrategy<K, V, R> {
+        BTreeMapStrategy { key, value, size }
+    }
+}
+
+/// Sampling from explicit value lists.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::seq::SliceRandom;
+
+    /// Strategy produced by [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options
+                .as_slice()
+                .choose(rng)
+                .expect("select() needs a non-empty list")
+                .clone()
+        }
+    }
+
+    /// Uniform choice from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+}
+
+/// Generation from the small regex-pattern subset the tests use.
+pub mod string {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// `\PC` — any non-control character.
+        AnyPrintable,
+        /// `[...]` — explicit alternatives.
+        Class(Vec<char>),
+        /// A literal character.
+        Literal(char),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Repeat {
+        Once,
+        /// `*`
+        Star,
+        /// `{lo,hi}`
+        Between(usize, usize),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut out: Vec<char> = Vec::new();
+        let mut pending: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        out.push(p);
+                    }
+                    return out;
+                }
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in class");
+                    let lit = match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    if let Some(p) = pending.take() {
+                        out.push(p);
+                    }
+                    pending = Some(lit);
+                }
+                '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let lo = pending.take().expect("range needs a start");
+                    let hi = chars.next().expect("range needs an end");
+                    assert!(lo <= hi, "descending class range");
+                    out.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                }
+                other => {
+                    if let Some(p) = pending.take() {
+                        out.push(p);
+                    }
+                    pending = Some(other);
+                }
+            }
+        }
+        panic!("unterminated character class");
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, Repeat)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms: Vec<(Atom, Repeat)> = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '\\' => match chars.next().expect("dangling escape") {
+                    'P' => {
+                        // Only `\PC` (not-control) is supported.
+                        let next = chars.next();
+                        assert_eq!(next, Some('C'), "only \\PC is supported");
+                        Atom::AnyPrintable
+                    }
+                    'n' => Atom::Literal('\n'),
+                    't' => Atom::Literal('\t'),
+                    other => Atom::Literal(other),
+                },
+                '[' => Atom::Class(parse_class(&mut chars)),
+                other => Atom::Literal(other),
+            };
+            let repeat = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    Repeat::Star
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    let (lo, hi) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad repeat lower bound"),
+                            hi.trim().parse().expect("bad repeat upper bound"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad repeat count");
+                            (n, n)
+                        }
+                    };
+                    Repeat::Between(lo, hi)
+                }
+                _ => Repeat::Once,
+            };
+            atoms.push((atom, repeat));
+        }
+        atoms
+    }
+
+    fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Class(options) => options[rng.gen_range(0..options.len())],
+            Atom::AnyPrintable => {
+                // Mostly printable ASCII, with some multi-byte UTF-8 mixed
+                // in so parsers see non-trivial encodings.
+                const EXOTIC: &[char] = &[
+                    'é', 'ß', 'λ', 'Ω', '中', '文', '🦀', '∀', '∅', '→', '\u{a0}',
+                ];
+                if rng.gen_bool(0.9) {
+                    char::from_u32(rng.gen_range(0x20..0x7Fu32)).expect("printable ascii")
+                } else {
+                    EXOTIC[rng.gen_range(0..EXOTIC.len())]
+                }
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, repeat) in parse(pattern) {
+            let count = match repeat {
+                Repeat::Once => 1,
+                Repeat::Star => rng.gen_range(0..=48usize),
+                Repeat::Between(lo, hi) => rng.gen_range(lo..=hi),
+            };
+            for _ in 0..count {
+                out.push(gen_char(&atom, rng));
+            }
+        }
+        out
+    }
+}
+
+/// Everything the tests glob-import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Run each contained `#[test] fn name(bindings in strategies) { body }`
+/// over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand one `proptest!` body fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = format!(concat!($(stringify!($arg), " = {:?} "),+), $(&$arg),+);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err(err) => {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case + 1, config.cases, err, inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r,
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.with($weight, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.with(1, $strat))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn pattern_generation_matches_classes() {
+        let mut rng = rng_for("pattern_generation_matches_classes");
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[ -~]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            let t = crate::string::generate_from_pattern("[ -~\\n]{0,20}", &mut rng);
+            assert!(
+                t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{t:?}"
+            );
+            let u = crate::string::generate_from_pattern("\\PC*", &mut rng);
+            assert!(u.chars().count() <= 48);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_machinery_binds_and_asserts(
+            xs in crate::collection::vec(0u32..10, 0..5),
+            flag in any::<bool>(),
+            pick in prop_oneof![1 => Just(1u8), 3 => Just(2u8)],
+        ) {
+            prop_assert!(xs.len() < 5);
+            prop_assert!(pick == 1 || pick == 2);
+            let doubled = crate::collection::vec(0u32..10, 0..5);
+            let _ = doubled; // strategies are plain values
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+}
