@@ -1,0 +1,124 @@
+//! Publish-path benchmark: the cost of freezing a snapshot of the live
+//! relation, old world vs. new.
+//!
+//! Before the persistent segment store, every effective drain paid one
+//! full relation deep-clone (`Arc::make_mut` with the published snapshot
+//! holding the second reference): every live tuple's `Vec<Item>` plus
+//! every posting bitset, O(|D|) — `old_deep_clone` reproduces exactly
+//! that work. The segment store makes publishing a persistent clone —
+//! `publish_clone` — and the steady-state writer cost is *apply the
+//! delta, then clone*, with copy-on-write bounded by the segments and
+//! postings the delta touched — `publish_after_delta/<Δ>`.
+//!
+//! The claim under test (ISSUE 2 acceptance): publish latency grows with
+//! the delta size, not with |D|. Numbers are recorded in
+//! `BENCH_publish.json` at the workspace root.
+
+use anno_store::{AnnotatedRelation, Item, Tuple, TupleId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Distinct data values; keeps the vocabulary |D|-independent so the
+/// measurement isolates tuple/posting copying.
+const DATA_VALUES: u32 = 1_000;
+/// Pre-interned annotation namespace for delta generation.
+const DELTA_ANNS: u32 = 64;
+
+fn build_relation(tuples: usize) -> (AnnotatedRelation, Vec<Item>) {
+    let mut rel = AnnotatedRelation::new("publish-bench");
+    let data: Vec<Item> = (0..DATA_VALUES)
+        .map(|i| rel.vocab_mut().data(&format!("d{i}")))
+        .collect();
+    let seed_ann = rel.vocab_mut().annotation("Seed");
+    let delta_anns: Vec<Item> = (0..DELTA_ANNS)
+        .map(|i| rel.vocab_mut().annotation(&format!("B{i}")))
+        .collect();
+    for i in 0..tuples {
+        let a = data[i % DATA_VALUES as usize];
+        let b = data[(i * 7 + 1) % DATA_VALUES as usize];
+        // ~10% annotation density, so the posting bitsets are real.
+        if i % 10 == 0 {
+            rel.insert(Tuple::new([a, b], [seed_ann]));
+        } else {
+            rel.insert(Tuple::new([a, b], []));
+        }
+    }
+    (rel, delta_anns)
+}
+
+/// The pre-segment-store publish cost: deep-clone every live tuple and
+/// every posting bitset, exactly what `Arc::make_mut` paid per effective
+/// drain when the published snapshot held the second reference.
+fn old_deep_clone(rel: &AnnotatedRelation) -> usize {
+    let tuples: Vec<Tuple> = rel.iter().map(|(_, t)| t.clone()).collect();
+    let mut posting_bits = 0usize;
+    for ann in rel.index().annotations() {
+        if let Some(bits) = rel.index().postings(ann) {
+            posting_bits += bits.clone().len();
+        }
+    }
+    tuples.len() + posting_bits
+}
+
+fn publish_paths(c: &mut Criterion) {
+    for &size in &[10_000usize, 100_000, 1_000_000] {
+        let (mut live, delta_anns) = build_relation(size);
+        let mut group = c.benchmark_group(format!("publish/{size}"));
+        group.sample_size(30);
+
+        group.bench_function("old_deep_clone", |b| b.iter(|| old_deep_clone(&live)));
+
+        // The new snapshot capture: O(#segments + #annotations) pointer
+        // copies, independent of the delta applied since the last one.
+        group.bench_function("publish_clone", |b| b.iter(|| live.clone()));
+
+        // Steady-state writer loop: with a published snapshot outstanding,
+        // apply an effective delta of Δ annotations, then publish. The
+        // copy-on-write cost is bounded by the segments/postings the delta
+        // touches — this is the number that must track Δ, not |D|.
+        for &delta in &[16usize, 256] {
+            // Unique (tuple, annotation) pairs so every update is
+            // effective: walk tuples with a large stride, switch
+            // annotations on wrap-around.
+            let mut counter = 0usize;
+            let mut published = live.clone();
+            group.bench_function(BenchmarkId::new("publish_after_delta", delta), |b| {
+                b.iter(|| {
+                    for _ in 0..delta {
+                        let tid = TupleId(((counter * 7919) % size) as u32);
+                        let ann = delta_anns[(counter / size) % DELTA_ANNS as usize];
+                        live.add_annotation(tid, ann);
+                        counter += 1;
+                    }
+                    published = live.clone();
+                    published.len()
+                })
+            });
+            drop(published);
+        }
+
+        // Clustered delta: consecutive tuple ids, the shape of a real
+        // annotation batch over one ingest region. Touches ⌈Δ/1024⌉
+        // segments, so the copy-on-write cost is near-constant in |D|.
+        let mut cursor = 0usize;
+        let mut published = live.clone();
+        group.bench_function(
+            BenchmarkId::new("publish_after_delta_clustered", 256),
+            |b| {
+                b.iter(|| {
+                    for _ in 0..256 {
+                        let tid = TupleId((cursor % size) as u32);
+                        let ann = delta_anns[32 + (cursor / size) % 32];
+                        live.add_annotation(tid, ann);
+                        cursor += 1;
+                    }
+                    published = live.clone();
+                    published.len()
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, publish_paths);
+criterion_main!(benches);

@@ -192,6 +192,40 @@ impl IncrementalMiner {
     pub fn checkpoint_from_string(text: &str) -> Result<IncrementalMiner, String> {
         IncrementalMiner::read_checkpoint(text.as_bytes())
     }
+
+    /// Resume-time screen that this (typically just-restored) miner state
+    /// plausibly belongs to `relation`: the support denominator must equal
+    /// the live tuple count, and every retained pure-annotation itemset
+    /// count (singletons and larger, via posting intersection) must agree
+    /// with the relation's inverted index. A mismatch proves the
+    /// checkpoint and the database snapshot are from different moments —
+    /// continuing incremental maintenance would silently void the
+    /// exactness contract. The converse does not hold: a desync confined
+    /// to mixed data/annotation itemsets (e.g. an annotation moved between
+    /// two tuples) can pass this screen, so treat `Ok` as "not provably
+    /// stale"; [`IncrementalMiner::verify_against_remine`] is the
+    /// exhaustive — and O(full mine) — check.
+    pub fn validate_against(&self, relation: &anno_store::AnnotatedRelation) -> Result<(), String> {
+        let live = relation.len() as u64;
+        if self.table.db_size() != live {
+            return Err(format!(
+                "checkpoint denominator {} != live tuple count {live}",
+                self.table.db_size()
+            ));
+        }
+        for (itemset, count) in self.table.iter() {
+            if itemset.data_count() != 0 {
+                continue;
+            }
+            let indexed = relation.index().co_occurrence(itemset.items()) as u64;
+            if count != indexed {
+                return Err(format!(
+                    "checkpoint counts {count} occurrences of {itemset:?}, index says {indexed}"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 fn parse_next<'a, T: std::str::FromStr>(
@@ -258,6 +292,40 @@ mod tests {
         restored.apply_annotations(&mut rel2, batch);
         assert!(miner.rules().identical_to(restored.rules()));
         assert!(restored.verify_against_remine(&rel2));
+    }
+
+    #[test]
+    fn validate_against_detects_out_of_sync_relations() {
+        let (mut rel, miner) = setup();
+        let restored =
+            IncrementalMiner::checkpoint_from_string(&miner.checkpoint_to_string()).unwrap();
+        restored.validate_against(&rel).expect("matching pair");
+
+        // Mutating the relation behind the miner's back must be caught:
+        // a tuple deletion changes the denominator...
+        let victim = rel.iter().next().map(|(tid, _)| tid).unwrap();
+        let mut smaller = rel.clone();
+        smaller.delete_tuple(victim);
+        assert!(restored.validate_against(&smaller).is_err());
+
+        // ...and an unmaintained annotation change desyncs the index
+        // (the denominator stays equal, so only the singleton check can
+        // catch it). Pick an annotation the table actually retains.
+        let ann = restored
+            .table()
+            .iter()
+            .find_map(|(s, _)| match s.items() {
+                [i] if i.is_annotation_like() => Some(*i),
+                _ => None,
+            })
+            .expect("tiny workload retains some singleton annotation");
+        let target = rel
+            .iter()
+            .find(|(_, t)| !t.contains(ann))
+            .map(|(tid, _)| tid)
+            .unwrap();
+        rel.add_annotation(target, ann);
+        assert!(restored.validate_against(&rel).is_err());
     }
 
     #[test]

@@ -209,17 +209,23 @@ impl FromIterator<Item> for ItemSet {
 pub type Transaction = Box<[Item]>;
 
 /// Project the live tuples of a relation into transactions under `mode`.
+///
+/// Walks the relation segment-at-a-time: each segment is an independent
+/// `Arc`-shared block, so a full-mine projection over a published
+/// snapshot touches exactly the blocks the snapshot holds — no flat-slice
+/// assumption, and a natural unit for future per-segment parallelism.
 pub fn transactions_of(relation: &AnnotatedRelation, mode: MiningMode) -> Vec<Transaction> {
-    relation
-        .iter()
-        .map(|(_, tuple)| {
+    let mut out: Vec<Transaction> = Vec::with_capacity(relation.len());
+    for segment in relation.segments() {
+        out.extend(segment.iter_live().map(|(_, tuple)| {
             if mode.annotations_only() {
                 Box::from(tuple.annotations())
             } else {
                 Box::from(tuple.items())
             }
-        })
-        .collect()
+        }));
+    }
+    out
 }
 
 #[cfg(test)]

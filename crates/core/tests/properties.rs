@@ -249,6 +249,12 @@ proptest! {
                 ..Default::default()
             },
         );
+        // Pinned snapshots: after every batch the relation is cloned (an
+        // O(#segments) persistent snapshot of the segment store) together
+        // with the rule set a from-scratch mine produced at that moment.
+        // All pins are re-checked after the full workload — later batches
+        // must never bleed into an earlier snapshot's view.
+        let mut pinned: Vec<(anno_store::AnnotatedRelation, anno_mine::RuleSet)> = Vec::new();
         for op in ops {
             match op {
                 WorkloadOp::AddAnnotated(tuples) => {
@@ -303,6 +309,22 @@ proptest! {
                 "incremental diverged: {} maintained vs {} fresh rules",
                 miner.rules().len(),
                 fresh.len()
+            );
+            pinned.push((rel.clone(), fresh));
+        }
+        // Persistence: every pinned snapshot is still exactly the relation
+        // it was cloned from — same epoch-frozen contents, still
+        // internally consistent, and re-mining it from scratch still
+        // yields the rule set recorded at pin time.
+        for (round, (snap, rules_then)) in pinned.iter().enumerate() {
+            snap.check_consistency().map_err(TestCaseError::fail)?;
+            let remined = mine_rules(snap, &Thresholds::new(alpha, beta));
+            prop_assert!(
+                remined.identical_to(rules_then),
+                "snapshot pinned at round {} drifted: {} rules then, {} now",
+                round,
+                rules_then.len(),
+                remined.len()
             );
         }
     }

@@ -11,14 +11,20 @@
 //!   proceeds even while a maintenance batch is mid-flight on the write
 //!   mutex.
 //! * **One writer.** All mutations funnel through the queue into a single
-//!   writer thread, which owns the `write` mutex during a drain. The
-//!   relation lives in an `Arc`; `Arc::make_mut` copy-on-writes it when a
-//!   snapshot still references the old version. Since the published
-//!   snapshot always holds one such reference, that is one full relation
-//!   clone per *effective drain* — amortized across every op the drain
-//!   coalesced, and skipped entirely for no-op drains, but still O(|D|)
-//!   per publish. Serving rules-only snapshots (no relation) or a
-//!   persistent tuple store would remove it; see ROADMAP.
+//!   writer thread, which owns the `write` mutex during a drain and
+//!   mutates the relation **in place** — the relation is a persistent
+//!   segment store, so a mutation copy-on-writes at most the one segment
+//!   (and posting bitset) a published snapshot still shares. Publishing
+//!   clones the relation at O(#segments) pointer cost. The old
+//!   `Arc::make_mut` path — one full O(|D|) relation clone per effective
+//!   drain, because the published snapshot always held a second
+//!   reference — is gone; publish cost now scales with the drain's
+//!   delta, as `benches/publish.rs` measures.
+//! * **Epochs.** The relation's mutation epoch advances many times inside
+//!   one drain, but snapshots are built only at drain boundaries:
+//!   [`publish`] asserts the published relation epoch never regresses,
+//!   and a reader can only ever observe a pre- or post-drain epoch,
+//!   never an intermediate one (the concurrency suite pins this down).
 //! * **Exactness.** The writer applies each coalesced batch through the
 //!   miner's §4.3 incremental maintenance, so every published snapshot's
 //!   rules are exactly what a from-scratch mine would produce
@@ -37,7 +43,7 @@ use crate::queue::{coalesce, QueueState, UpdateOp};
 use crate::snapshot::RuleSnapshot;
 
 struct WriteState {
-    relation: Arc<AnnotatedRelation>,
+    relation: AnnotatedRelation,
     miner: Option<IncrementalMiner>,
 }
 
@@ -49,6 +55,10 @@ struct Inner {
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     publish_seq: AtomicU64,
+    /// Relation epoch of the latest published snapshot. Publishes happen
+    /// only at drain boundaries; this asserts they never move backwards
+    /// (and never expose a mid-drain epoch twice).
+    published_relation_epoch: AtomicU64,
     /// Live tuple count, refreshed by the writer after each drain so
     /// listings never contend on the write mutex.
     tuples_hint: AtomicU64,
@@ -73,13 +83,14 @@ impl Dataset {
             name: name.to_string(),
             config,
             write: Mutex::new(WriteState {
-                relation: Arc::new(AnnotatedRelation::new(name)),
+                relation: AnnotatedRelation::new(name),
                 miner: None,
             }),
             published: RwLock::new(None),
             queue: Mutex::new(QueueState::default()),
             queue_cv: Condvar::new(),
             publish_seq: AtomicU64::new(0),
+            published_relation_epoch: AtomicU64::new(0),
             tuples_hint: AtomicU64::new(0),
             metrics: Metrics::new(),
         });
@@ -225,6 +236,13 @@ impl Dataset {
         self.inner.tuples_hint.load(Ordering::Relaxed) as usize
     }
 
+    /// Number of coalesced drains the writer has taken off the queue — the
+    /// `M` the publish-cost model amortizes over (stress suites pin
+    /// readers across a minimum drain count with this).
+    pub fn drains(&self) -> u64 {
+        self.inner.queue.lock().expect("queue lock").drains
+    }
+
     /// Stop the writer thread, draining anything already queued. Further
     /// enqueues fail with [`ServiceError::ShutDown`]. Idempotent.
     pub fn shutdown(&self) {
@@ -255,15 +273,23 @@ impl std::fmt::Debug for Dataset {
 }
 
 /// Build and swap in a fresh snapshot; no-op (returning `None`) pre-mine.
+/// The snapshot's relation is a persistent clone sharing every segment
+/// with `w.relation` — publish cost is O(#segments), not O(|D|).
 fn publish(inner: &Inner, w: &WriteState) -> Option<Arc<RuleSnapshot>> {
     let miner = w.miner.as_ref()?;
     let epoch = inner.publish_seq.fetch_add(1, Ordering::SeqCst) + 1;
-    let snap = Arc::new(RuleSnapshot::build(
-        &inner.name,
-        epoch,
-        Arc::clone(&w.relation),
-        miner,
-    ));
+    let snap = Arc::new(RuleSnapshot::build(&inner.name, epoch, &w.relation, miner));
+    // Drain-boundary epoch contract: published relation epochs only move
+    // forward. A regression would mean a reader could observe time running
+    // backwards across two snapshot reads.
+    let prev = inner
+        .published_relation_epoch
+        .swap(snap.relation_epoch(), Ordering::SeqCst);
+    assert!(
+        snap.relation_epoch() >= prev,
+        "published relation epoch regressed: {prev} -> {}",
+        snap.relation_epoch()
+    );
     *inner.published.write().expect("published lock") = Some(Arc::clone(&snap));
     inner.metrics.record_publish();
     Some(snap)
@@ -281,6 +307,7 @@ fn writer_loop(inner: &Inner) {
                 return;
             }
             q.pending_updates = 0;
+            q.drains += 1;
             // Wake enqueuers blocked on backpressure now that the queue is
             // empty again; they need not wait for the apply below.
             inner.queue_cv.notify_all();
@@ -343,18 +370,18 @@ fn writer_loop(inner: &Inner) {
 /// Apply one coalesced batch: through the miner's incremental maintenance
 /// once mined, directly to the relation during the pre-mine loading phase.
 ///
-/// Ops are pre-filtered against the *immutable* relation first: a batch
-/// that cannot change anything (dead targets, already-present/absent
-/// annotations, comment-only rows) returns `false` before `Arc::make_mut`,
-/// so ineffective drains neither copy-on-write clone the relation nor
-/// intern stray names into the vocabulary. Returns `true` iff a
-/// maintenance pass actually ran.
+/// Ops are pre-filtered against the relation first: a batch that cannot
+/// change anything (dead targets, already-present/absent annotations,
+/// comment-only rows) returns `false` before any mutation, so ineffective
+/// drains neither touch the segment store (whose own no-op prechecks keep
+/// shared segments shared) nor intern stray names into the vocabulary.
+/// Returns `true` iff a maintenance pass actually ran.
 fn apply_op(state: &mut WriteState, op: UpdateOp) -> bool {
     let Some(op) = prefilter(&state.relation, op) else {
         return false;
     };
     let WriteState { relation, miner } = state;
-    let rel = Arc::make_mut(relation);
+    let rel = relation;
     match op {
         UpdateOp::InsertRows(lines) => {
             let tuples: Vec<Tuple> = lines
@@ -368,9 +395,15 @@ fn apply_op(state: &mut WriteState, op: UpdateOp) -> bool {
         UpdateOp::AnnotateNamed(named) => {
             let updates: Vec<AnnotationUpdate> = named
                 .into_iter()
-                .map(|(tuple, name)| AnnotationUpdate {
-                    tuple,
-                    annotation: rel.vocab_mut().annotation(&name),
+                .map(|(tuple, name)| {
+                    // Read-only resolution first: `vocab_mut` copy-on-writes
+                    // the whole interner when a published snapshot shares
+                    // it, so only genuinely new names may pay that.
+                    let annotation = rel
+                        .vocab()
+                        .get(ItemKind::Annotation, &name)
+                        .unwrap_or_else(|| rel.vocab_mut().annotation(&name));
+                    AnnotationUpdate { tuple, annotation }
                 })
                 .collect();
             annotate(rel, miner, updates);
@@ -659,6 +692,38 @@ mod tests {
         ds.flush().unwrap();
         assert!(ds.snapshot().unwrap().epoch() > snap.epoch());
         assert!(ds.verify().unwrap());
+    }
+
+    #[test]
+    fn annotating_known_names_never_copies_the_vocabulary() {
+        let ds = loaded();
+        let before = ds.mine().unwrap();
+        // Every name below is already interned: the apply path must
+        // resolve them read-only, so the published snapshot keeps sharing
+        // the vocabulary `Arc` across the drain.
+        ds.enqueue(UpdateOp::AnnotateNamed(vec![
+            (TupleId(3), "Annot_1".into()),
+            (TupleId(4), "Annot_1".into()),
+        ]))
+        .unwrap();
+        ds.flush().unwrap();
+        let after = ds.snapshot().unwrap();
+        assert!(after.epoch() > before.epoch(), "drain was effective");
+        assert!(
+            after.relation().shares_vocab_with(before.relation()),
+            "annotate-only drain over known names must not copy the interner"
+        );
+        // A genuinely new name still interns (and unshares) as intended.
+        ds.enqueue(UpdateOp::InsertRows(vec!["55 66 Fresh_Ann".into()]))
+            .unwrap();
+        ds.flush().unwrap();
+        let third = ds.snapshot().unwrap();
+        assert!(!third.relation().shares_vocab_with(after.relation()));
+        assert!(third
+            .relation()
+            .vocab()
+            .get(anno_store::ItemKind::Annotation, "Fresh_Ann")
+            .is_some());
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!   write-behind worker thread ([`Dataset`](dataset::Dataset));
 //! * **snapshot reads** — queries run against an immutable
 //!   [`RuleSnapshot`](snapshot::RuleSnapshot) behind an `Arc`; readers
-//!   clone the `Arc` and never block on an in-flight write batch
-//!   (copy-on-write via `Arc::make_mut` on the relation);
+//!   clone the `Arc` and never block on an in-flight write batch (the
+//!   relation inside each snapshot is a persistent clone of the
+//!   segment-store database, sharing all storage with the live relation
+//!   at publish time);
 //! * **batched writes** — a coalescing [`queue`] folds streams of
 //!   [`UpdateOp`](queue::UpdateOp)s into single incremental-maintenance
 //!   passes (cases 1–3 of §4.3, plus the deletion cases) and atomically

@@ -122,7 +122,6 @@ mod tests {
     use super::*;
     use anno_mine::{IncrementalConfig, IncrementalMiner, Thresholds};
     use anno_store::parse_dataset;
-    use std::sync::Arc;
 
     fn snap() -> RuleSnapshot {
         let rel = parse_dataset(
@@ -137,7 +136,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        RuleSnapshot::build("db", 1, Arc::new(rel), &miner)
+        RuleSnapshot::build("db", 1, &rel, &miner)
     }
 
     #[test]

@@ -127,6 +127,10 @@ pub(crate) struct QueueState {
     pub enqueued: u64,
     /// Ops whose effects are visible in the published snapshot.
     pub applied: u64,
+    /// Writer passes that took work off the queue (each is one coalesced
+    /// drain — the unit the publish-cost model is amortized over, and the
+    /// `M` in "readers pinned across M drains" stress runs).
+    pub drains: u64,
     /// Set once at shutdown; the writer drains what is pending, then exits.
     pub shutdown: bool,
     /// Set only when the writer thread died abnormally (panic): pending
@@ -143,6 +147,7 @@ impl Default for QueueState {
             cap_updates: DEFAULT_PENDING_CAP,
             enqueued: 0,
             applied: 0,
+            drains: 0,
             shutdown: false,
             writer_dead: false,
         }

@@ -4,11 +4,12 @@
 //! swapped in atomically behind an `Arc`. Readers clone the `Arc` and keep
 //! querying their copy for as long as they like — a long-running scan is
 //! never invalidated and never blocks (or is blocked by) the writer. The
-//! relation itself rides along as `Arc<AnnotatedRelation>`: the writer
-//! mutates it through `Arc::make_mut`, so a relation with outstanding
-//! snapshot readers is copy-on-write cloned instead of mutated in place.
-
-use std::sync::Arc;
+//! relation rides along as a *persistent clone*: `AnnotatedRelation` is a
+//! segment store, so [`RuleSnapshot::build`] freezes the database with
+//! O(#segments) pointer copies, the snapshot physically shares every
+//! segment with the live relation at publish time, and later writes
+//! copy-on-write only the segments they touch. Publishing costs
+//! delta-scale work, never O(|D|).
 
 use anno_mine::{
     AssociationRule, IncrementalConfig, IncrementalMiner, MaintenanceStats, RuleSet, Thresholds,
@@ -21,7 +22,7 @@ use anno_store::{AnnotatedRelation, Item, TupleId};
 pub struct RuleSnapshot {
     dataset: String,
     epoch: u64,
-    relation: Arc<AnnotatedRelation>,
+    relation: AnnotatedRelation,
     relation_epoch: u64,
     rules: RuleSet,
     candidates: RuleSet,
@@ -34,11 +35,14 @@ pub struct RuleSnapshot {
 }
 
 impl RuleSnapshot {
-    /// Freeze the miner's current state into a snapshot.
+    /// Freeze the miner's current state into a snapshot. The relation is
+    /// captured by persistent clone — O(#segments + #annotations) pointer
+    /// copies that share all storage with `relation` — so building a
+    /// snapshot never deep-copies the database.
     pub fn build(
         dataset: &str,
         epoch: u64,
-        relation: Arc<AnnotatedRelation>,
+        relation: &AnnotatedRelation,
         miner: &IncrementalMiner,
     ) -> RuleSnapshot {
         let rules = miner.rules().clone();
@@ -55,7 +59,7 @@ impl RuleSnapshot {
         RuleSnapshot {
             dataset: dataset.to_string(),
             epoch,
-            relation,
+            relation: relation.clone(),
             relation_epoch,
             rules,
             candidates: miner.candidate_rules().clone(),
@@ -229,7 +233,19 @@ mod tests {
                 ..Default::default()
             },
         );
-        RuleSnapshot::build("db", 1, Arc::new(rel), &miner)
+        RuleSnapshot::build("db", 1, &rel, &miner)
+    }
+
+    #[test]
+    fn build_shares_storage_with_the_live_relation() {
+        let rel = parse_dataset("db", "28 85 Annot_1\n17 99\n").unwrap();
+        let miner = IncrementalMiner::mine_initial(&rel, IncrementalConfig::default());
+        let snap = RuleSnapshot::build("db", 1, &rel, &miner);
+        assert_eq!(
+            snap.relation().shared_segments_with(&rel),
+            rel.segments().len(),
+            "publish must not deep-copy the tuple store"
+        );
     }
 
     #[test]

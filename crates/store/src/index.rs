@@ -10,6 +10,13 @@
 //! ids carrying it, and is maintained incrementally by
 //! [`AnnotatedRelation`](crate::relation::AnnotatedRelation) on every
 //! mutation.
+//!
+//! Postings ride behind `Arc`s: cloning the index (part of the relation's
+//! snapshot-by-clone contract) is O(#annotations) pointer copies, and a
+//! mutation copy-on-writes only the touched annotation's bitset — a flat
+//! word-array memcpy, never a per-tuple deep clone.
+
+use std::sync::Arc;
 
 use crate::bitset::BitSet;
 use crate::fxhash::FxHashMap;
@@ -19,7 +26,7 @@ use crate::tuple::TupleId;
 /// Inverted index: annotation → posting bitset of tuple ids.
 #[derive(Debug, Clone, Default)]
 pub struct AnnotationIndex {
-    postings: FxHashMap<Item, BitSet>,
+    postings: FxHashMap<Item, Arc<BitSet>>,
 }
 
 impl AnnotationIndex {
@@ -31,13 +38,18 @@ impl AnnotationIndex {
     /// Record that tuple `tid` carries `ann`.
     pub fn insert(&mut self, tid: TupleId, ann: Item) {
         debug_assert!(ann.is_annotation_like());
-        self.postings.entry(ann).or_default().insert(tid.0);
+        Arc::make_mut(self.postings.entry(ann).or_default()).insert(tid.0);
     }
 
     /// Record that tuple `tid` no longer carries `ann`.
     pub fn remove(&mut self, tid: TupleId, ann: Item) {
         if let Some(bits) = self.postings.get_mut(&ann) {
-            bits.remove(tid.0);
+            // Shared-read precheck: removing an absent id must not
+            // copy-on-write a posting a snapshot still shares.
+            if !bits.contains(tid.0) {
+                return;
+            }
+            Arc::make_mut(bits).remove(tid.0);
             if bits.is_empty() {
                 self.postings.remove(&ann);
             }
@@ -46,14 +58,31 @@ impl AnnotationIndex {
 
     /// The posting bitset for `ann`, if any tuple carries it.
     pub fn postings(&self, ann: Item) -> Option<&BitSet> {
-        self.postings.get(&ann)
+        self.postings.get(&ann).map(Arc::as_ref)
+    }
+
+    /// How many postings `self` and `other` share physically (same `Arc`)
+    /// — the index-side structural-sharing meter, mirroring
+    /// [`SegmentStore::shared_segments_with`].
+    ///
+    /// [`SegmentStore::shared_segments_with`]: crate::segment::SegmentStore::shared_segments_with
+    pub fn shared_postings_with(&self, other: &AnnotationIndex) -> usize {
+        self.postings
+            .iter()
+            .filter(|(ann, bits)| {
+                other
+                    .postings
+                    .get(ann)
+                    .is_some_and(|b| Arc::ptr_eq(bits, b))
+            })
+            .count()
     }
 
     /// Number of live tuples carrying `ann` — the paper's per-annotation
     /// frequency table (Fig. 13 Step 1 checks "the annotation must be a
     /// frequent annotation by itself" against this).
     pub fn frequency(&self, ann: Item) -> usize {
-        self.postings.get(&ann).map_or(0, BitSet::len)
+        self.postings.get(&ann).map_or(0, |b| b.len())
     }
 
     /// Iterate the tuple ids carrying `ann` in increasing order.
@@ -80,7 +109,7 @@ impl AnnotationIndex {
                 None => 0,
             },
             _ => {
-                let mut acc = first_bits.clone();
+                let mut acc = BitSet::clone(first_bits);
                 for ann in rest {
                     match self.postings.get(ann) {
                         Some(b) => acc.intersect_with(b),
@@ -157,6 +186,27 @@ mod tests {
         assert_eq!(idx.co_occurrence(&[ann(1), ann(2), ann(3)]), 1);
         assert_eq!(idx.co_occurrence(&[ann(1), ann(9)]), 0);
         assert_eq!(idx.co_occurrence(&[]), 0);
+    }
+
+    #[test]
+    fn clone_shares_postings_until_written() {
+        let mut idx = AnnotationIndex::new();
+        idx.insert(TupleId(0), ann(1));
+        idx.insert(TupleId(1), ann(2));
+        let snap = idx.clone();
+        assert_eq!(idx.shared_postings_with(&snap), 2);
+
+        // No-op removals must not unshare.
+        idx.remove(TupleId(9), ann(1));
+        idx.remove(TupleId(0), ann(7));
+        assert_eq!(idx.shared_postings_with(&snap), 2);
+
+        // A real mutation unshares exactly the touched posting, and the
+        // snapshot keeps its view.
+        idx.insert(TupleId(5), ann(1));
+        assert_eq!(idx.shared_postings_with(&snap), 1);
+        assert_eq!(idx.frequency(ann(1)), 2);
+        assert_eq!(snap.frequency(ann(1)), 1);
     }
 
     #[test]

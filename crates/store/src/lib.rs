@@ -11,6 +11,10 @@
 //!   [`AnnotatedRelation`](relation::AnnotatedRelation) with liveness
 //!   tracking and consistent mutation under the paper's three evolution
 //!   cases (plus deletion, the paper's future-work item);
+//! * [`segment`] — the persistent, structurally shared tuple store
+//!   beneath the relation: `Arc`-shared fixed-capacity segments make
+//!   `AnnotatedRelation::clone` an O(#segments) snapshot and bound every
+//!   copy-on-write to one segment;
 //! * [`index`] — the annotation inverted index of §4.3, backed by [`bitset`];
 //! * [`generalize`] — concept taxonomies and the extended annotated
 //!   database of §4.1 (Figs. 8–10), including multi-level hierarchies;
@@ -35,6 +39,7 @@ pub mod generate;
 pub mod index;
 pub mod item;
 pub mod relation;
+pub mod segment;
 pub mod snapshot;
 pub mod textio;
 pub mod tuple;
@@ -51,6 +56,7 @@ pub use generate::{
 pub use index::AnnotationIndex;
 pub use item::{Item, ItemKind, Vocabulary};
 pub use relation::{AnnotatedRelation, AnnotationDelta, AnnotationUpdate};
+pub use segment::{Segment, SegmentStore, SEGMENT_BITS, SEGMENT_CAP};
 pub use snapshot::{read_snapshot, snapshot_from_string, snapshot_to_string, write_snapshot};
 pub use textio::{
     dataset_to_string, format_annotation_batch, format_tuple, line_has_items,

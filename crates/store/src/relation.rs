@@ -2,21 +2,33 @@
 //!
 //! [`AnnotatedRelation`] is the concrete realisation of paper Definition 4.1
 //! and the object every other layer operates on. It owns the
-//! [`Vocabulary`], the tuple store, the liveness bitmap (tuple deletion is
-//! the paper's future-work item, implemented here), and the
-//! [`AnnotationIndex`], and keeps them consistent under the three evolution
-//! cases of §4.3:
+//! [`Vocabulary`], the persistent [`SegmentStore`] of tuples (liveness is
+//! tracked per segment; tuple deletion is the paper's future-work item,
+//! implemented here), and the [`AnnotationIndex`], and keeps them
+//! consistent under the three evolution cases of §4.3:
 //!
 //! * **Case 1** — [`AnnotatedRelation::extend`] with annotated tuples;
 //! * **Case 2** — [`AnnotatedRelation::extend`] with un-annotated tuples;
 //! * **Case 3** — [`AnnotatedRelation::apply_annotation_batch`], which
 //!   returns the *effective* [`AnnotationDelta`] (duplicates and dead
 //!   targets filtered) that incremental maintenance consumes.
+//!
+//! # Cloning is snapshotting
+//!
+//! Every component is structurally shared: tuples live in `Arc` segments,
+//! index postings are `Arc` bitsets, and the vocabulary rides behind an
+//! `Arc`. `Clone` therefore costs O(#segments + #annotations) pointer
+//! copies, not O(|D|), and a clone is a true persistent snapshot — later
+//! mutations of the original copy-on-write only the touched segment /
+//! posting / vocabulary, never the snapshot's view. This is what lets the
+//! serving layer publish a relation per drain without re-copying the
+//! database (see `anno-service`).
 
-use crate::bitset::BitSet;
 use crate::index::AnnotationIndex;
 use crate::item::{Item, Vocabulary};
+use crate::segment::{Segment, SegmentStore};
 use crate::tuple::{Tuple, TupleId};
+use std::sync::Arc;
 
 /// One annotation addition: attach `annotation` to `tuple`.
 ///
@@ -70,10 +82,8 @@ impl AnnotationDelta {
 #[derive(Debug, Clone, Default)]
 pub struct AnnotatedRelation {
     name: String,
-    vocab: Vocabulary,
-    tuples: Vec<Tuple>,
-    alive: BitSet,
-    live_count: usize,
+    vocab: Arc<Vocabulary>,
+    store: SegmentStore,
     index: AnnotationIndex,
     epoch: u64,
 }
@@ -98,8 +108,11 @@ impl AnnotatedRelation {
     }
 
     /// Mutable access to the vocabulary (for interning while loading).
+    /// Copy-on-write: if a snapshot clone shares the vocabulary, the first
+    /// mutation after the clone copies it (interning is the only mutation,
+    /// so an annotate-only drain over known names never pays this).
     pub fn vocab_mut(&mut self) -> &mut Vocabulary {
-        &mut self.vocab
+        Arc::make_mut(&mut self.vocab)
     }
 
     /// The annotation inverted index.
@@ -114,32 +127,60 @@ impl AnnotatedRelation {
         self.epoch
     }
 
+    /// Restore a persisted epoch (snapshot reload rebuilds the relation by
+    /// replaying inserts/deletes, which would otherwise fabricate one).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Number of **live** tuples — the `|D|` denominator of every support
     /// computation.
     pub fn len(&self) -> usize {
-        self.live_count
+        self.store.live_count()
     }
 
     /// `true` iff no live tuples.
     pub fn is_empty(&self) -> bool {
-        self.live_count == 0
+        self.store.is_empty()
     }
 
     /// Total slots ever allocated (live + deleted); tuple ids range over
     /// `0..slot_count`.
     pub fn slot_count(&self) -> usize {
-        self.tuples.len()
+        self.store.slot_count()
+    }
+
+    /// The segment spine, for segment-at-a-time consumers (the miner's
+    /// transaction projection, sharing assertions in tests and benches).
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        self.store.segments()
+    }
+
+    /// How many segments `self` physically shares (same `Arc`) with
+    /// `other` — the structural-sharing meter behind the publish-cost
+    /// model: a fresh clone shares everything; each mutated segment costs
+    /// exactly one.
+    pub fn shared_segments_with(&self, other: &AnnotatedRelation) -> usize {
+        self.store.shared_segments_with(&other.store)
+    }
+
+    /// `true` iff `self` and `other` physically share (same `Arc`) the
+    /// vocabulary — i.e. no interning happened between the two since they
+    /// diverged. Write paths that resolve existing names read-only keep
+    /// this true across drains.
+    pub fn shares_vocab_with(&self, other: &AnnotatedRelation) -> bool {
+        Arc::ptr_eq(&self.vocab, &other.vocab)
     }
 
     /// Insert one tuple, returning its id.
     pub fn insert(&mut self, tuple: Tuple) -> TupleId {
-        let tid = TupleId(u32::try_from(self.tuples.len()).expect("relation overflow"));
+        let slot = u32::try_from(self.store.slot_count()).expect("relation overflow");
+        let tid = TupleId(slot);
         for &ann in tuple.annotations() {
             self.index.insert(tid, ann);
         }
-        self.alive.insert(tid.0);
-        self.live_count += 1;
-        self.tuples.push(tuple);
+        let pushed = self.store.push(tuple);
+        debug_assert_eq!(pushed, slot);
         self.epoch += 1;
         tid
     }
@@ -152,43 +193,46 @@ impl AnnotatedRelation {
 
     /// The tuple with id `tid`, if it exists and is live.
     pub fn tuple(&self, tid: TupleId) -> Option<&Tuple> {
-        if self.alive.contains(tid.0) {
-            self.tuples.get(tid.0 as usize)
-        } else {
-            None
-        }
+        self.store.get(tid.0)
     }
 
     /// `true` iff `tid` refers to a live tuple.
     pub fn is_live(&self, tid: TupleId) -> bool {
-        self.alive.contains(tid.0)
+        self.store.is_live(tid.0)
     }
 
     /// Iterate live `(id, tuple)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> + '_ {
-        self.alive
-            .iter()
-            .map(move |i| (TupleId(i), &self.tuples[i as usize]))
+        self.store.iter_live().map(|(slot, t)| (TupleId(slot), t))
     }
 
     /// Iterate live tuples carrying annotation `ann` (via the index).
     pub fn tuples_with(&self, ann: Item) -> impl Iterator<Item = (TupleId, &Tuple)> + '_ {
         self.index
             .tuples_with(ann)
-            .map(move |tid| (tid, &self.tuples[tid.0 as usize]))
+            .map(move |tid| (tid, self.store.get(tid.0).expect("indexed tuple is live")))
     }
 
     /// Attach `ann` to `tid`. Returns `true` if the relation changed.
     pub fn add_annotation(&mut self, tid: TupleId, ann: Item) -> bool {
-        if !self.alive.contains(tid.0) {
-            return false;
+        assert!(
+            ann.is_annotation_like(),
+            "cannot annotate with a data value"
+        );
+        // Shared-read precheck so a duplicate never copies the segment.
+        match self.store.get(tid.0) {
+            None => return false,
+            Some(t) if t.contains(ann) => return false,
+            Some(_) => {}
         }
-        let added = self.tuples[tid.0 as usize].add_annotation(ann);
-        if added {
-            self.index.insert(tid, ann);
-            self.epoch += 1;
-        }
-        added
+        let added = self
+            .store
+            .update(tid.0, |t| t.add_annotation(ann))
+            .expect("liveness just checked");
+        debug_assert!(added);
+        self.index.insert(tid, ann);
+        self.epoch += 1;
+        true
     }
 
     /// Apply an annotation batch (Case 3 of §4.3, Fig. 14), returning the
@@ -209,50 +253,56 @@ impl AnnotatedRelation {
     /// Detach `ann` from `tid` (the paper's future-work deletion case).
     /// Returns `true` if the relation changed.
     pub fn remove_annotation(&mut self, tid: TupleId, ann: Item) -> bool {
-        if !self.alive.contains(tid.0) {
-            return false;
+        assert!(
+            ann.is_annotation_like(),
+            "cannot remove a data value as an annotation"
+        );
+        match self.store.get(tid.0) {
+            None => return false,
+            Some(t) if !t.contains(ann) => return false,
+            Some(_) => {}
         }
-        let removed = self.tuples[tid.0 as usize].remove_annotation(ann);
-        if removed {
-            self.index.remove(tid, ann);
-            self.epoch += 1;
-        }
-        removed
+        let removed = self
+            .store
+            .update(tid.0, |t| t.remove_annotation(ann))
+            .expect("liveness just checked");
+        debug_assert!(removed);
+        self.index.remove(tid, ann);
+        self.epoch += 1;
+        true
     }
 
     /// Delete a tuple (tombstone; ids of other tuples are unaffected).
     /// Returns `true` if the tuple was live.
     pub fn delete_tuple(&mut self, tid: TupleId) -> bool {
-        if !self.alive.remove(tid.0) {
-            return false;
-        }
-        self.live_count -= 1;
-        for &ann in self.tuples[tid.0 as usize].annotations() {
+        let anns: Vec<Item> = match self.store.get(tid.0) {
+            Some(t) => t.annotations().to_vec(),
+            None => return false,
+        };
+        let deleted = self.store.delete(tid.0);
+        debug_assert!(deleted);
+        for ann in anns {
             self.index.remove(tid, ann);
         }
         self.epoch += 1;
         true
     }
 
-    /// Validate internal consistency (index ↔ tuples ↔ liveness). Intended
-    /// for tests and debug assertions; O(total items).
+    /// Validate internal consistency (index ↔ segments ↔ liveness).
+    /// Intended for tests and debug assertions; O(total items).
     pub fn check_consistency(&self) -> Result<(), String> {
-        let mut live = 0usize;
-        for (tid, tuple) in self.tuples.iter().enumerate() {
-            let tid = TupleId(tid as u32);
-            if !self.alive.contains(tid.0) {
+        self.store.check()?;
+        for (slot, tuple, live) in self.store.iter_slots() {
+            if !live {
                 continue;
             }
-            live += 1;
+            let tid = TupleId(slot);
             for &ann in tuple.annotations() {
                 let posted = self.index.postings(ann).is_some_and(|b| b.contains(tid.0));
                 if !posted {
                     return Err(format!("annotation {ann:?} of {tid} missing from index"));
                 }
             }
-        }
-        if live != self.live_count {
-            return Err(format!("live_count {} != actual {live}", self.live_count));
         }
         for ann in self.index.annotations() {
             for tid in self.index.tuples_with(ann) {
@@ -269,6 +319,7 @@ impl AnnotatedRelation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segment::SEGMENT_CAP;
 
     fn tup(rel: &mut AnnotatedRelation, data: &[&str], anns: &[&str]) -> Tuple {
         let data: Vec<Item> = data.iter().map(|d| rel.vocab_mut().data(d)).collect();
@@ -389,5 +440,64 @@ mod tests {
     fn consistency_check_catches_corruption() {
         let rel = AnnotatedRelation::new("R");
         assert!(rel.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn clone_is_a_persistent_snapshot() {
+        let mut rel = AnnotatedRelation::new("R");
+        for i in 0..(SEGMENT_CAP + 10) {
+            let t = tup(&mut rel, &[&format!("{i}")], &["A"]);
+            rel.insert(t);
+        }
+        let a = rel
+            .vocab()
+            .get(crate::item::ItemKind::Annotation, "A")
+            .unwrap();
+        let snap = rel.clone();
+        assert_eq!(rel.shared_segments_with(&snap), 2, "clone shares the spine");
+
+        // Mutations after the clone: the snapshot's view never moves.
+        // Delete + un-annotate both land in segment 0, so exactly one
+        // segment is copied-on-write.
+        rel.delete_tuple(TupleId(0));
+        assert!(rel.remove_annotation(TupleId(1), a));
+        assert_eq!(rel.shared_segments_with(&snap), 1);
+        // Appending lands in the partial tail segment, copying it too.
+        let t = tup(&mut rel, &["fresh"], &["B"]);
+        rel.insert(t);
+
+        assert_eq!(snap.len(), SEGMENT_CAP + 10);
+        assert!(snap.is_live(TupleId(0)));
+        assert!(snap.tuple(TupleId(1)).unwrap().contains(a));
+        assert_eq!(snap.index().frequency(a), SEGMENT_CAP + 10);
+        assert!(
+            snap.vocab()
+                .get(crate::item::ItemKind::Annotation, "B")
+                .is_none(),
+            "snapshot vocabulary is frozen too"
+        );
+        snap.check_consistency().unwrap();
+        rel.check_consistency().unwrap();
+        assert_eq!(rel.shared_segments_with(&snap), 0);
+    }
+
+    #[test]
+    fn noop_mutations_never_unshare_segments() {
+        let mut rel = AnnotatedRelation::new("R");
+        let t0 = tup(&mut rel, &["1"], &["A"]);
+        let t1 = tup(&mut rel, &["2"], &[]);
+        rel.extend([t0, t1]);
+        let a = rel.vocab_mut().annotation("A");
+        rel.delete_tuple(TupleId(1));
+        let snap = rel.clone();
+        assert!(!rel.add_annotation(TupleId(0), a), "duplicate");
+        assert!(!rel.add_annotation(TupleId(1), a), "dead target");
+        assert!(!rel.remove_annotation(TupleId(1), a), "dead target");
+        assert!(!rel.delete_tuple(TupleId(1)), "already dead");
+        assert_eq!(
+            rel.shared_segments_with(&snap),
+            rel.segments().len(),
+            "no-ops must not copy-on-write"
+        );
     }
 }

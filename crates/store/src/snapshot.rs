@@ -10,11 +10,17 @@
 //! ```text
 //! annodb-snapshot v1
 //! name <escaped>
+//! epoch <mutation-counter>         # optional for back-compat reading
 //! vocab <d|a|l> <escaped-name>     # one per interned name, intern order
 //! slots <total-slot-count>
 //! tuple <tid> <raw-item> ...       # live tuples only, ascending tid
 //! end
 //! ```
+//!
+//! The mutation epoch is persisted explicitly: restoring replays inserts
+//! and tombstone deletes, which would otherwise fabricate an epoch from
+//! the reconstruction order — and serving layers key snapshot staleness
+//! off that counter, so it must survive a save/load cycle exactly.
 //!
 //! Names are percent-escaped so they may contain whitespace and `#`.
 
@@ -81,6 +87,7 @@ fn tag_kind(tag: &str) -> Result<ItemKind, String> {
 pub fn write_snapshot<W: Write>(rel: &AnnotatedRelation, writer: &mut W) -> io::Result<()> {
     writeln!(writer, "annodb-snapshot v1")?;
     writeln!(writer, "name {}", escape_name(rel.name()))?;
+    writeln!(writer, "epoch {}", rel.epoch())?;
     for kind in ItemKind::ALL {
         for item in rel.vocab().items(kind) {
             writeln!(
@@ -121,6 +128,7 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<AnnotatedRelation, String>
         return Err(format!("unsupported snapshot header {header:?}"));
     }
     let mut rel = AnnotatedRelation::new("");
+    let mut epoch: Option<u64> = None;
     let mut slots: Option<usize> = None;
     let mut live: Vec<(TupleId, Vec<Item>)> = Vec::new();
     let mut saw_end = false;
@@ -136,6 +144,14 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<AnnotatedRelation, String>
             Some("name") => {
                 let name = unescape_name(parts.next().unwrap_or("")).map_err(&err)?;
                 rel = AnnotatedRelation::new(name);
+            }
+            Some("epoch") => {
+                let e: u64 = parts
+                    .next()
+                    .unwrap_or("")
+                    .parse()
+                    .map_err(|e| err(format!("bad epoch: {e}")))?;
+                epoch = Some(e);
             }
             Some("vocab") => {
                 let kind = tag_kind(parts.next().unwrap_or("")).map_err(&err)?;
@@ -193,6 +209,12 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<AnnotatedRelation, String>
     if let Some((tid, _)) = by_tid.next() {
         return Err(format!("tuple id {tid} out of declared slot range"));
     }
+    // Reconstruction replayed inserts/deletes, fabricating an epoch;
+    // restore the persisted one (pre-epoch v1 files keep the replay value,
+    // which is at least monotone in the relation's contents).
+    if let Some(e) = epoch {
+        rel.set_epoch(e);
+    }
     Ok(rel)
 }
 
@@ -236,6 +258,11 @@ mod tests {
         let text = snapshot_to_string(&rel);
         let restored = snapshot_from_string(&text).unwrap();
         assert_eq!(restored.name(), rel.name());
+        assert_eq!(
+            restored.epoch(),
+            rel.epoch(),
+            "mutation epoch must survive persistence exactly"
+        );
         assert_eq!(restored.len(), rel.len());
         assert_eq!(restored.slot_count(), rel.slot_count());
         for slot in 0..rel.slot_count() as u32 {
@@ -297,5 +324,15 @@ mod tests {
         let restored = snapshot_from_string(&snapshot_to_string(&rel)).unwrap();
         assert_eq!(restored.len(), 0);
         assert_eq!(restored.slot_count(), 0);
+        assert_eq!(restored.epoch(), 0);
+    }
+
+    #[test]
+    fn pre_epoch_snapshots_still_load() {
+        // A v1 file written before the epoch directive existed.
+        let restored =
+            snapshot_from_string("annodb-snapshot v1\nname r\nslots 1\ntuple 0 0\nend\n").unwrap();
+        assert_eq!(restored.len(), 1);
+        assert!(snapshot_from_string("annodb-snapshot v1\nepoch x\nend\n").is_err());
     }
 }

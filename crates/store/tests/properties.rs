@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 
 use anno_store::{
-    dataset_to_string, parse_dataset, AnnotatedRelation, BitSet, Item, Tuple, TupleId,
+    dataset_to_string, parse_dataset, AnnotatedRelation, BitSet, Item, SegmentStore, Tuple, TupleId,
 };
 use proptest::prelude::*;
 
@@ -203,5 +203,131 @@ proptest! {
         prop_assert_eq!(rel.len(), rel2.len());
         let text2 = dataset_to_string(&rel2);
         prop_assert_eq!(text, text2, "second round-trip must be a fixpoint");
+    }
+}
+
+// ---------------------------------------------------------------------
+// SegmentStore vs a flat model, with persistent snapshots.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    /// Push `n` fresh tuples (bulk, so segment boundaries get crossed).
+    PushMany(u16),
+    Delete(u16),
+    Annotate {
+        slot: u16,
+        ann: u8,
+    },
+    /// Clone the store and remember the expected state forever.
+    Snapshot,
+}
+
+fn arb_storeop() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        (1u16..300).prop_map(StoreOp::PushMany),
+        any::<u16>().prop_map(StoreOp::Delete),
+        (any::<u16>(), 0u8..4).prop_map(|(slot, ann)| StoreOp::Annotate { slot, ann }),
+        Just(StoreOp::Snapshot),
+    ]
+}
+
+/// The model: one entry per slot, `None` once tombstoned.
+type StoreModel = Vec<Option<Tuple>>;
+
+fn assert_store_matches(store: &SegmentStore, model: &StoreModel) -> Result<(), TestCaseError> {
+    store.check().map_err(TestCaseError::fail)?;
+    prop_assert_eq!(store.slot_count(), model.len());
+    prop_assert_eq!(
+        store.live_count(),
+        model.iter().filter(|t| t.is_some()).count()
+    );
+    for (slot, expect) in model.iter().enumerate() {
+        let slot = slot as u32;
+        prop_assert_eq!(store.get(slot), expect.as_ref(), "slot {}", slot);
+        prop_assert_eq!(store.is_live(slot), expect.is_some());
+    }
+    let live: Vec<(u32, &Tuple)> = store.iter_live().collect();
+    let expected: Vec<(u32, &Tuple)> = model
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, t)| t.as_ref().map(|t| (slot as u32, t)))
+        .collect();
+    prop_assert_eq!(live, expected);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn segment_store_matches_flat_model_and_snapshots_are_persistent(
+        ops in proptest::collection::vec(arb_storeop(), 1..40),
+    ) {
+        let mut store = SegmentStore::new();
+        let mut model: StoreModel = Vec::new();
+        let mut snapshots: Vec<(SegmentStore, StoreModel)> = Vec::new();
+        let mut next_value = 0u32;
+        for op in ops {
+            match op {
+                StoreOp::PushMany(n) => {
+                    for _ in 0..n {
+                        let t = Tuple::from_items(vec![Item::data(next_value)]);
+                        next_value += 1;
+                        let slot = store.push(t.clone());
+                        prop_assert_eq!(slot as usize, model.len());
+                        model.push(Some(t));
+                    }
+                }
+                StoreOp::Delete(raw) => {
+                    let slot = match model.len() {
+                        0 => u32::from(raw),
+                        n => u32::from(raw) % (n as u32 + 8), // sometimes out of range
+                    };
+                    let expect = model
+                        .get_mut(slot as usize)
+                        .map(|e| e.take().is_some())
+                        .unwrap_or(false);
+                    prop_assert_eq!(store.delete(slot), expect);
+                }
+                StoreOp::Annotate { slot, ann } => {
+                    let slot = u32::from(slot) % (model.len().max(1) as u32 + 4);
+                    let ann = Item::annotation(u32::from(ann));
+                    let expect = match model.get_mut(slot as usize) {
+                        Some(Some(t)) => {
+                            let mut items = t.items().to_vec();
+                            items.push(ann);
+                            *t = Tuple::from_items(items);
+                            true
+                        }
+                        _ => false,
+                    };
+                    // In-place rewrite through the copy-on-write hook;
+                    // only live slots are touchable.
+                    let touched = store
+                        .update(slot, |t| {
+                            let mut items = t.items().to_vec();
+                            items.push(ann);
+                            *t = Tuple::from_items(items);
+                        })
+                        .is_some();
+                    prop_assert_eq!(touched, expect);
+                }
+                StoreOp::Snapshot => {
+                    snapshots.push((store.clone(), model.clone()));
+                    // A fresh clone shares its entire spine.
+                    let (snap, _) = snapshots.last().unwrap();
+                    prop_assert_eq!(
+                        store.shared_segments_with(snap),
+                        store.segments().len()
+                    );
+                }
+            }
+            assert_store_matches(&store, &model)?;
+        }
+        // Persistence: every snapshot still matches the state it was taken
+        // at, no matter what happened to the live store afterwards.
+        for (snap, snap_model) in &snapshots {
+            assert_store_matches(snap, snap_model)?;
+        }
     }
 }

@@ -46,6 +46,24 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }
+
+        /// The case count actually run: the `PROPTEST_CASES` environment
+        /// variable **caps** the configured value. This is a deliberate
+        /// stub extension, not upstream parity — upstream reads the same
+        /// variable but only as the `Config::default()` value, so an
+        /// explicit `with_cases(n)` beats it there. A cap serves this
+        /// workspace's need (CI bounds every suite, including the
+        /// deliberately heavy `with_cases` ones, without letting an
+        /// exported `PROPTEST_CASES=10000` inflate them).
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+            {
+                Some(cap) => self.cases.min(cap.max(1)),
+                None => self.cases,
+            }
+        }
     }
 
     impl Default for ProptestConfig {
@@ -605,8 +623,9 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
             let mut rng = $crate::test_runner::rng_for(stringify!($name));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
                 let inputs = format!(concat!($(stringify!($arg), " = {:?} "),+), $(&$arg),+);
                 let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
@@ -617,7 +636,7 @@ macro_rules! __proptest_fns {
                     ::std::result::Result::Err(err) => {
                         panic!(
                             "proptest {} failed at case {}/{}: {}\n  inputs: {}",
-                            stringify!($name), case + 1, config.cases, err, inputs,
+                            stringify!($name), case + 1, cases, err, inputs,
                         );
                     }
                 }
