@@ -1,0 +1,220 @@
+//! Write-ahead-log benchmarks: what durability costs per drain, and what
+//! recovery costs per tuple.
+//!
+//! Three questions, alongside the publish numbers in `benches/publish.rs`
+//! (recorded in `BENCH_wal.json` at the workspace root):
+//!
+//! * **Raw append latency** — one framed record + flush (and fsync, in
+//!   the sync variant) per drain, the group-commit unit. Periodic
+//!   checkpoints inside the loop keep the disk footprint bounded; their
+//!   amortized cost rides along, as it does in production.
+//! * **Drain latency, memory vs. durable** — the same effective
+//!   256-update annotate/remove drain through a mined 10k-tuple dataset
+//!   with and without the WAL in the writer path: the end-to-end price
+//!   of durability per drain, miner maintenance and publish included.
+//! * **Recovery throughput** — `Dataset::open` against a directory
+//!   holding 10k/100k/1M tuples, once as pure log-tail replay (every
+//!   insert drain re-parsed and re-applied) and once from a checkpoint
+//!   (snapshot restore, empty tail) — the number that justifies
+//!   checkpoint compaction.
+
+use std::path::PathBuf;
+
+use anno_mine::{IncrementalConfig, Thresholds};
+use anno_service::{Dataset, UpdateOp};
+use anno_store::TupleId;
+use anno_wal::{Wal, WalOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anno-wal-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> IncrementalConfig {
+    IncrementalConfig {
+        thresholds: Thresholds::new(0.4, 0.8),
+        ..Default::default()
+    }
+}
+
+/// Fig. 4-style rows: two data values from a ~1000-name space, every
+/// tenth row carrying an annotation, so logs and snapshots have
+/// realistic shape.
+fn row(i: usize) -> String {
+    if i.is_multiple_of(10) {
+        format!("{} {} Seed", i % 997, (i * 7 + 1) % 997)
+    } else {
+        format!("{} {}", i % 997, (i * 7 + 1) % 997)
+    }
+}
+
+/// Load `n` tuples into `ds` in coalescible chunks and wait for publish.
+fn load(ds: &Dataset, n: usize) {
+    for chunk_start in (0..n).step_by(8192) {
+        let lines: Vec<String> = (chunk_start..(chunk_start + 8192).min(n))
+            .map(row)
+            .collect();
+        ds.enqueue(UpdateOp::InsertRows(lines)).unwrap();
+    }
+    ds.flush().unwrap();
+}
+
+fn append_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    // ≈ the encoded size of a 256-update annotate drain.
+    let payload = vec![0xA5u8; 4096];
+    for (label, sync) in [("sync", true), ("nosync", false)] {
+        let dir = bench_dir(&format!("append-{label}"));
+        let (mut wal, _) = Wal::open(
+            &dir,
+            WalOptions {
+                sync,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
+        let mut appended = 0u64;
+        group.bench_function(BenchmarkId::new("drain_4KiB", label), |b| {
+            b.iter(|| {
+                wal.append(&payload).unwrap();
+                appended += 1;
+                // Compact periodically so an unbounded iteration count
+                // cannot grow the log without bound.
+                if appended.is_multiple_of(8192) {
+                    wal.checkpoint(b"bench state").unwrap();
+                }
+            })
+        });
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn durable_drain_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_drain");
+    for durable in [false, true] {
+        let label = if durable { "durable_sync" } else { "memory" };
+        let dir = bench_dir("drain");
+        let ds = if durable {
+            Dataset::open("bench", config(), &dir).unwrap()
+        } else {
+            Dataset::spawn("bench", config()).unwrap()
+        };
+        load(&ds, 10_000);
+        ds.mine().unwrap();
+        // 256 scattered tuples, none Seed-annotated; toggling one known
+        // annotation keeps every drain effective without growing state
+        // or the vocabulary.
+        let targets: Vec<TupleId> = (0..256u32).map(|i| TupleId(i * 39 + 1)).collect();
+        let mut attach = true;
+        group.bench_function(BenchmarkId::new("annotate_256", label), |b| {
+            b.iter(|| {
+                let named: Vec<(TupleId, String)> =
+                    targets.iter().map(|&t| (t, "Seed".to_string())).collect();
+                let op = if attach {
+                    UpdateOp::AnnotateNamed(named)
+                } else {
+                    UpdateOp::RemoveNamed(named)
+                };
+                attach = !attach;
+                ds.enqueue(op).unwrap();
+                ds.flush().unwrap();
+            })
+        });
+        drop(ds);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn recovery_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recovery");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let dir = bench_dir(&format!("recovery-{n}"));
+        {
+            let ds = Dataset::open("bench", config(), &dir).unwrap();
+            load(&ds, n);
+        }
+        // Pure log-tail replay: every insert drain is re-parsed and
+        // re-applied on open.
+        group.bench_function(BenchmarkId::new("replay", n), |b| {
+            b.iter(|| {
+                let ds = Dataset::open("bench", config(), &dir).unwrap();
+                assert_eq!(ds.live_tuples(), n);
+                drop(ds);
+            })
+        });
+        // Checkpoint restore: same state, snapshot-restored, empty tail.
+        {
+            let ds = Dataset::open("bench", config(), &dir).unwrap();
+            ds.checkpoint().unwrap();
+        }
+        group.bench_function(BenchmarkId::new("checkpoint_restore", n), |b| {
+            b.iter(|| {
+                let ds = Dataset::open("bench", config(), &dir).unwrap();
+                assert_eq!(ds.live_tuples(), n);
+                drop(ds);
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The case checkpoints exist for: a *mined* dataset whose log holds a
+    // mine event plus a stream of maintenance drains. Replay re-runs the
+    // full initial mine and every incremental batch; a checkpoint restores
+    // the miner's table directly.
+    let mined_config = IncrementalConfig {
+        thresholds: Thresholds::new(0.08, 0.5),
+        ..Default::default()
+    };
+    let dir = bench_dir("recovery-mined");
+    {
+        let ds = Dataset::open("bench", mined_config, &dir).unwrap();
+        load(&ds, 10_000);
+        ds.mine().unwrap();
+        let targets: Vec<TupleId> = (0..64u32).map(|i| TupleId(i * 39 + 1)).collect();
+        for round in 0..128u32 {
+            let named: Vec<(TupleId, String)> =
+                targets.iter().map(|&t| (t, "Seed".to_string())).collect();
+            let op = if round.is_multiple_of(2) {
+                UpdateOp::AnnotateNamed(named)
+            } else {
+                UpdateOp::RemoveNamed(named)
+            };
+            ds.enqueue(op).unwrap();
+            ds.flush().unwrap();
+        }
+    }
+    group.bench_function(BenchmarkId::new("replay_mined_128_drains", 10_000), |b| {
+        b.iter(|| {
+            let ds = Dataset::open("bench", mined_config, &dir).unwrap();
+            assert!(ds.is_mined());
+            drop(ds);
+        })
+    });
+    {
+        let ds = Dataset::open("bench", mined_config, &dir).unwrap();
+        ds.checkpoint().unwrap();
+    }
+    group.bench_function(BenchmarkId::new("checkpoint_restore_mined", 10_000), |b| {
+        b.iter(|| {
+            let ds = Dataset::open("bench", mined_config, &dir).unwrap();
+            assert!(ds.is_mined());
+            drop(ds);
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    append_latency,
+    durable_drain_latency,
+    recovery_throughput
+);
+criterion_main!(benches);

@@ -30,17 +30,23 @@
 //!   rules are exactly what a from-scratch mine would produce
 //!   ([`Dataset::verify`] checks this on demand).
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use anno_mine::{IncrementalConfig, IncrementalMiner};
-use anno_store::{parse_tuple_line, AnnotatedRelation, AnnotationUpdate, ItemKind, Tuple};
+use anno_store::{
+    parse_tuple_line, snapshot_from_string, snapshot_to_string, AnnotatedRelation,
+    AnnotationUpdate, ItemKind, Tuple, TupleId,
+};
+use anno_wal::{LogPosition, Wal, WalOptions, WalStats};
 
 use crate::error::ServiceError;
 use crate::metrics::{timed, Metrics, MetricsReport};
 use crate::queue::{coalesce, QueueState, UpdateOp};
 use crate::snapshot::RuleSnapshot;
+use crate::walcodec::{self, WalRecord};
 
 struct WriteState {
     relation: AnnotatedRelation,
@@ -63,6 +69,13 @@ struct Inner {
     /// listings never contend on the write mutex.
     tuples_hint: AtomicU64,
     metrics: Metrics,
+    /// The write-ahead log, when the dataset was opened with a durability
+    /// directory. Lock order: write mutex before wal mutex, never the
+    /// reverse — every mutation path (writer drains, `mine`, `checkpoint`)
+    /// appends under the write mutex, so a recorded log position is
+    /// always consistent with the applied state it claims to cover.
+    /// (`wal_stats` takes the wal mutex alone, which respects the order.)
+    durability: Option<Mutex<Wal>>,
 }
 
 /// A served dataset handle. Cheap to clone via `Arc` (the [`Service`]
@@ -75,25 +88,140 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Create an empty dataset and start its writer thread. Errs (instead
-    /// of panicking) if the OS refuses a new thread, so a registry holding
-    /// its lock across creation survives resource exhaustion.
+    /// Create an empty, purely in-memory dataset and start its writer
+    /// thread. Errs (instead of panicking) if the OS refuses a new
+    /// thread, so a registry holding its lock across creation survives
+    /// resource exhaustion.
     pub fn spawn(name: &str, config: IncrementalConfig) -> Result<Dataset, ServiceError> {
+        let state = WriteState {
+            relation: AnnotatedRelation::new(name),
+            miner: None,
+        };
+        Dataset::boot(name, config, state, None)
+    }
+
+    /// Open a **durable** dataset rooted at directory `dir`: restore the
+    /// latest checkpoint (relation snapshot + miner checkpoint, screened
+    /// with [`IncrementalMiner::validate_against`]), replay the log tail
+    /// through the same apply path the live writer uses, then start the
+    /// writer with every future drain logged before it is applied.
+    ///
+    /// A torn or bit-rotted log tail is recovered to the last intact
+    /// record and reported to stderr, never fatal. `config` only applies
+    /// when the directory holds no mined state; a restored miner keeps the
+    /// configuration it was checkpointed with (and any replayed `mine`
+    /// record carries its own).
+    pub fn open(
+        name: &str,
+        config: IncrementalConfig,
+        dir: &Path,
+    ) -> Result<Dataset, ServiceError> {
+        let (wal, recovery) = Wal::open(dir, WalOptions::default())
+            .map_err(|e| ServiceError::Durability(e.to_string()))?;
+        let dur = |stage: &str, msg: String| {
+            ServiceError::Durability(format!("dataset {name:?} {stage}: {msg}"))
+        };
+        let mut state = match recovery.checkpoint {
+            Some(ck) => {
+                let (snap_text, miner_text) = walcodec::decode_checkpoint(&ck.payload)
+                    .map_err(|m| dur("checkpoint payload", m))?;
+                let relation =
+                    snapshot_from_string(&snap_text).map_err(|m| dur("checkpoint snapshot", m))?;
+                let miner = miner_text
+                    .as_deref()
+                    .map(IncrementalMiner::checkpoint_from_string)
+                    .transpose()
+                    .map_err(|m| dur("miner checkpoint", m))?;
+                if let Some(m) = &miner {
+                    // The two halves of the checkpoint must be from the
+                    // same instant; continuing maintenance from a
+                    // mismatched pair would silently void exactness.
+                    m.validate_against(&relation)
+                        .map_err(|m| dur("checkpoint validation", m))?;
+                }
+                WriteState { relation, miner }
+            }
+            None => WriteState {
+                relation: AnnotatedRelation::new(name),
+                miner: None,
+            },
+        };
+        for payload in &recovery.tail {
+            let record = walcodec::decode(payload).map_err(|m| dur("log record", m))?;
+            // The live writer contains apply panics with catch_unwind
+            // ("an unforeseen panic in maintenance code must disable the
+            // dataset loudly"); replay needs the same containment, or a
+            // drain that was logged and then panicked would turn every
+            // future open into a crash loop instead of a clean error.
+            // The log is left untouched: the record may replay fine once
+            // the offending code is fixed.
+            let replayed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match record {
+                    WalRecord::Drain(ops) => {
+                        for op in ops {
+                            apply_op(&mut state, op);
+                        }
+                    }
+                    WalRecord::Mine(mine_config) => {
+                        state.miner =
+                            Some(IncrementalMiner::mine_initial(&state.relation, mine_config));
+                    }
+                }));
+            if replayed.is_err() {
+                return Err(dur(
+                    "log replay",
+                    "a logged record panicked during re-application; \
+                     the log is preserved for inspection"
+                        .to_string(),
+                ));
+            }
+        }
+        if let Some(m) = &state.miner {
+            // Cheap resume screen over the fully replayed state; the
+            // exhaustive check stays on demand (`Dataset::verify`).
+            m.validate_against(&state.relation)
+                .map_err(|m| dur("post-replay validation", m))?;
+        }
+        if let Some(damage) = &recovery.damaged {
+            eprintln!("annod: dataset {name:?}: {damage}; recovered to the last intact record");
+        }
+        // A restored miner's configuration wins over the caller's: the
+        // maintained table is only exact under the thresholds it was
+        // built with.
+        let config = state.miner.as_ref().map_or(config, |m| m.config());
+        Dataset::boot(name, config, state, Some(wal))
+    }
+
+    /// Shared constructor: publish recovered state (if mined) and start
+    /// the writer thread.
+    fn boot(
+        name: &str,
+        config: IncrementalConfig,
+        state: WriteState,
+        wal: Option<Wal>,
+    ) -> Result<Dataset, ServiceError> {
+        let tuples = state.relation.len() as u64;
         let inner = Arc::new(Inner {
             name: name.to_string(),
             config,
-            write: Mutex::new(WriteState {
-                relation: AnnotatedRelation::new(name),
-                miner: None,
-            }),
+            write: Mutex::new(state),
             published: RwLock::new(None),
             queue: Mutex::new(QueueState::default()),
             queue_cv: Condvar::new(),
             publish_seq: AtomicU64::new(0),
             published_relation_epoch: AtomicU64::new(0),
-            tuples_hint: AtomicU64::new(0),
+            tuples_hint: AtomicU64::new(tuples),
             metrics: Metrics::new(),
+            durability: wal.map(Mutex::new),
         });
+        {
+            // Recovered mined state is served immediately — the relation
+            // epoch a reader sees after restart is the pre-crash one.
+            let w = inner.write.lock().expect("fresh write lock");
+            if w.miner.is_some() {
+                publish(&inner, &w);
+            }
+        }
         let worker_inner = Arc::clone(&inner);
         let worker = std::thread::Builder::new()
             .name(format!("annod-writer-{name}"))
@@ -174,9 +302,19 @@ impl Dataset {
 
     /// Drain the queue, then mine the relation from scratch and publish
     /// the first snapshot (or re-mine and re-publish if already mined).
+    /// On a durable dataset the mine event is logged first, so recovery
+    /// re-derives the rule set at the same point in the op stream even
+    /// before any checkpoint exists.
     pub fn mine(&self) -> Result<Arc<RuleSnapshot>, ServiceError> {
         self.flush()?;
         let mut w = self.write_lock()?;
+        if let Some(wal) = &self.inner.durability {
+            let payload = walcodec::encode_mine(&self.inner.config);
+            wal.lock()
+                .expect("wal lock")
+                .append(&payload)
+                .map_err(|e| ServiceError::Durability(e.to_string()))?;
+        }
         let miner = IncrementalMiner::mine_initial(&w.relation, self.inner.config);
         w.miner = Some(miner);
         Ok(publish(&self.inner, &w).expect("just mined"))
@@ -217,6 +355,52 @@ impl Dataset {
             Some(miner) => Ok(miner.verify_against_remine(&w.relation)),
             None => Err(ServiceError::NotMined(self.inner.name.clone())),
         }
+    }
+
+    /// `true` iff this dataset logs its drains to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.inner.durability.is_some()
+    }
+
+    /// Write-ahead-log counters, if the dataset is durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.inner
+            .durability
+            .as_ref()
+            .map(|wal| wal.lock().expect("wal lock").stats())
+    }
+
+    /// Take a durability checkpoint: drain the queue, persist the
+    /// relation snapshot and miner checkpoint at the current log
+    /// position, and truncate the sealed log segments behind it. Returns
+    /// the checkpoint's log position and payload size in bytes.
+    ///
+    /// After this, recovery restores the checkpoint and replays only
+    /// drains logged after it — recovery time (and disk footprint) is
+    /// once again proportional to the post-checkpoint delta, not the
+    /// dataset's full history.
+    pub fn checkpoint(&self) -> Result<(LogPosition, usize), ServiceError> {
+        let Some(wal) = &self.inner.durability else {
+            return Err(ServiceError::Durability(format!(
+                "dataset {:?} has no durability directory; reopen it with one",
+                self.inner.name
+            )));
+        };
+        self.flush()?;
+        // Write mutex held across reading the state *and* recording the
+        // log position: the writer appends under the same mutex, so the
+        // position cannot drift past state captured here.
+        let w = self.write_lock()?;
+        let snap_text = snapshot_to_string(&w.relation);
+        let miner_text = w.miner.as_ref().map(|m| m.checkpoint_to_string());
+        let payload = walcodec::encode_checkpoint(&snap_text, miner_text.as_deref());
+        let pos = wal
+            .lock()
+            .expect("wal lock")
+            .checkpoint(&payload)
+            .map_err(|e| ServiceError::Durability(e.to_string()))?;
+        self.inner.metrics.record_checkpoint();
+        Ok((pos, payload.len()))
     }
 
     /// Point-in-time operation counters.
@@ -319,12 +503,32 @@ fn writer_loop(inner: &Inner) {
         // maintenance code must disable the dataset loudly — clients get
         // `ShutDown` — rather than silently wedge enqueue/flush forever.
         let pass = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            timed(|| {
+            timed(|| -> Result<u64, String> {
                 let mut applied = 0u64;
                 let mut w = inner.write.lock().expect("write lock");
-                for batch in batches {
-                    if apply_op(&mut w, batch) {
-                        applied += 1;
+                // If no batch can change the current relation, the whole
+                // drain is a no-op — each batch leaves the state unchanged,
+                // so the screen holds inductively across the batch
+                // sequence — and neither the log nor the apply loop needs
+                // to see it. This keeps the WAL invariant "one appended
+                // record per *effective* drain".
+                let effective = batches.iter().any(|b| op_has_effect(&w.relation, b));
+                if effective {
+                    if let Some(wal) = &inner.durability {
+                        // Log before apply: the coalesced drain is durable
+                        // before any of its effects can be published, so a
+                        // crash between the two replays the drain instead
+                        // of losing acknowledged-and-served state.
+                        let payload = walcodec::encode_drain(&batches);
+                        wal.lock()
+                            .expect("wal lock")
+                            .append(&payload)
+                            .map_err(|e| e.to_string())?;
+                    }
+                    for batch in batches {
+                        if apply_op(&mut w, batch) {
+                            applied += 1;
+                        }
                     }
                 }
                 inner
@@ -342,15 +546,30 @@ fn writer_loop(inner: &Inner) {
                 if stale {
                     publish(inner, &w);
                 }
-                applied
+                Ok(applied)
             })
         }));
         match pass {
-            Ok((batch_count, nanos)) => {
+            Ok((Ok(batch_count), nanos)) => {
                 inner.metrics.record_write_pass(batch_count, folded, nanos);
                 let mut q = inner.queue.lock().expect("queue lock");
                 q.applied = q.applied.max(drained_to);
                 inner.queue_cv.notify_all();
+            }
+            Ok((Err(msg), _)) => {
+                // A drain that cannot be made durable must not be applied:
+                // disabling the dataset is the only honest move, or the
+                // served state would silently diverge from the log.
+                eprintln!(
+                    "annod: writer for dataset {:?} cannot log its drain ({msg}); \
+                     dataset disabled",
+                    inner.name
+                );
+                let mut q = inner.queue.lock().expect("queue lock");
+                q.shutdown = true;
+                q.writer_dead = true;
+                inner.queue_cv.notify_all();
+                return;
             }
             Err(_) => {
                 eprintln!(
@@ -377,9 +596,10 @@ fn writer_loop(inner: &Inner) {
 /// shared segments shared) nor intern stray names into the vocabulary.
 /// Returns `true` iff a maintenance pass actually ran.
 fn apply_op(state: &mut WriteState, op: UpdateOp) -> bool {
-    let Some(op) = prefilter(&state.relation, op) else {
+    let Some(mut op) = prefilter(&state.relation, op) else {
         return false;
     };
+    sort_for_segment_locality(&mut op);
     let WriteState { relation, miner } = state;
     let rel = relation;
     match op {
@@ -434,74 +654,160 @@ fn apply_op(state: &mut WriteState, op: UpdateOp) -> bool {
     true
 }
 
-/// Drop the parts of `op` that are no-ops against the current relation;
-/// `None` if nothing effective remains. Read-only: never interns names.
+/// Group a batch's updates by target tuple — and therefore by segment,
+/// since segment id is `tid >> SEGMENT_BITS` — before applying. A
+/// scatter-heavy batch then walks each touched segment's updates
+/// back-to-back: the segment (and its postings) is pulled into cache
+/// once, its copy-on-write clone is amortized across all of its updates,
+/// and the application order is deterministic.
+///
+/// Determinism matters beyond tidiness: WAL replay runs this same sort
+/// (both paths go through [`apply_op`]), so name-interning order — and
+/// with it every raw item id — is identical live and after recovery. The
+/// sort is stable, keeping same-tuple updates in client order; insert ops
+/// are never reordered (tuple ids are assigned by arrival).
+fn sort_for_segment_locality(op: &mut UpdateOp) {
+    match op {
+        UpdateOp::Annotate(updates) | UpdateOp::RemoveAnnotations(updates) => {
+            updates.sort_by_key(|u| u.tuple);
+        }
+        UpdateOp::AnnotateNamed(named) | UpdateOp::RemoveNamed(named) => {
+            named.sort_by_key(|(tid, _)| *tid);
+        }
+        UpdateOp::DeleteTuples(tids) => tids.sort_unstable(),
+        UpdateOp::InsertRows(_) | UpdateOp::InsertTuples(_) => {}
+    }
+}
+
+/// Per-element effectiveness predicates, shared verbatim by
+/// [`op_has_effect`] (folded with `any`) and [`prefilter`] (folded with
+/// `filter`). Keeping them in one place is load-bearing: the writer
+/// neither logs nor applies a drain the screen deems ineffective, so a
+/// divergence between the two callers would silently drop acknowledged
+/// client updates. All predicates are read-only — never interning.
+mod effective {
+    use super::*;
+
+    /// A text row that parses to at least one item. Comment/blank/
+    /// separator-only rows would otherwise silently inflate every support
+    /// denominator.
+    pub(super) fn row(line: &str) -> bool {
+        anno_store::line_has_items(line)
+    }
+
+    /// A tuple with items — the pre-parsed form of the same hazard
+    /// [`row`] guards on the text path.
+    pub(super) fn tuple(t: &Tuple) -> bool {
+        !t.items().is_empty()
+    }
+
+    /// An annotation add that is correctly kinded (a data-kind Item would
+    /// panic the store's annotate path inside the writer thread), live-
+    /// targeted, and not already present.
+    pub(super) fn annotate(rel: &AnnotatedRelation, u: &AnnotationUpdate) -> bool {
+        u.annotation.is_annotation_like()
+            && rel
+                .tuple(u.tuple)
+                .is_some_and(|t| !t.contains(u.annotation))
+    }
+
+    /// A named annotation add with a live target whose name is new or not
+    /// yet attached. Dropping dead targets keeps the vocabulary free of
+    /// names that never attach to anything.
+    pub(super) fn annotate_named(rel: &AnnotatedRelation, tid: TupleId, name: &str) -> bool {
+        match rel.tuple(tid) {
+            None => false,
+            Some(t) => rel
+                .vocab()
+                .get(ItemKind::Annotation, name)
+                .is_none_or(|item| !t.contains(item)),
+        }
+    }
+
+    /// An annotation removal that is correctly kinded and actually held.
+    pub(super) fn remove(rel: &AnnotatedRelation, u: &AnnotationUpdate) -> bool {
+        u.annotation.is_annotation_like()
+            && rel.tuple(u.tuple).is_some_and(|t| t.contains(u.annotation))
+    }
+
+    /// A named removal whose name resolves and is attached to the target.
+    pub(super) fn remove_named(rel: &AnnotatedRelation, tid: TupleId, name: &str) -> bool {
+        rel.vocab()
+            .get(ItemKind::Annotation, name)
+            .is_some_and(|item| rel.tuple(tid).is_some_and(|t| t.contains(item)))
+    }
+
+    /// A deletion of a still-live tuple.
+    pub(super) fn delete(rel: &AnnotatedRelation, tid: TupleId) -> bool {
+        rel.is_live(tid)
+    }
+}
+
+/// `true` iff applying `op` to `rel` would change anything — the
+/// [`effective`] predicates folded with `any`, without consuming the op.
+/// Used by the writer to decide whether a drain deserves a WAL append at
+/// all: if every batch is ineffective against the current state, applying
+/// them in sequence leaves the state unchanged at every step, so the
+/// whole drain is skippable.
+fn op_has_effect(rel: &AnnotatedRelation, op: &UpdateOp) -> bool {
+    match op {
+        UpdateOp::InsertRows(lines) => lines.iter().any(|line| effective::row(line)),
+        UpdateOp::InsertTuples(tuples) => tuples.iter().any(effective::tuple),
+        UpdateOp::Annotate(updates) => updates.iter().any(|u| effective::annotate(rel, u)),
+        UpdateOp::AnnotateNamed(named) => named
+            .iter()
+            .any(|(tid, name)| effective::annotate_named(rel, *tid, name)),
+        UpdateOp::RemoveAnnotations(updates) => updates.iter().any(|u| effective::remove(rel, u)),
+        UpdateOp::RemoveNamed(named) => named
+            .iter()
+            .any(|(tid, name)| effective::remove_named(rel, *tid, name)),
+        UpdateOp::DeleteTuples(tids) => tids.iter().any(|&tid| effective::delete(rel, tid)),
+    }
+}
+
+/// Drop the parts of `op` that are no-ops against the current relation —
+/// the [`effective`] predicates folded with `filter` — returning `None`
+/// if nothing effective remains.
 fn prefilter(rel: &AnnotatedRelation, op: UpdateOp) -> Option<UpdateOp> {
     let filtered = match op {
         UpdateOp::InsertRows(lines) => UpdateOp::InsertRows(
             lines
                 .into_iter()
-                .filter(|line| anno_store::line_has_items(line))
+                .filter(|line| effective::row(line))
                 .collect(),
         ),
-        // Zero-item tuples would silently inflate every support
-        // denominator (the same hazard `line_has_items` guards on the
-        // text path), so they are dropped here too.
-        UpdateOp::InsertTuples(tuples) => UpdateOp::InsertTuples(
-            tuples
-                .into_iter()
-                .filter(|t| !t.items().is_empty())
-                .collect(),
-        ),
+        UpdateOp::InsertTuples(tuples) => {
+            UpdateOp::InsertTuples(tuples.into_iter().filter(effective::tuple).collect())
+        }
         UpdateOp::Annotate(updates) => UpdateOp::Annotate(
             updates
                 .into_iter()
-                // The kind check matters: a data-kind Item would panic the
-                // store's annotate path inside the writer thread.
-                .filter(|u| {
-                    u.annotation.is_annotation_like()
-                        && rel
-                            .tuple(u.tuple)
-                            .is_some_and(|t| !t.contains(u.annotation))
-                })
+                .filter(|u| effective::annotate(rel, u))
                 .collect(),
         ),
         UpdateOp::AnnotateNamed(named) => UpdateOp::AnnotateNamed(
             named
                 .into_iter()
-                .filter(|(tid, name)| match rel.tuple(*tid) {
-                    // Dead target: dropping here keeps the vocabulary free
-                    // of names that never attach to anything.
-                    None => false,
-                    Some(t) => rel
-                        .vocab()
-                        .get(ItemKind::Annotation, name)
-                        .is_none_or(|item| !t.contains(item)),
-                })
+                .filter(|(tid, name)| effective::annotate_named(rel, *tid, name))
                 .collect(),
         ),
         UpdateOp::RemoveAnnotations(updates) => UpdateOp::RemoveAnnotations(
             updates
                 .into_iter()
-                .filter(|u| {
-                    u.annotation.is_annotation_like()
-                        && rel.tuple(u.tuple).is_some_and(|t| t.contains(u.annotation))
-                })
+                .filter(|u| effective::remove(rel, u))
                 .collect(),
         ),
         UpdateOp::RemoveNamed(named) => UpdateOp::RemoveNamed(
             named
                 .into_iter()
-                .filter(|(tid, name)| {
-                    rel.vocab()
-                        .get(ItemKind::Annotation, name)
-                        .is_some_and(|item| rel.tuple(*tid).is_some_and(|t| t.contains(item)))
-                })
+                .filter(|(tid, name)| effective::remove_named(rel, *tid, name))
                 .collect(),
         ),
-        UpdateOp::DeleteTuples(tids) => {
-            UpdateOp::DeleteTuples(tids.into_iter().filter(|&tid| rel.is_live(tid)).collect())
-        }
+        UpdateOp::DeleteTuples(tids) => UpdateOp::DeleteTuples(
+            tids.into_iter()
+                .filter(|&tid| effective::delete(rel, tid))
+                .collect(),
+        ),
     };
     (!filtered.is_empty()).then_some(filtered)
 }
@@ -769,6 +1075,170 @@ mod tests {
             "no queued row lost under backpressure"
         );
         assert!(ds.verify().unwrap());
+    }
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("anno-dataset-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn scattered_batches_apply_in_segment_order_and_stay_exact() {
+        // Two datasets, identical updates, opposite within-batch orders:
+        // the writer's segment-locality sort must make them converge to
+        // byte-identical state (same interning order included), and the
+        // maintained rules must stay exact under the reordering.
+        let rows: Vec<String> = (0..40).map(|i| format!("{} {}", i % 7, 100 + i)).collect();
+        let mut batch: Vec<(TupleId, String)> = (0..40)
+            .map(|i| (TupleId(i), format!("Ann_{}", i % 5)))
+            .collect();
+        let make = |batch: &[(TupleId, String)]| {
+            let ds = Dataset::spawn("db", config()).unwrap();
+            ds.enqueue(UpdateOp::InsertRows(rows.clone())).unwrap();
+            ds.mine().unwrap();
+            ds.enqueue(UpdateOp::AnnotateNamed(batch.to_vec())).unwrap();
+            ds.enqueue(UpdateOp::DeleteTuples(vec![
+                TupleId(33),
+                TupleId(2),
+                TupleId(17),
+            ]))
+            .unwrap();
+            ds.flush().unwrap();
+            assert!(ds.verify().unwrap());
+            snapshot_to_string(ds.snapshot().unwrap().relation())
+        };
+        let forward = make(&batch);
+        batch.reverse();
+        let reversed = make(&batch);
+        assert_eq!(forward, reversed, "apply order is canonical per batch");
+    }
+
+    #[test]
+    fn durable_dataset_round_trips_across_reopen() {
+        let dir = test_dir("roundtrip");
+        let epoch_before;
+        let text_before;
+        {
+            let ds = Dataset::open("db", config(), &dir).unwrap();
+            ds.enqueue(UpdateOp::InsertRows(
+                FIG4.iter().map(|s| s.to_string()).collect(),
+            ))
+            .unwrap();
+            ds.mine().unwrap();
+            ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+                TupleId(3),
+                "Annot_1".into(),
+            )]))
+            .unwrap();
+            ds.flush().unwrap();
+            assert!(ds.is_durable());
+            let stats = ds.wal_stats().unwrap();
+            assert!(stats.appends >= 2, "drains + mine are logged: {stats:?}");
+            let snap = ds.snapshot().unwrap();
+            epoch_before = snap.relation_epoch();
+            text_before = snapshot_to_string(snap.relation());
+        }
+        let ds = Dataset::open("db", config(), &dir).unwrap();
+        assert!(ds.is_mined(), "mine event replays from the log");
+        let snap = ds.snapshot().unwrap();
+        assert_eq!(snap.relation_epoch(), epoch_before, "epoch survives");
+        assert_eq!(snapshot_to_string(snap.relation()), text_before);
+        assert!(ds.verify().unwrap());
+        // And the recovered dataset keeps serving writes durably.
+        ds.enqueue(UpdateOp::InsertRows(vec!["28 85 Annot_1".into()]))
+            .unwrap();
+        ds.flush().unwrap();
+        assert!(ds.snapshot().unwrap().relation_epoch() > epoch_before);
+        drop(ds);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovery_prefers_it() {
+        let dir = test_dir("checkpoint");
+        {
+            let ds = Dataset::open("db", config(), &dir).unwrap();
+            ds.enqueue(UpdateOp::InsertRows(
+                FIG4.iter().map(|s| s.to_string()).collect(),
+            ))
+            .unwrap();
+            ds.mine().unwrap();
+            let (pos, bytes) = ds.checkpoint().unwrap();
+            assert!(bytes > 0);
+            assert!(pos.segment >= 1, "checkpoint seals the active segment");
+            // Post-checkpoint drain: must replay on top of the restored
+            // checkpoint.
+            ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+                TupleId(3),
+                "Annot_1".into(),
+            )]))
+            .unwrap();
+            ds.flush().unwrap();
+            assert_eq!(ds.metrics().checkpoints, 1);
+        }
+        let ds = Dataset::open("db", config(), &dir).unwrap();
+        let stats = ds.wal_stats().unwrap();
+        assert_eq!(
+            stats.replayed_records, 1,
+            "only the post-checkpoint drain replays: {stats:?}"
+        );
+        let snap = ds.snapshot().unwrap();
+        assert_eq!(snap.db_size(), 5);
+        assert_eq!(
+            snap.relation()
+                .tuple(TupleId(3))
+                .unwrap()
+                .annotations()
+                .len(),
+            1,
+            "post-checkpoint annotate recovered"
+        );
+        assert!(ds.verify().unwrap());
+        drop(ds);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_on_a_memory_only_dataset_is_refused() {
+        let ds = loaded();
+        assert!(matches!(ds.checkpoint(), Err(ServiceError::Durability(_))));
+        assert!(ds.wal_stats().is_none());
+        assert!(!ds.is_durable());
+    }
+
+    #[test]
+    fn ineffective_drains_are_not_logged() {
+        let dir = test_dir("noop-drains");
+        {
+            let ds = Dataset::open("db", config(), &dir).unwrap();
+            ds.enqueue(UpdateOp::InsertRows(
+                FIG4.iter().map(|s| s.to_string()).collect(),
+            ))
+            .unwrap();
+            ds.mine().unwrap();
+            let appends_before = ds.wal_stats().unwrap().appends;
+            // Dead target + duplicate + dead delete: all ineffective.
+            ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+                TupleId(999),
+                "Stray".into(),
+            )]))
+            .unwrap();
+            ds.enqueue(UpdateOp::AnnotateNamed(vec![(
+                TupleId(0),
+                "Annot_1".into(),
+            )]))
+            .unwrap();
+            ds.enqueue(UpdateOp::DeleteTuples(vec![TupleId(999)]))
+                .unwrap();
+            ds.flush().unwrap();
+            assert_eq!(
+                ds.wal_stats().unwrap().appends,
+                appends_before,
+                "a no-op drain must not cost a log append"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

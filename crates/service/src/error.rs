@@ -18,6 +18,9 @@ pub enum ServiceError {
     BadCommand(String),
     /// An I/O problem in the TCP/REPL server.
     Io(String),
+    /// The write-ahead log failed, refused to validate recovered state,
+    /// or a durability operation was asked of a non-durable dataset.
+    Durability(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -36,6 +39,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::BadCommand(msg) => write!(f, "bad command: {msg}"),
             ServiceError::Io(msg) => write!(f, "io error: {msg}"),
+            ServiceError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }

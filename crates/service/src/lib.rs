@@ -25,7 +25,13 @@
 //!   top-k missing-annotation recommendations, stats — and per-op
 //!   [`metrics`];
 //! * a **line protocol** ([`protocol`]) served over TCP or a stdin REPL
-//!   ([`server`]) by the `annod` binary.
+//!   ([`server`]) by the `annod` binary;
+//! * **durability** — a dataset opened with a directory
+//!   ([`Dataset::open`], protocol `open <ds> … dir <path>`) logs every
+//!   coalesced drain to an `anno-wal` write-ahead log *before* applying
+//!   it, takes checkpoint/compaction cycles on demand (`checkpoint`),
+//!   and recovers across process restarts by restoring the latest
+//!   checkpoint and replaying the log tail.
 //!
 //! See the workspace `README.md` for the `annod` protocol reference and
 //! `examples/annod_session.rs` for an end-to-end walkthrough.
@@ -72,6 +78,7 @@ pub mod queue;
 pub mod server;
 pub mod service;
 pub mod snapshot;
+mod walcodec;
 
 pub use dataset::Dataset;
 pub use error::ServiceError;

@@ -21,6 +21,7 @@ pub struct Metrics {
     snapshots_published: AtomicU64,
     write_nanos: AtomicU64,
     flushes: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 impl Metrics {
@@ -70,6 +71,11 @@ impl Metrics {
         self.flushes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one durability checkpoint taken.
+    pub fn record_checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
@@ -84,6 +90,7 @@ impl Metrics {
             snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
             write_nanos: self.write_nanos.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +130,8 @@ pub struct MetricsReport {
     pub write_nanos: u64,
     /// Flush barriers awaited.
     pub flushes: u64,
+    /// Durability checkpoints taken.
+    pub checkpoints: u64,
 }
 
 impl MetricsReport {
@@ -138,7 +147,7 @@ impl MetricsReport {
             "rule_queries={} recommend_queries={} snapshot_reads={} \
              ops_enqueued={} updates_enqueued={} batches_applied={} \
              ops_coalesced={} snapshots_published={} flushes={} \
-             read_nanos={} write_nanos={}",
+             checkpoints={} read_nanos={} write_nanos={}",
             self.rule_queries,
             self.recommend_queries,
             self.snapshot_reads,
@@ -148,6 +157,7 @@ impl MetricsReport {
             self.ops_coalesced,
             self.snapshots_published,
             self.flushes,
+            self.checkpoints,
             self.read_nanos,
             self.write_nanos,
         )
@@ -168,6 +178,7 @@ mod tests {
         m.record_write_pass(2, 3, 1_000);
         m.record_publish();
         m.record_flush();
+        m.record_checkpoint();
         let r = m.report();
         assert_eq!(r.snapshot_reads, 1);
         assert_eq!(r.rule_queries, 1);
@@ -179,6 +190,8 @@ mod tests {
         assert_eq!(r.ops_coalesced, 3);
         assert_eq!(r.snapshots_published, 1);
         assert_eq!(r.flushes, 1);
+        assert_eq!(r.checkpoints, 1);
         assert!(r.render().contains("updates_enqueued=5"));
+        assert!(r.render().contains("checkpoints=1"));
     }
 }

@@ -140,6 +140,14 @@ impl Engine {
             "rules" => self.rules(args),
             "recommend" => self.recommend(args),
             "stats" => self.stats(args),
+            "checkpoint" => {
+                let [name] = expect_args::<1>(args, "checkpoint <dataset>")?;
+                let ds = self.service.get(name)?;
+                let (pos, bytes) = ds.checkpoint()?;
+                Ok(Reply::ok(format!(
+                    "checkpoint {name} position={pos} bytes={bytes}"
+                )))
+            }
             "verify" => {
                 let [name] = expect_args::<1>(args, "verify <dataset>")?;
                 let exact = self.service.get(name)?.verify()?;
@@ -167,9 +175,18 @@ impl Engine {
     }
 
     fn open(&self, args: &[&str]) -> Result<Reply, ServiceError> {
-        let (name, rest) = args
-            .split_first()
-            .ok_or_else(|| bad("open <dataset> [<alpha> <beta> [<retention>]]"))?;
+        let usage = "open <dataset> [<alpha> <beta> [<retention>]] [dir <path>]";
+        let (name, rest) = args.split_first().ok_or_else(|| bad(usage))?;
+        // Split off a trailing `dir <path>` clause (the path is a single
+        // token, like every other protocol argument).
+        let (rest, dir): (&[&str], Option<&str>) =
+            match rest.iter().position(|t| t.eq_ignore_ascii_case("dir")) {
+                Some(pos) => match &rest[pos + 1..] {
+                    [path] => (&rest[..pos], Some(*path)),
+                    _ => return Err(bad("dir takes exactly one path, at the end")),
+                },
+                None => (rest, None),
+            };
         let mut config = ServiceConfig::default();
         match rest {
             [] => {}
@@ -180,16 +197,38 @@ impl Engine {
                 match rest2 {
                     [] => {}
                     [retention] => config.retention = parse_fraction(retention, "retention")?,
-                    _ => return Err(bad("open <dataset> [<alpha> <beta> [<retention>]]")),
+                    _ => return Err(bad(usage)),
                 }
             }
             _ => return Err(bad("open takes alpha and beta together")),
         }
-        self.service.create(name, config)?;
-        Ok(Reply::ok(format!(
-            "open {name} alpha={} beta={} retention={}",
-            config.thresholds.min_support, config.thresholds.min_confidence, config.retention
-        )))
+        match dir {
+            None => {
+                self.service.create(name, config)?;
+                Ok(Reply::ok(format!(
+                    "open {name} alpha={} beta={} retention={}",
+                    config.thresholds.min_support,
+                    config.thresholds.min_confidence,
+                    config.retention
+                )))
+            }
+            Some(path) => {
+                let ds = self
+                    .service
+                    .open_durable(name, config, std::path::Path::new(path))?;
+                // Recovered mined state keeps its checkpointed thresholds;
+                // report what the dataset actually runs with.
+                let cfg = ds.config();
+                Ok(Reply::ok(format!(
+                    "open {name} alpha={} beta={} retention={} dir={path} tuples={} mined={}",
+                    cfg.thresholds.min_support,
+                    cfg.thresholds.min_confidence,
+                    cfg.retention,
+                    ds.live_tuples(),
+                    ds.is_mined(),
+                )))
+            }
+        }
     }
 
     fn row(&self, args: &[&str]) -> Result<Reply, ServiceError> {
@@ -423,6 +462,20 @@ impl Engine {
             None => payload.push(format!("tuples={} (not mined)", ds.live_tuples())),
         }
         payload.push(ds.metrics().render());
+        if let Some(ws) = ds.wal_stats() {
+            payload.push(format!(
+                "wal_position={} wal_segments={} wal_appends={} wal_appended_bytes={} \
+                 wal_syncs={} wal_checkpoints={} wal_replayed={} wal_damaged_tails={}",
+                ws.position,
+                ws.segments,
+                ws.appends,
+                ws.appended_bytes,
+                ws.syncs,
+                ws.checkpoints,
+                ws.replayed_records,
+                ws.damaged_tails,
+            ));
+        }
         Ok(Reply::block(format!("stats {name}"), payload))
     }
 }
@@ -431,7 +484,9 @@ fn help() -> Reply {
     let payload = vec![
         "ping | help | quit".into(),
         "datasets".into(),
-        "open <ds> [<alpha> <beta> [<retention>]]".into(),
+        "open <ds> [<alpha> <beta> [<retention>]] [dir <path>]".into(),
+        "  (dir makes the dataset durable: drains are write-ahead logged and".into(),
+        "   existing state under <path> is recovered before serving)".into(),
         "drop <ds>".into(),
         "row <ds> <value|annotation>...        (queued write)".into(),
         "annotate <ds> <tid> <annotation>...   (queued write; names are single tokens)".into(),
@@ -444,6 +499,7 @@ fn help() -> Reply {
         "recommend <ds> items <item>... [top <k>]".into(),
         "  (item escapes: =name for keyword collisions, ann:name / data:name to force a kind)"
             .into(),
+        "checkpoint <ds>  persist snapshot+miner at the log head, compact the wal".into(),
         "stats <ds> | verify <ds>".into(),
     ];
     Reply::block("commands", payload)
@@ -696,6 +752,56 @@ mod tests {
         assert!(!rules[0].contains("0 rules"), "{rules:?}");
         let recs = ok(&e, "recommend db items =top");
         assert!(recs.iter().any(|l| l.contains("add Annot_X")), "{recs:?}");
+    }
+
+    #[test]
+    fn durable_open_checkpoint_and_reopen_flow() {
+        let dir =
+            std::env::temp_dir().join(format!("anno-protocol-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_tok = dir.to_str().unwrap().to_string();
+
+        let e = engine();
+        let opened = ok(&e, &format!("open db 0.4 0.7 dir {dir_tok}"));
+        assert!(opened[0].contains("mined=false"), "{opened:?}");
+        for row in ["28 85 Annot_1", "28 85 Annot_1", "28 85 Annot_1", "28 85"] {
+            ok(&e, &format!("row db {row}"));
+        }
+        ok(&e, "mine db");
+        let ck = ok(&e, "checkpoint db");
+        assert!(ck[0].contains("position="), "{ck:?}");
+        ok(&e, "annotate db 3 Annot_1");
+        ok(&e, "flush db");
+        let stats = ok(&e, "stats db");
+        assert!(
+            stats.iter().any(|l| l.contains("wal_position=")),
+            "stats must carry wal counters: {stats:?}"
+        );
+        assert!(
+            stats.iter().any(|l| l.contains("checkpoints=1")),
+            "{stats:?}"
+        );
+        // `checkpoint` on a memory-only dataset is a client error.
+        ok(&e, "open mem");
+        assert!(e.execute("checkpoint mem").lines[0].starts_with("ERR"));
+
+        // Drop the dataset (stops its writer), then reopen from disk:
+        // the protocol round-trips durable state without any embedding.
+        ok(&e, "drop db");
+        let reopened = ok(&e, &format!("open db dir {dir_tok}"));
+        assert!(reopened[0].contains("mined=true"), "{reopened:?}");
+        assert!(reopened[0].contains("tuples=4"), "{reopened:?}");
+        // Checkpointed thresholds win over the (defaulted) open args.
+        assert!(reopened[0].contains("alpha=0.4"), "{reopened:?}");
+        let verify = ok(&e, "verify db");
+        assert!(verify[0].contains("exact=true"), "{verify:?}");
+        let recs = ok(&e, "recommend db tuple 3");
+        assert!(
+            recs[0].contains("0 recommendations"),
+            "post-crash state serves"
+        );
+        ok(&e, "drop db");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

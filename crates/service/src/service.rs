@@ -1,7 +1,7 @@
 //! The multi-tenant registry: named datasets, each with its own writer.
 
-use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, RwLock};
 
 use anno_mine::{CountingStrategy, IncrementalConfig, Thresholds};
 
@@ -58,6 +58,12 @@ pub struct DatasetSummary {
 #[derive(Debug, Default)]
 pub struct Service {
     datasets: RwLock<BTreeMap<String, Arc<Dataset>>>,
+    /// Names with a durable open in flight. Recovery (checkpoint restore
+    /// plus log replay) can take seconds; reserving the name here lets
+    /// [`Service::open_durable`] run it *without* holding the registry
+    /// lock, so reads against other datasets never stall behind it.
+    /// Lock order: `opening` before `datasets`, never the reverse.
+    opening: Mutex<BTreeSet<String>>,
 }
 
 impl Service {
@@ -68,12 +74,59 @@ impl Service {
 
     /// Register a new dataset and start its writer thread.
     pub fn create(&self, name: &str, config: ServiceConfig) -> Result<Arc<Dataset>, ServiceError> {
+        let opening = self.opening.lock().expect("opening lock");
+        if opening.contains(name) {
+            return Err(ServiceError::DatasetExists(name.to_string()));
+        }
         let mut map = self.datasets.write().expect("registry lock");
         if map.contains_key(name) {
             return Err(ServiceError::DatasetExists(name.to_string()));
         }
         let ds = Arc::new(Dataset::spawn(name, config.into())?);
         map.insert(name.to_string(), Arc::clone(&ds));
+        Ok(ds)
+    }
+
+    /// Register a **durable** dataset rooted at `dir`, recovering any
+    /// state already persisted there (checkpoint restore + write-ahead-log
+    /// tail replay) before serving. `config` applies only if the
+    /// directory holds no mined state — see [`Dataset::open`].
+    ///
+    /// Recovery can take a while on a large directory, so it runs with
+    /// only the *name* reserved — never the registry lock — and queries
+    /// against other datasets proceed undisturbed. Two sessions racing to
+    /// open the same name still cannot both replay the same directory
+    /// (and two names over one directory are refused by the wal's own
+    /// lock file).
+    pub fn open_durable(
+        &self,
+        name: &str,
+        config: ServiceConfig,
+        dir: &std::path::Path,
+    ) -> Result<Arc<Dataset>, ServiceError> {
+        {
+            let mut opening = self.opening.lock().expect("opening lock");
+            if opening.contains(name)
+                || self
+                    .datasets
+                    .read()
+                    .expect("registry lock")
+                    .contains_key(name)
+            {
+                return Err(ServiceError::DatasetExists(name.to_string()));
+            }
+            opening.insert(name.to_string());
+        }
+        let opened = Dataset::open(name, config.into(), dir);
+        // Release the reservation and (on success) publish, atomically
+        // with respect to other create/open calls on this name.
+        let mut opening = self.opening.lock().expect("opening lock");
+        opening.remove(name);
+        let ds = Arc::new(opened?);
+        self.datasets
+            .write()
+            .expect("registry lock")
+            .insert(name.to_string(), Arc::clone(&ds));
         Ok(ds)
     }
 

@@ -1,0 +1,302 @@
+//! Durability suite: kill/restart round-trips and service-level crash
+//! injection over the write-ahead log.
+//!
+//! The contract under test (ISSUE 3 acceptance): a dataset opened with a
+//! durability directory survives process restart — recovery restores the
+//! latest checkpoint, replays the log tail through the incremental miner,
+//! `verify_against_remine` holds on the recovered state, the published
+//! relation epoch never regresses (it *matches* the pre-crash epoch when
+//! the log is intact), and a damaged log tail recovers cleanly to the
+//! exact state after some prefix of the committed drains.
+//!
+//! Property cases respect the `PROPTEST_CASES` cap for CI bounding.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use anno_mine::{IncrementalConfig, Thresholds};
+use anno_service::{Dataset, ServiceError, UpdateOp};
+use anno_store::{snapshot_to_string, TupleId};
+use anno_wal::segment::{list_segments, segment_path};
+use proptest::prelude::*;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn test_dir(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("anno-recovery-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> IncrementalConfig {
+    IncrementalConfig {
+        thresholds: Thresholds::new(0.3, 0.6),
+        ..Default::default()
+    }
+}
+
+/// Enqueue one op and wait until its snapshot is published — one drain.
+fn drain(ds: &Dataset, op: UpdateOp) {
+    ds.enqueue(op).unwrap();
+    ds.flush().unwrap();
+}
+
+fn rows(specs: &[&str]) -> UpdateOp {
+    UpdateOp::InsertRows(specs.iter().map(|s| s.to_string()).collect())
+}
+
+fn annotate(pairs: &[(u32, &str)]) -> UpdateOp {
+    UpdateOp::AnnotateNamed(
+        pairs
+            .iter()
+            .map(|&(tid, name)| (TupleId(tid), name.to_string()))
+            .collect(),
+    )
+}
+
+/// The full lifecycle the ISSUE acceptance names: N mixed drains, a
+/// checkpoint mid-stream, more drains, kill (drop), reopen from disk —
+/// then `verify_against_remine` holds and the published relation epoch
+/// matches the pre-crash one exactly.
+#[test]
+fn kill_restart_round_trip_with_mid_stream_checkpoint() {
+    let dir = test_dir("round-trip");
+    let (epoch_before, text_before, rules_before);
+    {
+        let ds = Dataset::open("db", config(), &dir).unwrap();
+        // Mixed drain stream, each flushed to force a separate drain.
+        drain(
+            &ds,
+            rows(&[
+                "28 85 Annot_1",
+                "28 85 Annot_1",
+                "28 85 Annot_1",
+                "28 85",
+                "17 99",
+                "17 85 Annot_2",
+            ]),
+        );
+        drain(&ds, annotate(&[(3, "Annot_1"), (4, "Annot_2")]));
+        drain(&ds, rows(&["28 99", "17 99 Annot_2"]));
+        ds.mine().unwrap();
+        drain(&ds, annotate(&[(6, "Annot_1")]));
+        drain(
+            &ds,
+            UpdateOp::RemoveNamed(vec![(TupleId(4), "Annot_2".into())]),
+        );
+
+        // Checkpoint mid-stream: everything above compacts away.
+        ds.checkpoint().unwrap();
+
+        drain(&ds, rows(&["28 85 Annot_1", "11 12"]));
+        drain(&ds, UpdateOp::DeleteTuples(vec![TupleId(1), TupleId(7)]));
+        drain(&ds, annotate(&[(8, "Annot_1"), (9, "Annot_2")]));
+
+        assert!(ds.verify().unwrap(), "pre-crash state is exact");
+        let snap = ds.snapshot().unwrap();
+        epoch_before = snap.relation_epoch();
+        text_before = snapshot_to_string(snap.relation());
+        rules_before = snap.rules().len();
+        // Dropped here: the writer stops — the "kill".
+    }
+
+    let ds = Dataset::open("db", config(), &dir).unwrap();
+    let stats = ds.wal_stats().unwrap();
+    assert_eq!(
+        stats.replayed_records, 3,
+        "exactly the post-checkpoint drains replay: {stats:?}"
+    );
+    assert!(
+        ds.verify().unwrap(),
+        "recovered state passes verify_against_remine"
+    );
+    let snap = ds.snapshot().unwrap();
+    assert_eq!(
+        snap.relation_epoch(),
+        epoch_before,
+        "published relation epoch matches the pre-crash epoch"
+    );
+    assert_eq!(snapshot_to_string(snap.relation()), text_before);
+    assert_eq!(snap.rules().len(), rules_before);
+    drop(ds);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A second restart without any intervening writes must be a fixpoint,
+/// and epochs never regress across any number of restarts.
+#[test]
+fn repeated_reopens_are_a_fixpoint_and_epochs_never_regress() {
+    let dir = test_dir("fixpoint");
+    {
+        let ds = Dataset::open("db", config(), &dir).unwrap();
+        drain(&ds, rows(&["1 2 X", "1 2 X", "1 3"]));
+        ds.mine().unwrap();
+        drain(&ds, annotate(&[(2, "X")]));
+    }
+    let mut last_epoch = 0;
+    let mut last_text = String::new();
+    for round in 0..3 {
+        let ds = Dataset::open("db", config(), &dir).unwrap();
+        let snap = ds.snapshot().unwrap();
+        assert!(
+            snap.relation_epoch() >= last_epoch,
+            "epoch regressed on reopen {round}"
+        );
+        if round > 0 {
+            assert_eq!(snap.relation_epoch(), last_epoch, "reopen is a fixpoint");
+            assert_eq!(snapshot_to_string(snap.relation()), last_text);
+        }
+        last_epoch = snap.relation_epoch();
+        last_text = snapshot_to_string(snap.relation());
+        assert!(ds.verify().unwrap());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Tearing the log mid-record (the classic crash-during-append) recovers
+/// cleanly to the last intact drain; a tear that clips the `mine` record
+/// itself degrades to a loaded-but-unmined dataset, never a corrupt one.
+#[test]
+fn torn_tail_recovers_to_last_intact_drain() {
+    let dir = test_dir("torn");
+    {
+        let ds = Dataset::open("db", config(), &dir).unwrap();
+        drain(&ds, rows(&["1 2 X", "1 2 X", "1 3"]));
+        ds.mine().unwrap();
+    }
+    // Clip the tail: the mine record (last in the log) loses 2 bytes.
+    let seqs = list_segments(&dir).unwrap();
+    let path = segment_path(&dir, *seqs.last().unwrap());
+    let len = std::fs::metadata(&path).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(len - 2)
+        .unwrap();
+
+    let ds = Dataset::open("db", config(), &dir).unwrap();
+    assert_eq!(ds.wal_stats().unwrap().damaged_tails, 1);
+    assert!(!ds.is_mined(), "clipped mine record degrades to unmined");
+    assert_eq!(ds.live_tuples(), 3, "the insert drain before it survived");
+    assert!(matches!(ds.snapshot(), Err(ServiceError::NotMined(_))));
+    // The dataset is fully operational: mine again and keep going.
+    let snap = ds.mine().unwrap();
+    assert_eq!(snap.db_size(), 3);
+    assert!(ds.verify().unwrap());
+    drop(ds);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Two live datasets must never share a durability directory: the second
+/// open is refused while the first holds the wal lock, and succeeds once
+/// it is gone.
+#[test]
+fn a_live_durability_directory_cannot_be_opened_twice() {
+    let dir = test_dir("double-open");
+    let ds = Dataset::open("a", config(), &dir).unwrap();
+    drain(&ds, rows(&["1 2 X"]));
+    match Dataset::open("b", config(), &dir) {
+        Err(ServiceError::Durability(msg)) => assert!(msg.contains("locked"), "{msg}"),
+        other => panic!("second open must be refused, got {other:?}"),
+    }
+    drop(ds);
+    let ds = Dataset::open("b", config(), &dir).unwrap();
+    assert_eq!(ds.live_tuples(), 1, "state recovered under the new name");
+    drop(ds);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Crash injection end to end: after a checkpointed mine, commit a
+    /// random stream of drains, damage the WAL at an arbitrary byte
+    /// (truncate or bit-flip), reopen, and require the recovered dataset
+    /// to be byte-identical to the state after some exact prefix of the
+    /// committed drains — with the matching epoch, passing a full
+    /// verify_against_remine, and never fatal.
+    #[test]
+    fn damaged_wal_recovers_an_exact_drain_prefix(
+        drain_specs in proptest::collection::vec(
+            (0u8..4, 0u32..24, 0u32..6), 1..10),
+        damage_seed in 0u64..u64::MAX,
+        flip in proptest::prelude::any::<bool>(),
+    ) {
+        let dir = test_dir("crash");
+        // (snapshot text, relation epoch) after the checkpoint and after
+        // each committed drain: recovery must land exactly on one of
+        // these.
+        let mut states: Vec<(String, u64)> = Vec::new();
+        {
+            let ds = Dataset::open("db", config(), &dir).unwrap();
+            drain(&ds, rows(&[
+                "1 2 A0", "1 2 A0", "1 3 A1", "2 3", "2 4 A1", "5 6",
+            ]));
+            ds.mine().unwrap();
+            ds.checkpoint().unwrap();
+            let record = |states: &mut Vec<(String, u64)>| {
+                let snap = ds.try_snapshot().unwrap();
+                states.push((snapshot_to_string(snap.relation()), snap.relation_epoch()));
+            };
+            record(&mut states);
+            for &(kind, a, b) in &drain_specs {
+                let op = match kind {
+                    0 => rows(&[&format!("{} {} A{b}", a % 9, a % 7)]),
+                    1 => annotate(&[(a, "A0"), (a / 2, &format!("A{b}"))]),
+                    2 => UpdateOp::RemoveNamed(vec![(TupleId(a), format!("A{b}"))]),
+                    _ => UpdateOp::DeleteTuples(vec![TupleId(a)]),
+                };
+                drain(&ds, op);
+                record(&mut states);
+            }
+            prop_assert!(ds.verify().unwrap());
+        }
+
+        // Damage one arbitrary byte of the (post-checkpoint) log.
+        let seqs = list_segments(&dir).unwrap();
+        let sizes: Vec<u64> = seqs
+            .iter()
+            .map(|&s| std::fs::metadata(segment_path(&dir, s)).unwrap().len())
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        let mut at = damage_seed % total;
+        let mut victim = 0usize;
+        while at >= sizes[victim] {
+            at -= sizes[victim];
+            victim += 1;
+        }
+        let path = segment_path(&dir, seqs[victim]);
+        if flip {
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[at as usize] ^= 0x20;
+            std::fs::write(&path, &bytes).unwrap();
+        } else {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_len(at)
+                .unwrap();
+        }
+
+        // Recover. The checkpointed mine always survives (only segment
+        // files were damaged), so the dataset comes back mined.
+        let ds = Dataset::open("db", config(), &dir).unwrap();
+        let snap = ds.snapshot().unwrap();
+        let text = snapshot_to_string(snap.relation());
+        let hit = states.iter().position(|(s, _)| *s == text);
+        prop_assert!(
+            hit.is_some(),
+            "recovered state must equal some committed drain prefix"
+        );
+        prop_assert_eq!(
+            snap.relation_epoch(),
+            states[hit.unwrap()].1,
+            "epoch must match the recovered prefix"
+        );
+        prop_assert!(ds.verify().unwrap(), "recovered state stays exact");
+        drop(ds);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

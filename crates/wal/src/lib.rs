@@ -1,0 +1,891 @@
+//! `anno-wal`: write-ahead-log durability for the serving layer.
+//!
+//! The paper's premise is a database that evolves continuously; a serving
+//! layer over it is only production-shaped if a process restart does not
+//! lose the drained updates. This crate is that durability subsystem: an
+//! **append-only, segmented, CRC-framed binary log** of opaque payload
+//! records (the serving layer writes one record per coalesced write
+//! drain — group commit), plus **checkpoint compaction** (an atomically
+//! replaced checkpoint file binds a state blob to a log position and
+//! deletes the sealed segments behind it) and **crash recovery** (replay
+//! the tail after the checkpoint, tolerating a torn or bit-rotted tail by
+//! truncating to the last intact record and reporting the damage instead
+//! of failing).
+//!
+//! The crate is deliberately payload-agnostic — records are `&[u8]` — so
+//! the log layer can be tested by crash injection independently of the
+//! serving layer's update encoding, and future subsystems (replication by
+//! log shipping, shard movement) can reuse it unchanged.
+//!
+//! # Lifecycle
+//!
+//! ```
+//! use anno_wal::{Wal, WalOptions};
+//! let dir = std::env::temp_dir().join(format!("anno-wal-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // First open: nothing to recover.
+//! let (mut wal, recovery) = Wal::open(&dir, WalOptions::default()).unwrap();
+//! assert!(recovery.checkpoint.is_none() && recovery.tail.is_empty());
+//! wal.append(b"drain 1").unwrap();
+//! wal.append(b"drain 2").unwrap();
+//! wal.checkpoint(b"state after 2 drains").unwrap();
+//! wal.append(b"drain 3").unwrap();
+//! drop(wal);
+//!
+//! // Restart: checkpoint blob + only the tail after it.
+//! let (_wal, recovery) = Wal::open(&dir, WalOptions::default()).unwrap();
+//! assert_eq!(recovery.checkpoint.unwrap().payload, b"state after 2 drains");
+//! assert_eq!(recovery.tail, vec![b"drain 3".to_vec()]);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod record;
+pub mod segment;
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+pub use checkpoint::Checkpoint;
+pub use record::{crc32, ScanDamage};
+use segment::{segment_header, segment_path, SEGMENT_HEADER_BYTES};
+
+/// Anything that can go wrong in the log layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying filesystem failure.
+    Io(std::io::Error),
+    /// On-disk state that must never occur under this crate's own write
+    /// protocol (e.g. a torn checkpoint, which is only produced whole).
+    Corrupt(String),
+    /// Another live `Wal` holds this directory (its lock file names the
+    /// owning process).
+    Locked(String),
+    /// An earlier append failed mid-write, so the file may end in torn
+    /// bytes the in-memory position does not account for. The log fences
+    /// itself: further appends are refused until a fresh [`Wal::open`]
+    /// truncates back to the last intact record.
+    Fenced,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Corrupt(msg) => write!(f, "wal corrupt: {msg}"),
+            WalError::Locked(msg) => write!(f, "wal locked: {msg}"),
+            WalError::Fenced => write!(
+                f,
+                "wal fenced after a failed write; reopen the directory to recover"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// A position in the log: `(segment, byte offset within that segment)`.
+/// Ordered lexicographically, so "everything before position P" is
+/// well-defined across segment boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LogPosition {
+    /// Segment sequence number.
+    pub segment: u64,
+    /// Byte offset within the segment file (header included).
+    pub offset: u64,
+}
+
+impl std::fmt::Display for LogPosition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.segment, self.offset)
+    }
+}
+
+/// Where and why recovery stopped early. Reported, never fatal: the log
+/// behind the damage is intact and the damaged bytes are truncated away
+/// so appending can resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DamagedTail {
+    /// Segment in which the damage was found.
+    pub segment: u64,
+    /// Byte offset of the first damaged byte (= the truncation point).
+    pub offset: u64,
+    /// Human-readable cause (torn record, CRC mismatch, bad header, …).
+    pub reason: String,
+}
+
+impl std::fmt::Display for DamagedTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "damaged log tail at {}/{}: {}",
+            self.segment, self.offset, self.reason
+        )
+    }
+}
+
+/// Everything [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The latest checkpoint, if one was ever taken.
+    pub checkpoint: Option<Checkpoint>,
+    /// Intact record payloads after the checkpoint position, in log order.
+    pub tail: Vec<Vec<u8>>,
+    /// Damage report if the log did not end cleanly. Records before the
+    /// damage are in `tail`; bytes at and after it were truncated.
+    pub damaged: Option<DamagedTail>,
+}
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Roll to a new segment once the active one exceeds this many bytes.
+    /// (A single record larger than the threshold still fits: segments
+    /// roll before a write, never mid-record.)
+    pub segment_bytes: u64,
+    /// `fsync` after every append (group commit is still one sync per
+    /// *drain*, since the serving layer writes one record per drain).
+    /// Disable for throughput benchmarks or tests where the OS page cache
+    /// is durability enough.
+    pub sync: bool,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 8 * 1024 * 1024,
+            sync: true,
+        }
+    }
+}
+
+/// Point-in-time counters of one log's activity since open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Framed bytes appended (payload + record headers).
+    pub appended_bytes: u64,
+    /// `fsync` calls issued for appends and segment seals.
+    pub syncs: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Records replayed at open.
+    pub replayed_records: u64,
+    /// Damaged tails encountered at open (0 or 1 per open; cumulative
+    /// across reopens of the same `Wal` value is impossible, so this is
+    /// effectively a flag with room for future partial-scan APIs).
+    pub damaged_tails: u64,
+    /// Live segment files (sealed survivors + the active one).
+    pub segments: u64,
+    /// Current end-of-log position (next append lands here).
+    pub position: LogPosition,
+}
+
+/// Name of the per-directory lock file guarding against two live `Wal`s.
+pub const LOCK_FILE: &str = "wal.lock";
+
+/// Distinguishes multiple `Wal` instances within one process in the lock
+/// file, so a same-pid second open is still refused.
+static LOCK_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Exclusive ownership of a log directory, released on drop. The lock
+/// file records `pid:token`; a lock whose pid provably no longer runs
+/// (checked via `/proc`) is reclaimed, so a crashed process never wedges
+/// its directory. Where `/proc` does not exist (non-Linux) liveness is
+/// unknowable without platform calls, so every existing lock is treated
+/// as held — the conservative failure mode (remove `wal.lock` by hand
+/// after a crash) rather than the corrupting one (two live writers).
+#[derive(Debug)]
+struct DirLock {
+    path: PathBuf,
+    token: String,
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> Result<DirLock, WalError> {
+        let path = dir.join(LOCK_FILE);
+        let token = format!(
+            "{}:{}",
+            std::process::id(),
+            LOCK_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        for attempt in 0..5u32 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    file.write_all(token.as_bytes())?;
+                    file.sync_data()?;
+                    return Ok(DirLock { path, token });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let held = std::fs::read_to_string(&path).unwrap_or_default();
+                    let holder_alive = match held
+                        .split(':')
+                        .next()
+                        .and_then(|pid| pid.parse::<u32>().ok())
+                    {
+                        // No /proc → liveness unknowable → assume held.
+                        Some(pid) if Path::new("/proc").exists() => {
+                            Path::new(&format!("/proc/{pid}")).exists()
+                        }
+                        Some(_) => true,
+                        // Unparseable lock content: someone else's
+                        // mid-write moment, or junk; don't steal it.
+                        None => true,
+                    };
+                    if holder_alive {
+                        return Err(WalError::Locked(format!(
+                            "{} is held by a live owner ({held:?}); two logs must not \
+                             share a directory",
+                            path.display()
+                        )));
+                    }
+                    // Stale lock from a dead process. Reclaim must have a
+                    // single winner: rename it aside first — rename is
+                    // atomic, so of N racing reclaimers exactly one
+                    // succeeds, and nobody can delete a *fresh* lock that
+                    // a faster racer has already created (the
+                    // check-then-remove TOCTOU).
+                    let aside = dir.join(format!("{LOCK_FILE}.stale-{token}-{attempt}"));
+                    match std::fs::rename(&path, &aside) {
+                        Ok(()) => {
+                            let _ = std::fs::remove_file(&aside);
+                        }
+                        // Lost the reclaim race; loop and re-evaluate.
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(WalError::Locked(format!(
+            "{} could not be acquired (reclaim raced repeatedly)",
+            path.display()
+        )))
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        // Only remove a lock that is still ours — never a successor's
+        // (possible if ours was wrongly reclaimed as stale).
+        if std::fs::read_to_string(&self.path).is_ok_and(|content| content == self.token) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// An open write-ahead log rooted at one directory.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    opts: WalOptions,
+    file: File,
+    seq: u64,
+    offset: u64,
+    live_segments: u64,
+    appends: u64,
+    appended_bytes: u64,
+    syncs: u64,
+    checkpoints: u64,
+    replayed_records: u64,
+    damaged_tails: u64,
+    /// Set when a failed append may have left torn bytes past `offset`
+    /// that could not be truncated away; all further writes are refused.
+    poisoned: bool,
+    /// Held for the life of the `Wal`; dropping releases the directory.
+    _lock: DirLock,
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `dir` and recover its state:
+    /// the latest checkpoint, the intact record tail after it, and a
+    /// damage report if the tail was torn or corrupted. Damaged bytes are
+    /// truncated (and any segments after the damage deleted) so that the
+    /// returned `Wal` appends strictly after the recovered prefix.
+    pub fn open(dir: impl AsRef<Path>, opts: WalOptions) -> Result<(Wal, Recovery), WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let lock = DirLock::acquire(&dir)?;
+        checkpoint::remove_stale_tmp(&dir);
+        let ckpt = checkpoint::read_checkpoint(&dir)?;
+
+        let mut seqs = segment::list_segments(&dir)?;
+        // Compacted leftovers strictly behind the checkpoint: a crash
+        // between the checkpoint rename and the segment deletions leaves
+        // them around; finish the job now.
+        if let Some(ck) = &ckpt {
+            for &seq in seqs.iter().filter(|&&s| s < ck.position.segment) {
+                std::fs::remove_file(segment_path(&dir, seq))?;
+            }
+            seqs.retain(|&s| s >= ck.position.segment);
+        }
+
+        // Highest sequence number ever observed — fresh segments created
+        // after damage must not reuse a deleted segment's number, or a
+        // stale checkpoint position could outrank live records.
+        let mut max_seen = ckpt.as_ref().map(|c| c.position.segment).unwrap_or(0);
+        if let Some(&last) = seqs.last() {
+            max_seen = max_seen.max(last);
+        }
+
+        let start = match &ckpt {
+            Some(ck) => ck.position,
+            None => LogPosition {
+                segment: seqs.first().copied().unwrap_or(0),
+                offset: SEGMENT_HEADER_BYTES,
+            },
+        };
+
+        let mut tail: Vec<Vec<u8>> = Vec::new();
+        let mut damaged: Option<DamagedTail> = None;
+        // (seq, end offset) of the segment appends should resume in;
+        // `None` means a fresh segment must be created.
+        let mut active: Option<(u64, u64)> = None;
+        let mut expected_seq = start.segment;
+        // Actual byte length of the previous cleanly scanned segment, for
+        // the header chain check (None at chain start, where the
+        // predecessor was checkpoint-compacted or never existed).
+        let mut prev_scanned_len: Option<u64> = None;
+
+        for &seq in &seqs {
+            if damaged.is_some() {
+                // Everything after the damage point would break prefix
+                // semantics if replayed; delete it.
+                std::fs::remove_file(segment_path(&dir, seq))?;
+                continue;
+            }
+            if seq != expected_seq {
+                damaged = Some(DamagedTail {
+                    segment: expected_seq,
+                    offset: SEGMENT_HEADER_BYTES,
+                    reason: format!("segment {expected_seq} missing (next on disk is {seq})"),
+                });
+                std::fs::remove_file(segment_path(&dir, seq))?;
+                continue;
+            }
+            let path = segment_path(&dir, seq);
+            let bytes = std::fs::read(&path)?;
+            let prev_len = match segment::parse_header(&bytes, seq) {
+                Ok(prev_len) => prev_len,
+                Err(reason) => {
+                    damaged = Some(DamagedTail {
+                        segment: seq,
+                        offset: 0,
+                        reason,
+                    });
+                    std::fs::remove_file(&path)?;
+                    continue;
+                }
+            };
+            if let Some(prev_actual) = prev_scanned_len {
+                if prev_len != prev_actual {
+                    // The predecessor frames cleanly but is not the length
+                    // it was sealed at — it lost (or grew) a whole-record
+                    // tail. Its scanned records are still a true prefix;
+                    // everything from this segment on is past the gap.
+                    damaged = Some(DamagedTail {
+                        segment: seq - 1,
+                        offset: prev_actual.min(prev_len),
+                        reason: format!(
+                            "sealed segment is {prev_actual} bytes but successor records {prev_len}"
+                        ),
+                    });
+                    std::fs::remove_file(&path)?;
+                    continue;
+                }
+            }
+            let begin = if seq == start.segment {
+                start.offset
+            } else {
+                SEGMENT_HEADER_BYTES
+            };
+            if begin > bytes.len() as u64 {
+                // The checkpoint covers bytes this file no longer has.
+                // Nothing after the checkpoint survives here, and reusing
+                // offsets below the checkpoint position is forbidden, so
+                // retire the file and roll fresh.
+                damaged = Some(DamagedTail {
+                    segment: seq,
+                    offset: bytes.len() as u64,
+                    reason: format!(
+                        "segment shorter ({} bytes) than checkpoint position {begin}",
+                        bytes.len()
+                    ),
+                });
+                std::fs::remove_file(&path)?;
+                continue;
+            }
+            let scan = record::scan(&bytes, begin as usize);
+            tail.extend(scan.payloads);
+            match scan.damage {
+                Some(kind) => {
+                    damaged = Some(DamagedTail {
+                        segment: seq,
+                        offset: scan.good_end as u64,
+                        reason: kind.to_string(),
+                    });
+                    // Truncate the damage away; this segment stays active.
+                    let file = OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(scan.good_end as u64)?;
+                    file.sync_data()?;
+                    active = Some((seq, scan.good_end as u64));
+                }
+                None => {
+                    active = Some((seq, bytes.len() as u64));
+                    expected_seq = seq + 1;
+                    prev_scanned_len = Some(bytes.len() as u64);
+                }
+            }
+        }
+
+        let (seq, offset, file) = match active {
+            Some((seq, offset)) => {
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(segment_path(&dir, seq))?;
+                file.seek(SeekFrom::Start(offset))?;
+                (seq, offset, file)
+            }
+            None => {
+                // Fresh log, or every candidate segment was retired. With
+                // a checkpoint, recreate its own segment number: checkpoint
+                // positions always point at a fresh segment's header
+                // (checkpoint seals-and-rolls first), so an empty recreated
+                // segment lines up exactly with the replay start — a higher
+                // number would read as a gap (lost records) on the next
+                // open. Without one, the next open derives its start from
+                // the first file present, so any unused number works; take
+                // one past the highest ever seen.
+                let seq = match &ckpt {
+                    Some(ck) => ck.position.segment,
+                    None if seqs.is_empty() && damaged.is_none() => 0,
+                    None => max_seen + 1,
+                };
+                let file = create_segment(&dir, seq, 0)?;
+                (seq, SEGMENT_HEADER_BYTES, file)
+            }
+        };
+        checkpoint::sync_dir(&dir);
+
+        let live_segments = segment::list_segments(&dir)?.len() as u64;
+        let wal = Wal {
+            dir,
+            opts,
+            file,
+            seq,
+            offset,
+            live_segments,
+            appends: 0,
+            appended_bytes: 0,
+            syncs: 0,
+            checkpoints: 0,
+            replayed_records: tail.len() as u64,
+            damaged_tails: u64::from(damaged.is_some()),
+            poisoned: false,
+            _lock: lock,
+        };
+        Ok((
+            wal,
+            Recovery {
+                checkpoint: ckpt,
+                tail,
+                damaged,
+            },
+        ))
+    }
+
+    /// The position the next append will land at.
+    pub fn position(&self) -> LogPosition {
+        LogPosition {
+            segment: self.seq,
+            offset: self.offset,
+        }
+    }
+
+    /// Append one record (a serving-layer drain) as a single buffered
+    /// write, flushed — and synced, when [`WalOptions::sync`] — before
+    /// returning. Returns the end-of-log position after the record: once
+    /// this returns, the record is recovered by every future [`Wal::open`]
+    /// (absent tail damage at exactly these bytes).
+    pub fn append(&mut self, payload: &[u8]) -> Result<LogPosition, WalError> {
+        if self.poisoned {
+            return Err(WalError::Fenced);
+        }
+        let frame = record::frame(payload);
+        if self.offset > SEGMENT_HEADER_BYTES
+            && self.offset + frame.len() as u64 > self.opts.segment_bytes
+        {
+            // Roll failure leaves the old segment active and the cursor
+            // untouched (roll is transactional), so it needs no fencing.
+            self.roll()?;
+        }
+        let wrote = self.file.write_all(&frame).and_then(|()| {
+            if self.opts.sync {
+                self.file.sync_data()?;
+                self.syncs += 1;
+            }
+            Ok(())
+        });
+        if let Err(e) = wrote {
+            // The file may now end in torn bytes past `offset` (or in a
+            // full frame whose durability is unknown). Cut it back so the
+            // next append cannot build on a frame recovery would discard;
+            // if even that fails, fence the log — only a fresh open's
+            // scan-and-truncate can re-establish the invariant.
+            let restored = self
+                .file
+                .set_len(self.offset)
+                .and_then(|()| self.file.seek(SeekFrom::Start(self.offset)).map(|_| ()));
+            if restored.is_err() {
+                self.poisoned = true;
+            }
+            return Err(e.into());
+        }
+        self.offset += frame.len() as u64;
+        self.appends += 1;
+        self.appended_bytes += frame.len() as u64;
+        Ok(self.position())
+    }
+
+    /// Take a checkpoint: seal the active segment, durably record
+    /// `payload` at the current end-of-log position, then delete every
+    /// sealed segment behind it. After this returns, recovery restores
+    /// `payload` and replays only records appended after this call —
+    /// log size is once again proportional to the post-checkpoint delta.
+    pub fn checkpoint(&mut self, payload: &[u8]) -> Result<LogPosition, WalError> {
+        if self.poisoned {
+            return Err(WalError::Fenced);
+        }
+        if self.offset > SEGMENT_HEADER_BYTES {
+            self.roll()?;
+        }
+        let pos = self.position();
+        checkpoint::write_checkpoint(&self.dir, pos, payload)?;
+        self.checkpoints += 1;
+        // Compaction is best-effort once the checkpoint is durable: a
+        // straggler segment left by a failed delete is cleaned up by the
+        // next open, and must not fail an already-successful checkpoint.
+        for seq in segment::list_segments(&self.dir).unwrap_or_default() {
+            if seq < pos.segment && std::fs::remove_file(segment_path(&self.dir, seq)).is_ok() {
+                self.live_segments = self.live_segments.saturating_sub(1);
+            }
+        }
+        checkpoint::sync_dir(&self.dir);
+        Ok(pos)
+    }
+
+    /// Counters since open, plus the current position.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.appends,
+            appended_bytes: self.appended_bytes,
+            syncs: self.syncs,
+            checkpoints: self.checkpoints,
+            replayed_records: self.replayed_records,
+            damaged_tails: self.damaged_tails,
+            segments: self.live_segments,
+            position: self.position(),
+        }
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Seal the active segment and open the next one. Transactional: on
+    /// any error the old segment stays active with its cursor unmoved, so
+    /// callers can simply propagate.
+    fn roll(&mut self) -> Result<(), WalError> {
+        // Seal the full segment durably before any record lands in the
+        // next one, so recovery never sees segment N+1 outlive bytes of N.
+        self.file.sync_data()?;
+        self.syncs += 1;
+        let file = create_segment(&self.dir, self.seq + 1, self.offset)?;
+        self.seq += 1;
+        self.file = file;
+        self.offset = SEGMENT_HEADER_BYTES;
+        self.live_segments += 1;
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Appends are already flushed per call; this is belt-and-braces
+        // for the unsynced mode.
+        let _ = self.file.sync_data();
+    }
+}
+
+fn create_segment(dir: &Path, seq: u64, prev_len: u64) -> Result<File, WalError> {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create_new(true)
+        .open(segment_path(dir, seq))?;
+    file.write_all(&segment_header(seq, prev_len))?;
+    file.sync_data()?;
+    checkpoint::sync_dir(dir);
+    Ok(file)
+}
+
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anno-wal-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(segment_bytes: u64) -> WalOptions {
+        WalOptions {
+            segment_bytes,
+            sync: false,
+        }
+    }
+
+    fn payloads(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("record-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn append_reopen_replays_everything() {
+        let dir = test_dir("roundtrip");
+        let committed = payloads(10);
+        {
+            let (mut wal, rec) = Wal::open(&dir, opts(1 << 20)).unwrap();
+            assert!(rec.checkpoint.is_none() && rec.tail.is_empty() && rec.damaged.is_none());
+            let mut last = wal.position();
+            for p in &committed {
+                let pos = wal.append(p).unwrap();
+                assert!(pos > last, "positions are strictly monotone");
+                last = pos;
+            }
+            assert_eq!(wal.stats().appends, 10);
+        }
+        let (wal, rec) = Wal::open(&dir, opts(1 << 20)).unwrap();
+        assert_eq!(rec.tail, committed);
+        assert!(rec.damaged.is_none());
+        assert_eq!(wal.stats().replayed_records, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_and_replay_across_files() {
+        let dir = test_dir("rolling");
+        let committed = payloads(50);
+        {
+            let (mut wal, _) = Wal::open(&dir, opts(64)).unwrap();
+            for p in &committed {
+                wal.append(p).unwrap();
+            }
+            assert!(wal.stats().segments > 1, "tiny threshold must roll");
+        }
+        let (_, rec) = Wal::open(&dir, opts(64)).unwrap();
+        assert_eq!(rec.tail, committed);
+        assert!(rec.damaged.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_bounds_replay() {
+        let dir = test_dir("compact");
+        let committed = payloads(30);
+        {
+            let (mut wal, _) = Wal::open(&dir, opts(64)).unwrap();
+            for p in &committed[..20] {
+                wal.append(p).unwrap();
+            }
+            let before = segment::list_segments(&dir).unwrap().len();
+            assert!(before > 1);
+            wal.checkpoint(b"state@20").unwrap();
+            assert_eq!(
+                segment::list_segments(&dir).unwrap().len(),
+                1,
+                "all sealed segments behind the checkpoint are deleted"
+            );
+            for p in &committed[20..] {
+                wal.append(p).unwrap();
+            }
+        }
+        let (_, rec) = Wal::open(&dir, opts(64)).unwrap();
+        assert_eq!(rec.checkpoint.unwrap().payload, b"state@20");
+        assert_eq!(rec.tail, committed[20..].to_vec(), "only the tail replays");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_checkpoint_then_reopen() {
+        let dir = test_dir("ckpt-empty");
+        {
+            let (mut wal, _) = Wal::open(&dir, opts(1 << 20)).unwrap();
+            wal.checkpoint(b"empty state").unwrap();
+            // Checkpoint on a record-free log must not roll or leave junk.
+            wal.checkpoint(b"still empty").unwrap();
+        }
+        let (_, rec) = Wal::open(&dir, opts(1 << 20)).unwrap();
+        assert_eq!(rec.checkpoint.unwrap().payload, b"still empty");
+        assert!(rec.tail.is_empty() && rec.damaged.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix_and_appends_resume() {
+        let dir = test_dir("torn");
+        let committed = payloads(5);
+        {
+            let (mut wal, _) = Wal::open(&dir, opts(1 << 20)).unwrap();
+            for p in &committed {
+                wal.append(p).unwrap();
+            }
+        }
+        // Tear 3 bytes off the active segment: the last record is torn.
+        let seqs = segment::list_segments(&dir).unwrap();
+        let path = segment_path(&dir, *seqs.last().unwrap());
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        let (mut wal, rec) = Wal::open(&dir, opts(1 << 20)).unwrap();
+        assert_eq!(rec.tail, committed[..4].to_vec());
+        let damage = rec.damaged.expect("tear must be reported");
+        assert!(damage.reason.contains("torn"), "{damage}");
+        assert_eq!(wal.stats().damaged_tails, 1);
+
+        // The damaged bytes are gone: appending and reopening is clean.
+        wal.append(b"after-damage").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, opts(1 << 20)).unwrap();
+        let mut expect = committed[..4].to_vec();
+        expect.push(b"after-damage".to_vec());
+        assert_eq!(rec.tail, expect);
+        assert!(rec.damaged.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_middle_segment_drops_later_segments_too() {
+        let dir = test_dir("mid-damage");
+        let committed = payloads(50);
+        {
+            let (mut wal, _) = Wal::open(&dir, opts(64)).unwrap();
+            for p in &committed {
+                wal.append(p).unwrap();
+            }
+        }
+        let seqs = segment::list_segments(&dir).unwrap();
+        assert!(seqs.len() >= 3, "need a middle segment to damage");
+        let victim = seqs[1];
+        // Flip a byte in the middle segment's first record.
+        let path = segment_path(&dir, victim);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = SEGMENT_HEADER_BYTES as usize + 9;
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut wal, rec) = Wal::open(&dir, opts(64)).unwrap();
+        let damage = rec.damaged.expect("flip must be reported");
+        assert_eq!(damage.segment, victim);
+        assert!(
+            committed.starts_with(&rec.tail),
+            "recovered records are an exact prefix"
+        );
+        assert!(
+            segment::list_segments(&dir).unwrap().len() <= 2,
+            "segments after the damage are deleted"
+        );
+        // New appends land strictly after the recovered prefix.
+        wal.append(b"resume").unwrap();
+        drop(wal);
+        let (_, rec2) = Wal::open(&dir, opts(64)).unwrap();
+        assert_eq!(rec2.tail.last().unwrap(), b"resume");
+        assert!(rec2.damaged.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_directories_cannot_be_double_opened() {
+        let dir = test_dir("lock");
+        let (wal, _) = Wal::open(&dir, opts(1 << 20)).unwrap();
+        // A second open — same process, same pid — must be refused: two
+        // writers on one segment file would interleave frames.
+        assert!(matches!(
+            Wal::open(&dir, opts(1 << 20)),
+            Err(WalError::Locked(_))
+        ));
+        drop(wal);
+        // Released on drop: reopening now succeeds.
+        let (_wal, _) = Wal::open(&dir, opts(1 << 20)).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_locks_from_dead_processes_are_reclaimed() {
+        if !Path::new("/proc").exists() {
+            // Without /proc, liveness is unknowable and locks are
+            // conservatively treated as held; nothing to reclaim here.
+            return;
+        }
+        let dir = test_dir("stale-lock");
+        {
+            let (mut wal, _) = Wal::open(&dir, opts(1 << 20)).unwrap();
+            wal.append(b"pre-crash").unwrap();
+        }
+        // Fake a crashed owner: a lock file naming a pid that cannot be
+        // running (pid_max is far below u32::MAX).
+        std::fs::write(dir.join(LOCK_FILE), format!("{}:0", u32::MAX)).unwrap();
+        let (_wal, rec) = Wal::open(&dir, opts(1 << 20)).expect("stale lock reclaimed");
+        assert_eq!(rec.tail, vec![b"pre-crash".to_vec()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_segment_after_total_loss_never_reuses_numbers() {
+        let dir = test_dir("total-loss");
+        {
+            let (mut wal, _) = Wal::open(&dir, opts(64)).unwrap();
+            for p in payloads(40) {
+                wal.append(&p).unwrap();
+            }
+        }
+        // Corrupt the header of the *first* segment: nothing survives.
+        let seqs = segment::list_segments(&dir).unwrap();
+        let max = *seqs.last().unwrap();
+        let path = segment_path(&dir, seqs[0]);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (wal, rec) = Wal::open(&dir, opts(64)).unwrap();
+        assert!(rec.tail.is_empty());
+        assert!(rec.damaged.is_some());
+        assert!(
+            wal.position().segment > max,
+            "fresh segment must not reuse a retired number"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,182 @@
+//! Crash-injection property suite: damage the log at an arbitrary byte —
+//! truncation (a torn write) or a bit flip (disk rot) — then recover and
+//! assert the contract the serving layer builds on:
+//!
+//! * the recovered records are an **exact prefix** of the committed
+//!   records after the last checkpoint (never a torn, reordered, or
+//!   fabricated record);
+//! * the checkpoint payload itself is untouched (it is written atomically
+//!   and CRC-guarded, and compaction means damaged segments can only hold
+//!   post-checkpoint records);
+//! * damage is **reported, not fatal** — recovery returns, and appends
+//!   resume strictly after the recovered prefix.
+//!
+//! Case counts respect the `PROPTEST_CASES` cap, so CI can bound the
+//! suite (see `.github/workflows/ci.yml`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use anno_wal::segment::{list_segments, segment_path};
+use anno_wal::{Wal, WalOptions};
+use proptest::prelude::*;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_dir() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("anno-wal-crash-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(segment_bytes: u64) -> WalOptions {
+    WalOptions {
+        segment_bytes,
+        sync: false,
+    }
+}
+
+/// Distinct, size-controlled payload for record `i`.
+fn payload(i: usize, size: usize) -> Vec<u8> {
+    (0..size.max(1))
+        .map(|j| (i.wrapping_mul(31).wrapping_add(j.wrapping_mul(7)) & 0xFF) as u8)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn damage_anywhere_recovers_an_exact_prefix(
+        record_sizes in proptest::collection::vec(0usize..160, 1..32),
+        segment_bytes in 64u64..512,
+        checkpoint_after in 0usize..32,
+        damage_seed in 0u64..u64::MAX,
+        flip in proptest::prelude::any::<bool>(),
+    ) {
+        let dir = case_dir();
+        let records: Vec<Vec<u8>> = record_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| payload(i, size))
+            .collect();
+        let ckpt_at = checkpoint_after.min(records.len());
+
+        // Commit: ckpt_at records, a checkpoint, then the rest.
+        {
+            let (mut wal, _) = Wal::open(&dir, opts(segment_bytes)).unwrap();
+            for p in &records[..ckpt_at] {
+                wal.append(p).unwrap();
+            }
+            wal.checkpoint(format!("state@{ckpt_at}").as_bytes()).unwrap();
+            for p in &records[ckpt_at..] {
+                wal.append(p).unwrap();
+            }
+        }
+        let committed: Vec<Vec<u8>> = records[ckpt_at..].to_vec();
+
+        // Damage one arbitrary byte of the segment files (the WAL proper;
+        // the checkpoint's own durability is covered by its atomic-rename
+        // protocol and CRC).
+        let seqs = list_segments(&dir).unwrap();
+        let sizes: Vec<u64> = seqs
+            .iter()
+            .map(|&s| std::fs::metadata(segment_path(&dir, s)).unwrap().len())
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        let mut at = damage_seed % total;
+        let mut victim = 0usize;
+        while at >= sizes[victim] {
+            at -= sizes[victim];
+            victim += 1;
+        }
+        let path = segment_path(&dir, seqs[victim]);
+        if flip {
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[at as usize] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+        } else {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_len(at)
+                .unwrap();
+        }
+
+        // Recover: prefix semantics, checkpoint intact, damage reported.
+        let (mut wal, rec) = Wal::open(&dir, opts(segment_bytes)).unwrap();
+        prop_assert_eq!(
+            rec.checkpoint.as_ref().map(|c| c.payload.clone()),
+            Some(format!("state@{ckpt_at}").into_bytes()),
+            "checkpoint payload must survive segment damage"
+        );
+        prop_assert!(
+            committed.starts_with(&rec.tail),
+            "recovered tail must be an exact prefix: {} committed, {} recovered",
+            committed.len(),
+            rec.tail.len()
+        );
+        // A bit flip always lands in live bytes (header, framing, or
+        // payload) and must be caught by a CRC, header, or chain check. A
+        // truncation is caught too — except at an exact record boundary of
+        // the *last* segment, which is indistinguishable from those drains
+        // never having committed (there is no successor to record the
+        // sealed length); the prefix property above still holds there.
+        if flip {
+            // The one flip CRC/header/chain checks cannot see is in the
+            // first scanned segment's predecessor-length field, which is
+            // unused at the chain start — provably harmless, so nothing
+            // may be missing.
+            if rec.damaged.is_none() {
+                prop_assert_eq!(
+                    rec.tail.clone(),
+                    committed.clone(),
+                    "an unreported flip must not have cost any record"
+                );
+            }
+        } else if rec.damaged.is_none() {
+            prop_assert_eq!(
+                victim,
+                seqs.len() - 1,
+                "an undetected truncation can only be a record-boundary cut \
+                 of the active segment"
+            );
+        }
+
+        // Not fatal: the log keeps working, and the resumed record lands
+        // after the recovered prefix on the next recovery.
+        wal.append(b"post-recovery").unwrap();
+        drop(wal);
+        let (_, rec2) = Wal::open(&dir, opts(segment_bytes)).unwrap();
+        let mut expect = rec.tail.clone();
+        expect.push(b"post-recovery".to_vec());
+        prop_assert_eq!(rec2.tail, expect);
+        prop_assert!(rec2.damaged.is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn undamaged_logs_always_recover_everything(
+        record_sizes in proptest::collection::vec(0usize..160, 0..32),
+        segment_bytes in 64u64..512,
+    ) {
+        let dir = case_dir();
+        let records: Vec<Vec<u8>> = record_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| payload(i, size))
+            .collect();
+        {
+            let (mut wal, _) = Wal::open(&dir, opts(segment_bytes)).unwrap();
+            for p in &records {
+                wal.append(p).unwrap();
+            }
+        }
+        let (_, rec) = Wal::open(&dir, opts(segment_bytes)).unwrap();
+        prop_assert_eq!(rec.tail, records);
+        prop_assert!(rec.damaged.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
