@@ -59,8 +59,18 @@ fn old_deep_clone(rel: &AnnotatedRelation) -> usize {
     tuples.len() + posting_bits
 }
 
+/// Relation sizes under test; `ANNO_BENCH_QUICK=1` (the CI bench smoke
+/// gate) drops the expensive million-tuple point.
+fn sizes() -> Vec<usize> {
+    if std::env::var_os("ANNO_BENCH_QUICK").is_some() {
+        vec![10_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    }
+}
+
 fn publish_paths(c: &mut Criterion) {
-    for &size in &[10_000usize, 100_000, 1_000_000] {
+    for size in sizes() {
         let (mut live, delta_anns) = build_relation(size);
         let mut group = c.benchmark_group(format!("publish/{size}"));
         group.sample_size(30);

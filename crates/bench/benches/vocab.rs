@@ -1,0 +1,174 @@
+//! Vocabulary interner benchmark: insert-heavy drains, monolithic vs
+//! persistent.
+//!
+//! The paper's annotation model assumes an open universe of names, so
+//! real ingest traffic keeps interning names the vocabulary has never
+//! seen. Before the persistent interner, `Vocabulary` was a flat
+//! `Vec<String>` + `HashMap<String, u32>` per namespace behind one `Arc`:
+//! with a published snapshot holding the second reference, the first
+//! intern of every drain deep-copied the whole table (every name twice —
+//! vector and map keys), O(#distinct names) per drain.
+//! `monolithic_drain` reproduces exactly that work. The chunked-arena +
+//! HAMT interner makes the same drain pay only the spine clone, one tail
+//! chunk, and the touched index paths — `persistent_drain`.
+//!
+//! The claim under test (ISSUE 4 acceptance): interning a fixed-size
+//! batch of fresh names with a snapshot outstanding costs
+//! delta-proportional work, not O(#distinct names) — ≥100× less copied
+//! vocabulary bytes (reported by the sharing meters after the timed
+//! runs) or ≥10× drain latency at 100k names. Numbers are recorded in
+//! `BENCH_vocab.json` at the workspace root.
+//!
+//! Set `ANNO_BENCH_QUICK=1` (the CI bench smoke gate does) to run the
+//! small size only.
+
+use std::collections::HashMap;
+
+use anno_store::{ItemKind, Vocabulary};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Fresh names interned per simulated drain.
+const DRAIN_FRESH: usize = 256;
+
+/// The pre-change interner, reproduced: one flat table per namespace,
+/// names stored twice (vector + map key), copied as a unit whenever a
+/// snapshot shares it.
+#[derive(Clone, Default)]
+struct MonolithicVocab {
+    names: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl MonolithicVocab {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&idx) = self.lookup.get(name) {
+            return idx;
+        }
+        let idx = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.lookup.insert(name.to_owned(), idx);
+        idx
+    }
+
+    fn get(&self, name: &str) -> Option<u32> {
+        self.lookup.get(name).copied()
+    }
+
+    /// Heap bytes a copy-on-write clone of this structure duplicates.
+    fn heap_bytes(&self) -> usize {
+        let name_bytes: usize = self.names.iter().map(String::len).sum();
+        // Names live twice (vector + map keys); headers for both, plus
+        // the map's value and bucket overhead (conservatively the entry
+        // payload only — real hash-map metadata makes the old path
+        // strictly worse).
+        2 * name_bytes
+            + 2 * self.names.len() * std::mem::size_of::<String>()
+            + self.names.len() * std::mem::size_of::<u32>()
+    }
+}
+
+fn sizes() -> Vec<usize> {
+    if std::env::var_os("ANNO_BENCH_QUICK").is_some() {
+        vec![10_000]
+    } else {
+        vec![10_000, 100_000]
+    }
+}
+
+fn base_name(i: usize) -> String {
+    format!("Annot_{i}")
+}
+
+fn fresh_name(j: usize) -> String {
+    format!("Fresh_{j}")
+}
+
+fn vocab_drains(c: &mut Criterion) {
+    for size in sizes() {
+        let mut base = Vocabulary::new();
+        let mut mono = MonolithicVocab::default();
+        for i in 0..size {
+            let name = base_name(i);
+            base.annotation(&name);
+            mono.intern(&name);
+        }
+        let fresh: Vec<String> = (0..DRAIN_FRESH).map(fresh_name).collect();
+        let known: Vec<String> = (0..DRAIN_FRESH).map(|j| base_name(j * 31 % size)).collect();
+
+        let mut group = c.benchmark_group(format!("vocab/{size}"));
+        group.sample_size(30);
+
+        // One insert-heavy drain with a published snapshot outstanding:
+        // the old world pays a full deep copy (the clone) before the
+        // first intern can proceed.
+        group.bench_function(BenchmarkId::new("monolithic_drain", DRAIN_FRESH), |b| {
+            b.iter(|| {
+                let mut live = mono.clone();
+                for name in &fresh {
+                    live.intern(name);
+                }
+                black_box(live.names.len())
+            })
+        });
+
+        // The persistent interner: spine clone + tail chunk + index
+        // paths — delta-scale regardless of #distinct names.
+        group.bench_function(BenchmarkId::new("persistent_drain", DRAIN_FRESH), |b| {
+            b.iter(|| {
+                let mut live = base.clone();
+                for name in &fresh {
+                    live.annotation(name);
+                }
+                black_box(live.count(ItemKind::Annotation))
+            })
+        });
+
+        // Snapshot capture alone (the publish path's share of the cost).
+        group.bench_function("monolithic_clone", |b| {
+            b.iter(|| black_box(mono.clone().names.len()))
+        });
+        group.bench_function("persistent_clone", |b| {
+            b.iter(|| black_box(base.clone().count(ItemKind::Annotation)))
+        });
+
+        // Read path: known-name resolution must not regress (the serving
+        // layer's AnnotateNamed fast path leans on it).
+        group.bench_function(BenchmarkId::new("monolithic_lookup", DRAIN_FRESH), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for name in &known {
+                    hits += usize::from(mono.get(name).is_some());
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_function(BenchmarkId::new("persistent_lookup", DRAIN_FRESH), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for name in &known {
+                    hits += usize::from(base.get(ItemKind::Annotation, name).is_some());
+                }
+                black_box(hits)
+            })
+        });
+        group.finish();
+
+        // Copied-bytes meter (not timed): what one insert-heavy drain
+        // actually duplicated, old world vs new.
+        let snap = base.clone();
+        let mut live = base.clone();
+        for name in &fresh {
+            live.annotation(name);
+        }
+        let copied_new = live.unshared_bytes_with(&snap);
+        let copied_old = mono.heap_bytes();
+        println!(
+            "meter: vocab/{size} copied bytes per {DRAIN_FRESH}-name drain: \
+             monolithic {copied_old}  persistent {copied_new}  ratio {:.0}x",
+            copied_old as f64 / copied_new.max(1) as f64
+        );
+    }
+}
+
+criterion_group!(benches, vocab_drains);
+criterion_main!(benches);

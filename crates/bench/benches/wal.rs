@@ -43,7 +43,7 @@ fn config() -> IncrementalConfig {
 /// tenth row carrying an annotation, so logs and snapshots have
 /// realistic shape.
 fn row(i: usize) -> String {
-    if i.is_multiple_of(10) {
+    if i % 10 == 0 {
         format!("{} {} Seed", i % 997, (i * 7 + 1) % 997)
     } else {
         format!("{} {}", i % 997, (i * 7 + 1) % 997)
@@ -82,7 +82,7 @@ fn append_latency(c: &mut Criterion) {
                 appended += 1;
                 // Compact periodically so an unbounded iteration count
                 // cannot grow the log without bound.
-                if appended.is_multiple_of(8192) {
+                if appended % 8192 == 0 {
                     wal.checkpoint(b"bench state").unwrap();
                 }
             })
@@ -180,7 +180,7 @@ fn recovery_throughput(c: &mut Criterion) {
         for round in 0..128u32 {
             let named: Vec<(TupleId, String)> =
                 targets.iter().map(|&t| (t, "Seed".to_string())).collect();
-            let op = if round.is_multiple_of(2) {
+            let op = if round % 2 == 0 {
                 UpdateOp::AnnotateNamed(named)
             } else {
                 UpdateOp::RemoveNamed(named)

@@ -1033,6 +1033,52 @@ mod tests {
     }
 
     #[test]
+    fn insert_heavy_drains_share_all_non_tail_vocab_chunks() {
+        use anno_store::{ItemKind, VOCAB_CHUNK_CAP};
+        // Seed enough distinct data values that the data namespace spans
+        // several full arena chunks before the drain under test.
+        let ds = Dataset::spawn("db", config()).unwrap();
+        let rows: Vec<String> = (0..(VOCAB_CHUNK_CAP * 2 + 40))
+            .map(|i| format!("{} {}", 10_000 + i, 90_000 + i))
+            .collect();
+        ds.enqueue(UpdateOp::InsertRows(rows)).unwrap();
+        let before = ds.mine().unwrap();
+        let pre_data_count = before.relation().vocab().count(ItemKind::Data);
+        let pre_chunks = before.relation().vocab_chunk_count();
+
+        // Insert-heavy drain: fresh data values AND fresh annotation
+        // names, the worst case for a monolithic interner.
+        ds.enqueue(UpdateOp::InsertRows(
+            (0..64)
+                .map(|i| format!("{} New_Ann_{i}", 500_000 + i))
+                .collect(),
+        ))
+        .unwrap();
+        ds.flush().unwrap();
+        let after = ds.snapshot().unwrap();
+        assert!(
+            !after.relation().shares_vocab_with(before.relation()),
+            "fresh names must unshare the outer vocabulary"
+        );
+        // Chunk-level sharing is exact: only the partial data tail chunk
+        // is copied (the annotation namespace had no full chunks; its
+        // pre-drain tail — Annot-free here — was empty or partial).
+        let shared = after.relation().vocab_shared_chunks_with(before.relation());
+        let data_tail_partial = usize::from(pre_data_count % VOCAB_CHUNK_CAP != 0);
+        assert_eq!(
+            shared,
+            pre_chunks - data_tail_partial,
+            "insert-heavy drain must keep all non-tail chunks shared \
+             (pre-drain {pre_chunks} chunks)"
+        );
+        assert!(
+            shared >= pre_data_count / VOCAB_CHUNK_CAP,
+            "every full data chunk stays shared"
+        );
+        assert!(ds.verify().unwrap());
+    }
+
+    #[test]
     fn mis_kinded_annotate_is_dropped_not_fatal() {
         // A data-kind Item in an annotation op would panic the store's
         // annotate path inside the writer; prefilter must screen it out so

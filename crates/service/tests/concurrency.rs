@@ -252,7 +252,7 @@ fn readers_pinned_across_hundred_drains_never_see_torn_state() {
                     // Pin a bounded sample of observations for the whole
                     // run (unbounded pinning would turn the final
                     // verification pass into the bottleneck).
-                    if polls.is_multiple_of(64) && pins.len() < 128 {
+                    if polls % 64 == 0 && pins.len() < 128 {
                         pins.push((
                             Arc::clone(&snap),
                             snap.epoch(),

@@ -15,8 +15,9 @@
 //! cover the homomorphism laws, and the tests here cover the database side.
 
 use crate::fxhash::FxHashMap;
-use crate::item::{Item, ItemKind, Vocabulary};
+use crate::item::{Item, ItemKind};
 use crate::relation::AnnotatedRelation;
+use crate::vocab::Vocabulary;
 use anno_semiring::Var;
 
 /// A generalization taxonomy: direct parent labels per annotation-like item.

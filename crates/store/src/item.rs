@@ -10,7 +10,6 @@
 //! data values before raw annotations before labels — exactly the layout the
 //! miner wants (LHS data prefix, annotation suffix).
 
-use crate::fxhash::FxHashMap;
 use anno_semiring::Var;
 
 /// The namespace an item belongs to.
@@ -109,83 +108,6 @@ impl Item {
     }
 }
 
-/// Bidirectional name ↔ [`Item`] interner, one table per namespace.
-#[derive(Debug, Clone, Default)]
-pub struct Vocabulary {
-    names: [Vec<String>; 3],
-    lookup: [FxHashMap<String, u32>; 3],
-}
-
-impl Vocabulary {
-    /// An empty vocabulary.
-    pub fn new() -> Self {
-        Vocabulary::default()
-    }
-
-    /// Intern `name` in `kind`'s namespace, returning the (new or existing)
-    /// item.
-    pub fn intern(&mut self, kind: ItemKind, name: &str) -> Item {
-        let ns = kind as usize;
-        if let Some(&idx) = self.lookup[ns].get(name) {
-            return Item::new(kind, idx);
-        }
-        let idx = u32::try_from(self.names[ns].len()).expect("vocabulary overflow");
-        self.names[ns].push(name.to_owned());
-        self.lookup[ns].insert(name.to_owned(), idx);
-        Item::new(kind, idx)
-    }
-
-    /// Intern a data value.
-    pub fn data(&mut self, name: &str) -> Item {
-        self.intern(ItemKind::Data, name)
-    }
-
-    /// Intern a raw annotation.
-    pub fn annotation(&mut self, name: &str) -> Item {
-        self.intern(ItemKind::Annotation, name)
-    }
-
-    /// Intern a concept label.
-    pub fn label(&mut self, name: &str) -> Item {
-        self.intern(ItemKind::Label, name)
-    }
-
-    /// Look up an existing item by name without interning.
-    pub fn get(&self, kind: ItemKind, name: &str) -> Option<Item> {
-        self.lookup[kind as usize]
-            .get(name)
-            .map(|&idx| Item::new(kind, idx))
-    }
-
-    /// The name of an item. Panics on an item from a different vocabulary
-    /// with an out-of-range index.
-    pub fn name(&self, item: Item) -> &str {
-        &self.names[item.kind() as usize][item.index() as usize]
-    }
-
-    /// Number of interned names in a namespace.
-    pub fn count(&self, kind: ItemKind) -> usize {
-        self.names[kind as usize].len()
-    }
-
-    /// Iterate all items of a namespace in interning order.
-    pub fn items(&self, kind: ItemKind) -> impl Iterator<Item = Item> + '_ {
-        (0..self.count(kind) as u32).map(move |i| Item::new(kind, i))
-    }
-
-    /// Render a slice of items as a human-readable list.
-    pub fn render(&self, items: &[Item]) -> String {
-        let mut out = String::new();
-        for (i, &item) in items.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(self.name(item));
-        }
-        out
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,52 +142,5 @@ mod tests {
         let a = Item::annotation(77);
         assert_eq!(Item::from_raw(a.raw()), a);
         assert_eq!(Item::from_var(a.as_var()), a);
-    }
-
-    #[test]
-    fn interning_is_idempotent() {
-        let mut v = Vocabulary::new();
-        let a1 = v.annotation("Annot_1");
-        let a2 = v.annotation("Annot_1");
-        assert_eq!(a1, a2);
-        assert_eq!(v.count(ItemKind::Annotation), 1);
-        assert_eq!(v.name(a1), "Annot_1");
-    }
-
-    #[test]
-    fn namespaces_are_disjoint() {
-        let mut v = Vocabulary::new();
-        let d = v.data("42");
-        let a = v.annotation("42");
-        assert_ne!(d, a);
-        assert_eq!(v.name(d), "42");
-        assert_eq!(v.name(a), "42");
-    }
-
-    #[test]
-    fn get_does_not_intern() {
-        let mut v = Vocabulary::new();
-        assert_eq!(v.get(ItemKind::Data, "x"), None);
-        let d = v.data("x");
-        assert_eq!(v.get(ItemKind::Data, "x"), Some(d));
-    }
-
-    #[test]
-    fn items_iterates_in_interning_order() {
-        let mut v = Vocabulary::new();
-        let a = v.annotation("a");
-        let b = v.annotation("b");
-        assert_eq!(
-            v.items(ItemKind::Annotation).collect::<Vec<_>>(),
-            vec![a, b]
-        );
-    }
-
-    #[test]
-    fn render_joins_names() {
-        let mut v = Vocabulary::new();
-        let x = v.data("28");
-        let a = v.annotation("Annot_1");
-        assert_eq!(v.render(&[x, a]), "28, Annot_1");
     }
 }

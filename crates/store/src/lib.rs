@@ -4,9 +4,13 @@
 //! (`anno-mine`). It implements everything the paper's system needs from
 //! its storage layer, plus the workload tooling the evaluation requires:
 //!
-//! * [`item`] — interned [`Item`](item::Item)s and the
-//!   [`Vocabulary`](item::Vocabulary): data values, raw annotations, and
-//!   generalization labels in one tagged 32-bit space;
+//! * [`item`] — interned [`Item`](item::Item)s: data values, raw
+//!   annotations, and generalization labels in one tagged 32-bit space;
+//! * [`vocab`] — the persistent, structurally shared
+//!   [`Vocabulary`](vocab::Vocabulary): an `Arc`-chunked append-only name
+//!   arena plus a hash-array-mapped index, so cloning the interner is
+//!   O(#chunks) and interning fresh names copies only the tail chunk and
+//!   the touched index path — never the whole table;
 //! * [`tuple`] / [`relation`] — annotated tuples (Definition 4.1) and the
 //!   [`AnnotatedRelation`](relation::AnnotatedRelation) with liveness
 //!   tracking and consistent mutation under the paper's three evolution
@@ -43,6 +47,7 @@ pub mod segment;
 pub mod snapshot;
 pub mod textio;
 pub mod tuple;
+pub mod vocab;
 
 pub use algebra::KRelation;
 pub use bitset::BitSet;
@@ -54,7 +59,7 @@ pub use generate::{
     random_unannotated_tuples, GeneratorConfig, PlantedRule, SyntheticDataset,
 };
 pub use index::AnnotationIndex;
-pub use item::{Item, ItemKind, Vocabulary};
+pub use item::{Item, ItemKind};
 pub use relation::{AnnotatedRelation, AnnotationDelta, AnnotationUpdate};
 pub use segment::{Segment, SegmentStore, SEGMENT_BITS, SEGMENT_CAP};
 pub use snapshot::{read_snapshot, snapshot_from_string, snapshot_to_string, write_snapshot};
@@ -64,3 +69,4 @@ pub use textio::{
     write_dataset, ParseError,
 };
 pub use tuple::{Tuple, TupleId};
+pub use vocab::{Vocabulary, VOCAB_CHUNK_BITS, VOCAB_CHUNK_CAP};

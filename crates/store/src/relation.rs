@@ -25,9 +25,10 @@
 //! database (see `anno-service`).
 
 use crate::index::AnnotationIndex;
-use crate::item::{Item, Vocabulary};
+use crate::item::Item;
 use crate::segment::{Segment, SegmentStore};
 use crate::tuple::{Tuple, TupleId};
+use crate::vocab::Vocabulary;
 use std::sync::Arc;
 
 /// One annotation addition: attach `annotation` to `tuple`.
@@ -108,9 +109,12 @@ impl AnnotatedRelation {
     }
 
     /// Mutable access to the vocabulary (for interning while loading).
-    /// Copy-on-write: if a snapshot clone shares the vocabulary, the first
-    /// mutation after the clone copies it (interning is the only mutation,
-    /// so an annotate-only drain over known names never pays this).
+    /// Copy-on-write at two granularities: if a snapshot clone shares the
+    /// vocabulary, the first call after the clone copies the *structure*
+    /// (O(#chunks) `Arc` bumps — the interner is itself persistent), and
+    /// interning a fresh name then copies at most the shared tail chunk
+    /// plus the touched index path. An annotate-only drain over known
+    /// names resolves read-only and never calls this at all.
     pub fn vocab_mut(&mut self) -> &mut Vocabulary {
         Arc::make_mut(&mut self.vocab)
     }
@@ -170,6 +174,23 @@ impl AnnotatedRelation {
     /// this true across drains.
     pub fn shares_vocab_with(&self, other: &AnnotatedRelation) -> bool {
         Arc::ptr_eq(&self.vocab, &other.vocab)
+    }
+
+    /// How many vocabulary arena chunks `self` physically shares (same
+    /// `Arc`) with `other` — the chunk-level refinement of
+    /// [`AnnotatedRelation::shares_vocab_with`]. Even after an
+    /// insert-heavy drain unshares the outer vocabulary, every full
+    /// (non-tail) chunk of the pre-drain snapshot stays shared; only the
+    /// partial tail chunks of the namespaces that interned fresh names
+    /// are copied.
+    pub fn vocab_shared_chunks_with(&self, other: &AnnotatedRelation) -> usize {
+        self.vocab.shared_chunks_with(&other.vocab)
+    }
+
+    /// Total vocabulary arena chunks across all namespaces (the
+    /// denominator for [`AnnotatedRelation::vocab_shared_chunks_with`]).
+    pub fn vocab_chunk_count(&self) -> usize {
+        self.vocab.total_chunks()
     }
 
     /// Insert one tuple, returning its id.

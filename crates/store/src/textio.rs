@@ -17,9 +17,10 @@
 
 use std::io::{self, BufRead, Write};
 
-use crate::item::{Item, ItemKind, Vocabulary};
+use crate::item::{Item, ItemKind};
 use crate::relation::{AnnotatedRelation, AnnotationUpdate};
 use crate::tuple::{Tuple, TupleId};
+use crate::vocab::Vocabulary;
 
 /// A parse failure, with the 1-based line number where it occurred.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -5,7 +5,8 @@
 use std::collections::BTreeSet;
 
 use anno_store::{
-    dataset_to_string, parse_dataset, AnnotatedRelation, BitSet, Item, SegmentStore, Tuple, TupleId,
+    dataset_to_string, parse_dataset, AnnotatedRelation, BitSet, Item, ItemKind, SegmentStore,
+    Tuple, TupleId, VOCAB_CHUNK_CAP,
 };
 use proptest::prelude::*;
 
@@ -203,6 +204,97 @@ proptest! {
         prop_assert_eq!(rel.len(), rel2.len());
         let text2 = dataset_to_string(&rel2);
         prop_assert_eq!(text, text2, "second round-trip must be a fixpoint");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vocabulary structural sharing: annotate-only drains never unshare the
+// interner; insert-heavy drains share every non-tail arena chunk.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn vocab_sharing_is_chunk_delta_proportional(
+        existing in 1usize..700,
+        fresh in 1usize..300,
+        annotate_rounds in 1usize..4,
+    ) {
+        // Pre-drain state: `existing` annotation names plus a handful of
+        // data values, enough to cross chunk boundaries either way.
+        let mut rel = AnnotatedRelation::new("vocab-prop");
+        let data: Vec<Item> = (0..40)
+            .map(|i| rel.vocab_mut().data(&i.to_string()))
+            .collect();
+        let anns: Vec<Item> = (0..existing)
+            .map(|i| rel.vocab_mut().annotation(&format!("Ann_{i}")))
+            .collect();
+        for i in 0..60u32 {
+            rel.insert(Tuple::new([data[(i as usize) % data.len()]], []));
+        }
+        let snap = rel.clone();
+        prop_assert!(rel.shares_vocab_with(&snap));
+        prop_assert_eq!(rel.vocab_shared_chunks_with(&snap), rel.vocab_chunk_count());
+
+        // Annotate-only drains: every name already interned, resolved
+        // read-only — the vocabulary must never unshare, chunk or whole.
+        for round in 0..annotate_rounds {
+            let batch: Vec<_> = (0..20u32)
+                .map(|i| anno_store::AnnotationUpdate {
+                    tuple: TupleId((i * 3 + round as u32) % 60),
+                    annotation: anns[(i as usize * 7 + round) % anns.len()],
+                })
+                .collect();
+            rel.apply_annotation_batch(batch);
+        }
+        prop_assert!(
+            rel.shares_vocab_with(&snap),
+            "annotate-only drains must not unshare the vocabulary"
+        );
+
+        // Insert-heavy drain: `fresh` names the interner has never seen.
+        let pre_ann_count = snap.vocab().count(ItemKind::Annotation);
+        let pre_ann_chunks = snap.vocab().chunk_count(ItemKind::Annotation);
+        let pre_data_chunks = snap.vocab().chunk_count(ItemKind::Data);
+        for i in 0..fresh {
+            rel.vocab_mut().annotation(&format!("Fresh_{i}"));
+        }
+        // The whole-structure meter goes false (new names exist) …
+        prop_assert!(!rel.shares_vocab_with(&snap));
+        // … but chunk-level sharing is exact: the data namespace (no new
+        // names) keeps everything, and the annotation namespace loses at
+        // most its partial tail chunk.
+        let tail_was_partial = pre_ann_count % VOCAB_CHUNK_CAP != 0;
+        let expected_ann_shared = pre_ann_chunks - usize::from(tail_was_partial);
+        prop_assert_eq!(
+            rel.vocab().shared_chunks_with_kind(ItemKind::Data, snap.vocab()),
+            pre_data_chunks,
+            "untouched namespace must stay fully shared"
+        );
+        prop_assert_eq!(
+            rel.vocab().shared_chunks_with_kind(ItemKind::Annotation, snap.vocab()),
+            expected_ann_shared,
+            "insert-heavy drain must share all non-tail chunks"
+        );
+        // Every pre-drain item still resolves identically in both views,
+        // and the snapshot never sees the fresh names.
+        for &a in anns.iter().step_by(13) {
+            prop_assert_eq!(rel.vocab().name(a), snap.vocab().name(a));
+        }
+        prop_assert!(snap.vocab().get(ItemKind::Annotation, "Fresh_0").is_none());
+        // Copied bytes are delta-scale: strictly less than half the full
+        // interner (the monolithic copy-on-write cost). Only meaningful
+        // once the arena spans full chunks — a single-partial-chunk
+        // vocabulary legitimately copies its whole (tiny) arena.
+        if existing >= 2 * VOCAB_CHUNK_CAP && fresh * 4 < existing {
+            let copied = rel.vocab().unshared_bytes_with(snap.vocab());
+            prop_assert!(
+                copied * 2 < rel.vocab().approx_heap_bytes(),
+                "copied {} of {} bytes",
+                copied,
+                rel.vocab().approx_heap_bytes()
+            );
+        }
     }
 }
 
