@@ -1,7 +1,7 @@
 //! Write-ahead-log benchmarks: what durability costs per drain, and what
 //! recovery costs per tuple.
 //!
-//! Three questions, alongside the publish numbers in `benches/publish.rs`
+//! Four questions, alongside the publish numbers in `benches/publish.rs`
 //! (recorded in `BENCH_wal.json` at the workspace root):
 //!
 //! * **Raw append latency** — one framed record + flush (and fsync, in
@@ -12,19 +12,34 @@
 //!   256-update annotate/remove drain through a mined 10k-tuple dataset
 //!   with and without the WAL in the writer path: the end-to-end price
 //!   of durability per drain, miner maintenance and publish included.
+//! * **Multi-tenant durable throughput** — 8 concurrent durable tenants
+//!   streaming paced effective drains, per-dataset fsync vs. one shared
+//!   [`GroupCommitter`]: the fsyncs-per-drain number that motivates
+//!   cross-dataset group commit (each mode also prints its measured
+//!   `fsyncs_per_drain`).
 //! * **Recovery throughput** — `Dataset::open` against a directory
 //!   holding 10k/100k/1M tuples, once as pure log-tail replay (every
 //!   insert drain re-parsed and re-applied) and once from a checkpoint
 //!   (snapshot restore, empty tail) — the number that justifies
 //!   checkpoint compaction.
+//!
+//! Set `ANNO_BENCH_QUICK=1` (the CI bench smoke gate does) to shrink
+//! sizes so every group still runs end to end in seconds.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use anno_mine::{IncrementalConfig, Thresholds};
-use anno_service::{Dataset, UpdateOp};
+use anno_service::{Dataset, DurabilityOptions, GroupCommitter, SyncPolicy, UpdateOp};
 use anno_store::TupleId;
 use anno_wal::{Wal, WalOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn quick() -> bool {
+    std::env::var_os("ANNO_BENCH_QUICK").is_some()
+}
 
 fn bench_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("anno-wal-bench-{tag}-{}", std::process::id()));
@@ -65,7 +80,10 @@ fn append_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("wal_append");
     // ≈ the encoded size of a 256-update annotate drain.
     let payload = vec![0xA5u8; 4096];
-    for (label, sync) in [("sync", true), ("nosync", false)] {
+    for (label, sync) in [
+        ("sync", SyncPolicy::PerAppend),
+        ("nosync", SyncPolicy::Never),
+    ] {
         let dir = bench_dir(&format!("append-{label}"));
         let (mut wal, _) = Wal::open(
             &dir,
@@ -94,7 +112,10 @@ fn append_latency(c: &mut Criterion) {
 }
 
 fn durable_drain_latency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wal_drain");
+    // The dataset size is in the group name: quick-mode runs measure a
+    // smaller workload and must not compare against full-size claims.
+    let n: usize = if quick() { 2_000 } else { 10_000 };
+    let mut group = c.benchmark_group(format!("wal_drain/{n}"));
     for durable in [false, true] {
         let label = if durable { "durable_sync" } else { "memory" };
         let dir = bench_dir("drain");
@@ -103,7 +124,7 @@ fn durable_drain_latency(c: &mut Criterion) {
         } else {
             Dataset::spawn("bench", config()).unwrap()
         };
-        load(&ds, 10_000);
+        load(&ds, n);
         ds.mine().unwrap();
         // 256 scattered tuples, none Seed-annotated; toggling one known
         // annotation keeps every drain effective without growing state
@@ -130,10 +151,120 @@ fn durable_drain_latency(c: &mut Criterion) {
     group.finish();
 }
 
+/// 8 concurrent durable tenants, each streaming paced effective
+/// single-annotation drains, then one flush barrier per tenant — once
+/// with per-dataset fsync (every drain pays its own), once through one
+/// shared `GroupCommitter` with a 4 ms sync window (drains pipeline
+/// behind the window and every dirty file is synced once per window).
+/// Alongside the criterion wall time per round, each mode prints its
+/// measured `fsyncs_per_drain` — the number `BENCH_wal.json` records.
+fn group_commit_throughput(c: &mut Criterion) {
+    let tenants: usize = if quick() { 4 } else { 8 };
+    let ops_per_round: u32 = if quick() { 8 } else { 16 };
+    let pace = Duration::from_micros(150);
+    // Workload shape in the group name, for the same quick-vs-claims
+    // honesty as above.
+    let mut group = c.benchmark_group(format!("wal_group_commit/{tenants}x{ops_per_round}"));
+    group.sample_size(10);
+    for mode in ["per_dataset", "grouped"] {
+        // Declared before the datasets so it outlives their WALs.
+        let committer = Arc::new(GroupCommitter::with_window(Duration::from_millis(4)));
+        let dirs: Vec<PathBuf> = (0..tenants)
+            .map(|i| bench_dir(&format!("group-{mode}-{i}")))
+            .collect();
+        let datasets: Vec<Dataset> = dirs
+            .iter()
+            .map(|dir| {
+                let sync = match mode {
+                    "grouped" => SyncPolicy::Grouped(Arc::clone(&committer)),
+                    _ => SyncPolicy::PerAppend,
+                };
+                let options = DurabilityOptions {
+                    wal: WalOptions {
+                        sync,
+                        ..WalOptions::default()
+                    },
+                    ..DurabilityOptions::default()
+                };
+                let ds = Dataset::open_with("bench", config(), dir, options).unwrap();
+                load(&ds, 2_000);
+                ds.mine().unwrap();
+                ds
+            })
+            .collect();
+        // Unannotated targets (load() seeds every 10th tuple), so an
+        // attach round is always effective and so is the remove after it.
+        let targets: Vec<TupleId> = (0..)
+            .map(|i| TupleId(i * 3 + 1))
+            .filter(|t| t.0 % 10 != 0)
+            .take(ops_per_round as usize)
+            .collect();
+        let round = AtomicU64::new(0);
+        let (drains0, syncs0) = tally(&datasets, &committer);
+        group.bench_function(BenchmarkId::new("round", mode), |b| {
+            b.iter(|| {
+                let attach = round.fetch_add(1, Ordering::Relaxed) % 2 == 0;
+                std::thread::scope(|s| {
+                    for ds in &datasets {
+                        let targets = &targets;
+                        s.spawn(move || {
+                            for &t in targets {
+                                let named = vec![(t, "Seed".to_string())];
+                                let op = if attach {
+                                    UpdateOp::AnnotateNamed(named)
+                                } else {
+                                    UpdateOp::RemoveNamed(named)
+                                };
+                                ds.enqueue(op).unwrap();
+                                // Pace the stream so the writer takes
+                                // several passes (= several log records)
+                                // per round instead of coalescing the
+                                // whole round into one batch.
+                                std::thread::sleep(pace);
+                            }
+                            ds.flush().unwrap();
+                        });
+                    }
+                });
+            })
+        });
+        let (drains1, syncs1) = tally(&datasets, &committer);
+        let (drains, syncs) = (drains1 - drains0, syncs1 - syncs0);
+        println!(
+            "wal_group_commit/fsyncs_per_drain/{mode}: {:.3} (fsyncs={syncs} drains={drains}, \
+             {tenants} tenants)",
+            syncs as f64 / drains.max(1) as f64
+        );
+        drop(datasets);
+        for dir in &dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+    group.finish();
+}
+
+/// Total logged drains and fsyncs across `datasets`: inline WAL syncs
+/// (per-append fsyncs + segment seals) plus the shared committer's.
+fn tally(datasets: &[Dataset], committer: &GroupCommitter) -> (u64, u64) {
+    let mut drains = 0u64;
+    let mut syncs = committer.stats().syncs;
+    for ds in datasets {
+        let ws = ds.wal_stats().unwrap();
+        drains += ws.appends;
+        syncs += ws.syncs;
+    }
+    (drains, syncs)
+}
+
 fn recovery_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("wal_recovery");
     group.sample_size(10);
-    for &n in &[10_000usize, 100_000, 1_000_000] {
+    let sizes: &[usize] = if quick() {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    for &n in sizes {
         let dir = bench_dir(&format!("recovery-{n}"));
         {
             let ds = Dataset::open("bench", config(), &dir).unwrap();
@@ -172,12 +303,13 @@ fn recovery_throughput(c: &mut Criterion) {
         ..Default::default()
     };
     let dir = bench_dir("recovery-mined");
+    let mined_drains: u32 = if quick() { 32 } else { 128 };
     {
         let ds = Dataset::open("bench", mined_config, &dir).unwrap();
-        load(&ds, 10_000);
+        load(&ds, if quick() { 2_000 } else { 10_000 });
         ds.mine().unwrap();
         let targets: Vec<TupleId> = (0..64u32).map(|i| TupleId(i * 39 + 1)).collect();
-        for round in 0..128u32 {
+        for round in 0..mined_drains {
             let named: Vec<(TupleId, String)> =
                 targets.iter().map(|&t| (t, "Seed".to_string())).collect();
             let op = if round % 2 == 0 {
@@ -189,7 +321,7 @@ fn recovery_throughput(c: &mut Criterion) {
             ds.flush().unwrap();
         }
     }
-    group.bench_function(BenchmarkId::new("replay_mined_128_drains", 10_000), |b| {
+    group.bench_function(BenchmarkId::new("replay_mined_drains", mined_drains), |b| {
         b.iter(|| {
             let ds = Dataset::open("bench", mined_config, &dir).unwrap();
             assert!(ds.is_mined());
@@ -200,13 +332,16 @@ fn recovery_throughput(c: &mut Criterion) {
         let ds = Dataset::open("bench", mined_config, &dir).unwrap();
         ds.checkpoint().unwrap();
     }
-    group.bench_function(BenchmarkId::new("checkpoint_restore_mined", 10_000), |b| {
-        b.iter(|| {
-            let ds = Dataset::open("bench", mined_config, &dir).unwrap();
-            assert!(ds.is_mined());
-            drop(ds);
-        })
-    });
+    group.bench_function(
+        BenchmarkId::new("checkpoint_restore_mined_drains", mined_drains),
+        |b| {
+            b.iter(|| {
+                let ds = Dataset::open("bench", mined_config, &dir).unwrap();
+                assert!(ds.is_mined());
+                drop(ds);
+            })
+        },
+    );
     let _ = std::fs::remove_dir_all(&dir);
     group.finish();
 }
@@ -215,6 +350,7 @@ criterion_group!(
     benches,
     append_latency,
     durable_drain_latency,
+    group_commit_throughput,
     recovery_throughput
 );
 criterion_main!(benches);

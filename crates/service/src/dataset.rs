@@ -30,23 +30,48 @@
 //!   rules are exactly what a from-scratch mine would produce
 //!   ([`Dataset::verify`] checks this on demand).
 
+use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use anno_mine::{IncrementalConfig, IncrementalMiner};
+use anno_store::fxhash::FxHashSet;
 use anno_store::{
     parse_tuple_line, snapshot_from_string, snapshot_to_string, AnnotatedRelation,
     AnnotationUpdate, ItemKind, Tuple, TupleId,
 };
-use anno_wal::{LogPosition, Wal, WalOptions, WalStats};
+use anno_wal::{
+    checkpoint as wal_checkpoint, CheckpointPolicy, GroupCommitStats, LogPosition, SyncTicket, Wal,
+    WalOptions, WalStats,
+};
 
 use crate::error::ServiceError;
 use crate::metrics::{timed, Metrics, MetricsReport};
 use crate::queue::{coalesce, QueueState, UpdateOp};
 use crate::snapshot::RuleSnapshot;
 use crate::walcodec::{self, WalRecord};
+
+/// How a durable dataset runs its write-ahead log: the log's own tuning
+/// (segment size, [sync policy](anno_wal::SyncPolicy) — pass
+/// `SyncPolicy::Grouped` to share one fsync window across tenants) plus
+/// the [`CheckpointPolicy`] under which the writer checkpoints by itself.
+/// The default is the PR-3 behavior: per-append fsync, no auto
+/// checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityOptions {
+    /// Write-ahead-log tuning, including the sync policy.
+    pub wal: WalOptions,
+    /// When the writer should checkpoint without being asked. Disabled
+    /// by default (all thresholds `None`).
+    pub auto_checkpoint: CheckpointPolicy,
+}
+
+/// The writer acks a grouped drain only when its sync ticket resolves;
+/// this caps how many unacked drains may pipeline behind one sync window
+/// before the writer stops to retire the oldest.
+const MAX_PIPELINED_ACKS: usize = 32;
 
 struct WriteState {
     relation: AnnotatedRelation,
@@ -70,12 +95,22 @@ struct Inner {
     tuples_hint: AtomicU64,
     metrics: Metrics,
     /// The write-ahead log, when the dataset was opened with a durability
-    /// directory. Lock order: write mutex before wal mutex, never the
-    /// reverse — every mutation path (writer drains, `mine`, `checkpoint`)
-    /// appends under the write mutex, so a recorded log position is
-    /// always consistent with the applied state it claims to cover.
-    /// (`wal_stats` takes the wal mutex alone, which respects the order.)
+    /// directory. Lock order: checkpoint lock before write mutex before
+    /// wal mutex, never the reverse — every mutation path (writer drains,
+    /// `mine`, `checkpoint`) appends under the write mutex, so a recorded
+    /// log position is always consistent with the applied state it claims
+    /// to cover. (`wal_stats` takes the wal mutex alone, which respects
+    /// the order.)
     durability: Option<Mutex<Wal>>,
+    /// Serializes checkpoints (manual vs. the writer's automatic ones):
+    /// two racing checkpoints could commit their payloads out of position
+    /// order and compact records the surviving checkpoint does not cover.
+    /// Held across capture → encode → commit; the write mutex is only
+    /// taken for the capture, so the O(|D|) encode stalls nobody.
+    ckpt_lock: Mutex<()>,
+    /// The policy under which the writer checkpoints by itself after a
+    /// drain. Disabled (never fires) for memory-only datasets.
+    auto_checkpoint: CheckpointPolicy,
 }
 
 /// A served dataset handle. Cheap to clone via `Arc` (the [`Service`]
@@ -97,7 +132,7 @@ impl Dataset {
             relation: AnnotatedRelation::new(name),
             miner: None,
         };
-        Dataset::boot(name, config, state, None)
+        Dataset::boot(name, config, state, None, 0, CheckpointPolicy::default())
     }
 
     /// Open a **durable** dataset rooted at directory `dir`: restore the
@@ -116,15 +151,43 @@ impl Dataset {
         config: IncrementalConfig,
         dir: &Path,
     ) -> Result<Dataset, ServiceError> {
-        let (wal, recovery) = Wal::open(dir, WalOptions::default())
-            .map_err(|e| ServiceError::Durability(e.to_string()))?;
+        Dataset::open_with(name, config, dir, DurabilityOptions::default())
+    }
+
+    /// [`Dataset::open`] with explicit [`DurabilityOptions`]: WAL tuning
+    /// (segment size, per-append vs. grouped sync) and the automatic
+    /// checkpoint policy the writer enforces after each drain.
+    pub fn open_with(
+        name: &str,
+        config: IncrementalConfig,
+        dir: &Path,
+        options: DurabilityOptions,
+    ) -> Result<Dataset, ServiceError> {
+        let (wal, recovery) =
+            Wal::open(dir, options.wal).map_err(|e| ServiceError::Durability(e.to_string()))?;
         let dur = |stage: &str, msg: String| {
             ServiceError::Durability(format!("dataset {name:?} {stage}: {msg}"))
         };
+        // Publish epochs must never regress across a restart. Seed the
+        // publish counter past anything the dead process can have handed
+        // out: the checkpoint stores the counter at capture time, and
+        // every logged record after it published at most one snapshot.
+        // Under grouped sync a pipelined drain can be published *before*
+        // its record is durable, so a power loss (page cache gone, unlike
+        // the process-kill case where the OS still has the bytes) may
+        // recover fewer records than were published — the writer caps
+        // that overhang at its ack pipeline depth plus the one drain in
+        // flight, so that slack is added unconditionally. (The relation's
+        // mutation epoch is a floor for checkpoints from before the
+        // counter was persisted: publishes happen only at epoch-advancing
+        // drain boundaries, so the count never exceeds the epoch by more
+        // than the replayed mine records — which the tail term covers.)
+        let mut publish_seed = recovery.tail.len() as u64 + MAX_PIPELINED_ACKS as u64 + 1;
         let mut state = match recovery.checkpoint {
             Some(ck) => {
-                let (snap_text, miner_text) = walcodec::decode_checkpoint(&ck.payload)
+                let (snap_text, miner_text, ckpt_seq) = walcodec::decode_checkpoint(&ck.payload)
                     .map_err(|m| dur("checkpoint payload", m))?;
+                publish_seed += ckpt_seq.unwrap_or(0);
                 let relation =
                     snapshot_from_string(&snap_text).map_err(|m| dur("checkpoint snapshot", m))?;
                 let miner = miner_text
@@ -189,7 +252,17 @@ impl Dataset {
         // maintained table is only exact under the thresholds it was
         // built with.
         let config = state.miner.as_ref().map_or(config, |m| m.config());
-        Dataset::boot(name, config, state, Some(wal))
+        // Pre-publish-sequence checkpoints: the relation epoch dominates
+        // the dead process's publish count (see above), so take the max.
+        let publish_seed = publish_seed.max(state.relation.epoch());
+        Dataset::boot(
+            name,
+            config,
+            state,
+            Some(wal),
+            publish_seed,
+            options.auto_checkpoint,
+        )
     }
 
     /// Shared constructor: publish recovered state (if mined) and start
@@ -199,6 +272,8 @@ impl Dataset {
         config: IncrementalConfig,
         state: WriteState,
         wal: Option<Wal>,
+        publish_seed: u64,
+        auto_checkpoint: CheckpointPolicy,
     ) -> Result<Dataset, ServiceError> {
         let tuples = state.relation.len() as u64;
         let inner = Arc::new(Inner {
@@ -208,11 +283,13 @@ impl Dataset {
             published: RwLock::new(None),
             queue: Mutex::new(QueueState::default()),
             queue_cv: Condvar::new(),
-            publish_seq: AtomicU64::new(0),
+            publish_seq: AtomicU64::new(publish_seed),
             published_relation_epoch: AtomicU64::new(0),
             tuples_hint: AtomicU64::new(tuples),
             metrics: Metrics::new(),
             durability: wal.map(Mutex::new),
+            ckpt_lock: Mutex::new(()),
+            auto_checkpoint,
         });
         {
             // Recovered mined state is served immediately — the relation
@@ -305,15 +382,32 @@ impl Dataset {
     /// On a durable dataset the mine event is logged first, so recovery
     /// re-derives the rule set at the same point in the op stream even
     /// before any checkpoint exists.
+    ///
+    /// An unloggable mine **disables the dataset** — the same fencing the
+    /// writer applies to an unloggable drain. Serving a freshly mined
+    /// snapshot the log never heard of would let served state diverge
+    /// from what a restart recovers; one failure policy covers both
+    /// mutation paths.
     pub fn mine(&self) -> Result<Arc<RuleSnapshot>, ServiceError> {
         self.flush()?;
+        // A fenced dataset (unloggable drain, mine, or sync — the writer
+        // died abnormally) refuses further mines outright instead of
+        // re-attempting the log.
+        if self.inner.queue.lock().expect("queue lock").writer_dead {
+            return Err(ServiceError::ShutDown(self.inner.name.clone()));
+        }
         let mut w = self.write_lock()?;
         if let Some(wal) = &self.inner.durability {
             let payload = walcodec::encode_mine(&self.inner.config);
-            wal.lock()
-                .expect("wal lock")
-                .append(&payload)
-                .map_err(|e| ServiceError::Durability(e.to_string()))?;
+            let logged = wal.lock().expect("wal lock").append(&payload);
+            if let Err(e) = logged {
+                drop(w);
+                disable(
+                    &self.inner,
+                    &format!("cannot log a mine event ({e}); dataset disabled"),
+                );
+                return Err(ServiceError::Durability(e.to_string()));
+            }
         }
         let miner = IncrementalMiner::mine_initial(&w.relation, self.inner.config);
         w.miner = Some(miner);
@@ -370,6 +464,36 @@ impl Dataset {
             .map(|wal| wal.lock().expect("wal lock").stats())
     }
 
+    /// The automatic checkpoint policy this dataset runs under (disabled
+    /// for memory-only datasets and durable opens without one).
+    pub fn auto_checkpoint_policy(&self) -> CheckpointPolicy {
+        self.inner.auto_checkpoint
+    }
+
+    /// Short label of the WAL's sync policy (`per_append`, `none`,
+    /// `grouped`), if the dataset is durable.
+    pub fn sync_policy_label(&self) -> Option<&'static str> {
+        self.inner
+            .durability
+            .as_ref()
+            .map(|wal| wal.lock().expect("wal lock").options().sync.label())
+    }
+
+    /// Counters of the shared group committer, when this dataset's log
+    /// syncs through one. Process-wide numbers: every tenant sharing the
+    /// committer contributes to them — that sharing is the point.
+    pub fn group_commit_stats(&self) -> Option<GroupCommitStats> {
+        let wal = self.inner.durability.as_ref()?;
+        let stats = wal
+            .lock()
+            .expect("wal lock")
+            .options()
+            .sync
+            .committer()
+            .map(|c| c.stats());
+        stats
+    }
+
     /// Take a durability checkpoint: drain the queue, persist the
     /// relation snapshot and miner checkpoint at the current log
     /// position, and truncate the sealed log segments behind it. Returns
@@ -379,28 +503,23 @@ impl Dataset {
     /// drains logged after it — recovery time (and disk footprint) is
     /// once again proportional to the post-checkpoint delta, not the
     /// dataset's full history.
+    ///
+    /// The write mutex is held only to *capture* the state (a persistent
+    /// relation clone plus a miner clone — pointer-and-rule-table cost,
+    /// never O(|D|)) and pin the log position; the O(|D|) encode and the
+    /// payload write happen outside it, so a checkpoint of a large
+    /// dataset stalls neither the writer nor other clients. (This is
+    /// what makes the automatic policy safe to fire on the write path.)
     pub fn checkpoint(&self) -> Result<(LogPosition, usize), ServiceError> {
-        let Some(wal) = &self.inner.durability else {
+        if self.inner.durability.is_none() {
             return Err(ServiceError::Durability(format!(
                 "dataset {:?} has no durability directory; reopen it with one",
                 self.inner.name
             )));
-        };
+        }
         self.flush()?;
-        // Write mutex held across reading the state *and* recording the
-        // log position: the writer appends under the same mutex, so the
-        // position cannot drift past state captured here.
-        let w = self.write_lock()?;
-        let snap_text = snapshot_to_string(&w.relation);
-        let miner_text = w.miner.as_ref().map(|m| m.checkpoint_to_string());
-        let payload = walcodec::encode_checkpoint(&snap_text, miner_text.as_deref());
-        let pos = wal
-            .lock()
-            .expect("wal lock")
-            .checkpoint(&payload)
-            .map_err(|e| ServiceError::Durability(e.to_string()))?;
-        self.inner.metrics.record_checkpoint();
-        Ok((pos, payload.len()))
+        let guard = self.inner.ckpt_lock.lock().expect("checkpoint lock");
+        run_checkpoint(&self.inner, &guard)
     }
 
     /// Point-in-time operation counters.
@@ -479,32 +598,133 @@ fn publish(inner: &Inner, w: &WriteState) -> Option<Arc<RuleSnapshot>> {
     Some(snap)
 }
 
-fn writer_loop(inner: &Inner) {
-    loop {
-        let (ops, drained_to) = {
-            let mut q = inner.queue.lock().expect("queue lock");
-            while q.pending.is_empty() && !q.shutdown {
-                q = inner.queue_cv.wait(q).expect("queue lock");
+/// Mark the ops up to `drained_to` as applied-and-durable, releasing
+/// their `flush` barriers.
+fn ack(inner: &Inner, drained_to: u64) {
+    let mut q = inner.queue.lock().expect("queue lock");
+    q.applied = q.applied.max(drained_to);
+    inner.queue_cv.notify_all();
+}
+
+/// Fence the dataset: reject new work, fail waiting clients fast. The
+/// single failure policy for every unloggable mutation (drain, mine, or
+/// a grouped sync that never became durable) and for writer panics.
+fn disable(inner: &Inner, why: &str) {
+    eprintln!("annod: writer for dataset {:?}: {why}", inner.name);
+    let mut q = inner.queue.lock().expect("queue lock");
+    q.shutdown = true;
+    q.writer_dead = true;
+    inner.queue_cv.notify_all();
+}
+
+/// Block on the oldest outstanding group-commit ticket and release its
+/// flush barrier. Tickets resolve in append order, so waiting on the
+/// front covers everything behind it.
+fn retire_oldest(inner: &Inner, inflight: &mut VecDeque<(u64, SyncTicket)>) -> Result<(), String> {
+    let Some((drained_to, ticket)) = inflight.pop_front() else {
+        return Ok(());
+    };
+    ticket
+        .wait()
+        .map_err(|e| format!("grouped sync failed ({e})"))?;
+    ack(inner, drained_to);
+    Ok(())
+}
+
+/// Retire every ticket whose sync window already closed, oldest first,
+/// without blocking — the writer calls this between drains so pipelined
+/// acks flow out while fresh work keeps flowing in.
+fn retire_ready(inner: &Inner, inflight: &mut VecDeque<(u64, SyncTicket)>) -> Result<(), String> {
+    while let Some((drained_to, ticket)) = inflight.front() {
+        match ticket.try_ready() {
+            None => break,
+            Some(Ok(())) => {
+                let drained_to = *drained_to;
+                inflight.pop_front();
+                ack(inner, drained_to);
             }
-            if q.pending.is_empty() {
-                debug_assert!(q.shutdown);
+            Some(Err(e)) => return Err(format!("grouped sync failed ({e})")),
+        }
+    }
+    Ok(())
+}
+
+/// How long the writer parks between ticket polls when it has unacked
+/// grouped drains but no fresh work. Bounds the extra flush latency a
+/// quiet moment adds on top of the committer's sync window.
+const ACK_POLL: std::time::Duration = std::time::Duration::from_micros(200);
+
+fn writer_loop(inner: &Inner) {
+    // Drains whose effects are applied and published but whose group-
+    // commit sync window has not yet closed, oldest first. Empty unless
+    // the WAL runs `SyncPolicy::Grouped`.
+    let mut inflight: VecDeque<(u64, SyncTicket)> = VecDeque::new();
+    loop {
+        let taken = loop {
+            // Never park on an open sync window while work could arrive:
+            // drain the acks that are already resolved, take fresh work
+            // if there is any, and otherwise nap briefly and re-poll.
+            if let Err(msg) = retire_ready(inner, &mut inflight) {
+                disable(inner, &format!("{msg}; dataset disabled"));
                 return;
             }
-            q.pending_updates = 0;
-            q.drains += 1;
-            // Wake enqueuers blocked on backpressure now that the queue is
-            // empty again; they need not wait for the apply below.
-            inner.queue_cv.notify_all();
-            (std::mem::take(&mut q.pending), q.enqueued)
+            let shutdown_draining = {
+                let mut q = inner.queue.lock().expect("queue lock");
+                if !q.pending.is_empty() {
+                    q.pending_updates = 0;
+                    q.drains += 1;
+                    // Wake enqueuers blocked on backpressure now that the
+                    // queue is empty again; they need not wait for the
+                    // apply below.
+                    inner.queue_cv.notify_all();
+                    break Some((std::mem::take(&mut q.pending), q.enqueued));
+                }
+                if q.shutdown {
+                    if inflight.is_empty() {
+                        break None;
+                    }
+                    true
+                } else if inflight.is_empty() {
+                    let _unused = inner.queue_cv.wait(q).expect("queue lock");
+                    false
+                } else {
+                    let _unused = inner
+                        .queue_cv
+                        .wait_timeout(q, ACK_POLL)
+                        .expect("queue lock");
+                    false
+                }
+            };
+            if shutdown_draining {
+                // Last acks at shutdown: nothing else can arrive, so a
+                // blocking wait (at most one sync window) is the fastest
+                // way out.
+                if let Err(msg) = retire_oldest(inner, &mut inflight) {
+                    disable(inner, &format!("{msg}; dataset disabled"));
+                    return;
+                }
+            }
         };
-        let (batches, folded) = coalesce(ops);
+        let Some((ops, drained_to)) = taken else {
+            return;
+        };
+        let (mut batches, folded) = coalesce(ops);
+        // Canonicalize before the log sees the drain: segment-locality
+        // sort plus within-batch dedupe. Coalescing can merge two
+        // clients' updates to the same (tuple, annotation) into one
+        // batch; only the first can have an effect, and logging the echo
+        // would waste log bytes and replay work on every recovery.
+        for batch in &mut batches {
+            canonicalize_batch(batch);
+        }
         // Defense in depth: prefilter screens out every known panic source
         // (mis-kinded items, dead targets), but an unforeseen panic in
         // maintenance code must disable the dataset loudly — clients get
         // `ShutDown` — rather than silently wedge enqueue/flush forever.
         let pass = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            timed(|| -> Result<u64, String> {
+            timed(|| -> Result<(u64, Option<SyncTicket>), String> {
                 let mut applied = 0u64;
+                let mut ticket = None;
                 let mut w = inner.write.lock().expect("write lock");
                 // If no batch can change the current relation, the whole
                 // drain is a no-op — each batch leaves the state unchanged,
@@ -515,15 +735,21 @@ fn writer_loop(inner: &Inner) {
                 let effective = batches.iter().any(|b| op_has_effect(&w.relation, b));
                 if effective {
                     if let Some(wal) = &inner.durability {
-                        // Log before apply: the coalesced drain is durable
-                        // before any of its effects can be published, so a
-                        // crash between the two replays the drain instead
-                        // of losing acknowledged-and-served state.
+                        // Log before apply: the coalesced drain is written
+                        // (and, under per-append sync, durable) before any
+                        // of its effects can be published, so a crash
+                        // between the two replays the drain instead of
+                        // losing acknowledged-and-served state. Under
+                        // grouped sync the returned ticket gates the
+                        // client-visible ack instead: flush barriers
+                        // release only once the sync window closes.
                         let payload = walcodec::encode_drain(&batches);
-                        wal.lock()
+                        ticket = wal
+                            .lock()
                             .expect("wal lock")
-                            .append(&payload)
-                            .map_err(|e| e.to_string())?;
+                            .append_async(&payload)
+                            .map_err(|e| e.to_string())?
+                            .1;
                     }
                     for batch in batches {
                         if apply_op(&mut w, batch) {
@@ -546,43 +772,121 @@ fn writer_loop(inner: &Inner) {
                 if stale {
                     publish(inner, &w);
                 }
-                Ok(applied)
+                Ok((applied, ticket))
             })
         }));
         match pass {
-            Ok((Ok(batch_count), nanos)) => {
+            Ok((Ok((batch_count, ticket)), nanos)) => {
                 inner.metrics.record_write_pass(batch_count, folded, nanos);
-                let mut q = inner.queue.lock().expect("queue lock");
-                q.applied = q.applied.max(drained_to);
-                inner.queue_cv.notify_all();
+                // Policy check *before* the ack: a flush that observes
+                // this drain also observes any checkpoint it triggered,
+                // which keeps recovery-size guarantees deterministic for
+                // clients that pace themselves with flush barriers.
+                maybe_auto_checkpoint(inner);
+                match ticket {
+                    Some(ticket) => {
+                        inflight.push_back((drained_to, ticket));
+                        if inflight.len() > MAX_PIPELINED_ACKS {
+                            if let Err(msg) = retire_oldest(inner, &mut inflight) {
+                                disable(inner, &format!("{msg}; dataset disabled"));
+                                return;
+                            }
+                        }
+                    }
+                    None => ack(inner, drained_to),
+                }
             }
             Ok((Err(msg), _)) => {
                 // A drain that cannot be made durable must not be applied:
                 // disabling the dataset is the only honest move, or the
                 // served state would silently diverge from the log.
-                eprintln!(
-                    "annod: writer for dataset {:?} cannot log its drain ({msg}); \
-                     dataset disabled",
-                    inner.name
+                disable(
+                    inner,
+                    &format!("cannot log a drain ({msg}); dataset disabled"),
                 );
-                let mut q = inner.queue.lock().expect("queue lock");
-                q.shutdown = true;
-                q.writer_dead = true;
-                inner.queue_cv.notify_all();
                 return;
             }
             Err(_) => {
-                eprintln!(
-                    "annod: writer for dataset {:?} panicked; dataset disabled",
-                    inner.name
-                );
-                let mut q = inner.queue.lock().expect("queue lock");
-                q.shutdown = true;
-                q.writer_dead = true;
-                inner.queue_cv.notify_all();
+                disable(inner, "apply panicked; dataset disabled");
                 return;
             }
         }
+    }
+}
+
+/// Run one checkpoint cycle under an already-held checkpoint lock:
+/// capture cheaply under the write mutex, encode and write with no lock
+/// held, then compact. See [`Dataset::checkpoint`] for the contract.
+fn run_checkpoint(
+    inner: &Inner,
+    _ckpt_guard: &std::sync::MutexGuard<'_, ()>,
+) -> Result<(LogPosition, usize), ServiceError> {
+    let wal = inner
+        .durability
+        .as_ref()
+        .expect("checkpoint callers verify durability");
+    let to_dur = |e: anno_wal::WalError| ServiceError::Durability(e.to_string());
+    // Capture under the write mutex: a persistent relation clone
+    // (O(#segments) pointer copies), a miner clone (O(rule table), far
+    // below O(|D|)), the publish counter, and the pinned log position.
+    // The writer appends under this same mutex, so the position cannot
+    // drift past the captured state.
+    let (relation, miner, publish_seq, dir, prepared) = {
+        let w = inner
+            .write
+            .lock()
+            .map_err(|_| ServiceError::ShutDown(inner.name.clone()))?;
+        let mut wal_guard = wal.lock().expect("wal lock");
+        let prepared = wal_guard.prepare_checkpoint().map_err(to_dur)?;
+        let dir = wal_guard.dir().to_path_buf();
+        drop(wal_guard);
+        (
+            w.relation.clone(),
+            w.miner.clone(),
+            inner.publish_seq.load(Ordering::SeqCst),
+            dir,
+            prepared,
+        )
+    };
+    // The O(|D|) part — encode and durably write the payload — runs with
+    // no dataset lock held: drains, mines, and readers all proceed.
+    let snap_text = snapshot_to_string(&relation);
+    let miner_text = miner.as_ref().map(|m| m.checkpoint_to_string());
+    let payload = walcodec::encode_checkpoint(&snap_text, miner_text.as_deref(), publish_seq);
+    wal_checkpoint::write_checkpoint(&dir, prepared.position(), &payload).map_err(to_dur)?;
+    // Brief wal lock to compact and reset the policy accounting.
+    wal.lock().expect("wal lock").finish_checkpoint(&prepared);
+    inner.metrics.record_checkpoint();
+    Ok((prepared.position(), payload.len()))
+}
+
+/// The automatic-checkpoint check the writer runs after each drain: fire
+/// when the policy says the log has accumulated past a threshold. A
+/// failed attempt is reported and retried after the next drain (the log
+/// keeps growing but stays correct); a manual checkpoint already holding
+/// the lock simply wins — it resets the same accounting.
+fn maybe_auto_checkpoint(inner: &Inner) {
+    if !inner.auto_checkpoint.is_enabled() {
+        return;
+    }
+    let Some(wal) = &inner.durability else {
+        return;
+    };
+    let due = inner
+        .auto_checkpoint
+        .due(&wal.lock().expect("wal lock").stats());
+    if !due {
+        return;
+    }
+    let Ok(guard) = inner.ckpt_lock.try_lock() else {
+        return;
+    };
+    match run_checkpoint(inner, &guard) {
+        Ok(_) => inner.metrics.record_auto_checkpoint(),
+        Err(e) => eprintln!(
+            "annod: dataset {:?}: auto-checkpoint failed ({e}); retrying after the next drain",
+            inner.name
+        ),
     }
 }
 
@@ -599,7 +903,7 @@ fn apply_op(state: &mut WriteState, op: UpdateOp) -> bool {
     let Some(mut op) = prefilter(&state.relation, op) else {
         return false;
     };
-    sort_for_segment_locality(&mut op);
+    canonicalize_batch(&mut op);
     let WriteState { relation, miner } = state;
     let rel = relation;
     match op {
@@ -675,6 +979,41 @@ fn sort_for_segment_locality(op: &mut UpdateOp) {
             named.sort_by_key(|(tid, _)| *tid);
         }
         UpdateOp::DeleteTuples(tids) => tids.sort_unstable(),
+        UpdateOp::InsertRows(_) | UpdateOp::InsertTuples(_) => {}
+    }
+}
+
+/// The canonical batch form every path agrees on — the live writer
+/// before logging, [`apply_op`] (and therefore WAL replay, including
+/// logs written before the dedupe existed): [`sort_for_segment_locality`]
+/// followed by [`dedupe_within_batch`]. Idempotent, so re-canonicalizing
+/// an already-canonical batch (replay of a post-dedupe log) is a no-op.
+fn canonicalize_batch(op: &mut UpdateOp) {
+    sort_for_segment_locality(op);
+    dedupe_within_batch(op);
+}
+
+/// Drop updates that repeat an earlier one in the same batch. The
+/// `effective`/`prefilter` screen checks each update against the
+/// pre-batch relation only, so when [`coalesce`] merges two clients'
+/// ops targeting the same `(tuple, annotation)` into one batch, both
+/// pass the screen — the echo must be dropped here or it is logged,
+/// replayed, and pushed through the maintenance path on every recovery.
+/// Keep-first is canonical: the locality sort is stable, so the first
+/// occurrence in client order survives. Insert batches are untouched —
+/// repeated rows are distinct tuples by definition.
+fn dedupe_within_batch(op: &mut UpdateOp) {
+    match op {
+        UpdateOp::Annotate(updates) | UpdateOp::RemoveAnnotations(updates) => {
+            let mut seen = FxHashSet::default();
+            updates.retain(|u| seen.insert((u.tuple, u.annotation)));
+        }
+        UpdateOp::AnnotateNamed(named) | UpdateOp::RemoveNamed(named) => {
+            let mut seen: FxHashSet<(TupleId, String)> = FxHashSet::default();
+            named.retain(|(tid, name)| seen.insert((*tid, name.clone())));
+        }
+        // Already sorted; duplicates are adjacent.
+        UpdateOp::DeleteTuples(tids) => tids.dedup(),
         UpdateOp::InsertRows(_) | UpdateOp::InsertTuples(_) => {}
     }
 }
@@ -1164,6 +1503,7 @@ mod tests {
     fn durable_dataset_round_trips_across_reopen() {
         let dir = test_dir("roundtrip");
         let epoch_before;
+        let snap_epoch_before;
         let text_before;
         {
             let ds = Dataset::open("db", config(), &dir).unwrap();
@@ -1183,6 +1523,7 @@ mod tests {
             assert!(stats.appends >= 2, "drains + mine are logged: {stats:?}");
             let snap = ds.snapshot().unwrap();
             epoch_before = snap.relation_epoch();
+            snap_epoch_before = snap.epoch();
             text_before = snapshot_to_string(snap.relation());
         }
         let ds = Dataset::open("db", config(), &dir).unwrap();
@@ -1190,14 +1531,97 @@ mod tests {
         let snap = ds.snapshot().unwrap();
         assert_eq!(snap.relation_epoch(), epoch_before, "epoch survives");
         assert_eq!(snapshot_to_string(snap.relation()), text_before);
+        // Snapshot (publish) epochs are monotone across the reopen: the
+        // recovered publish counter is seeded past anything the previous
+        // process handed out, so no client ever sees time run backwards.
+        assert!(
+            snap.epoch() > snap_epoch_before,
+            "snapshot epoch regressed across reopen: {} -> {}",
+            snap_epoch_before,
+            snap.epoch()
+        );
         assert!(ds.verify().unwrap());
-        // And the recovered dataset keeps serving writes durably.
+        // And the recovered dataset keeps serving writes durably, with
+        // epochs still advancing.
         ds.enqueue(UpdateOp::InsertRows(vec!["28 85 Annot_1".into()]))
             .unwrap();
         ds.flush().unwrap();
-        assert!(ds.snapshot().unwrap().relation_epoch() > epoch_before);
+        let after = ds.snapshot().unwrap();
+        assert!(after.relation_epoch() > epoch_before);
+        assert!(after.epoch() > snap.epoch());
         drop(ds);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coalesced_duplicate_pairs_from_two_clients_dedupe_to_one_update() {
+        // Two clients annotate the same (tuple, annotation) in one drain
+        // window: coalesce folds the ops into one batch in which both
+        // updates pass the pre-batch effectiveness screen. The canonical
+        // form must carry the pair once (keep-first), for every
+        // duplicate-prone op kind.
+        let two = |a: UpdateOp, b: UpdateOp| {
+            let (mut batches, folded) = coalesce(vec![a, b]);
+            assert_eq!(batches.len(), 1, "same-kind ops coalesce");
+            assert_eq!(folded, 1);
+            canonicalize_batch(&mut batches[0]);
+            batches.remove(0)
+        };
+        let named = |tid: u32| UpdateOp::AnnotateNamed(vec![(TupleId(tid), "A".into())]);
+        assert_eq!(two(named(3), named(3)).len(), 1);
+        let update = AnnotationUpdate {
+            tuple: TupleId(3),
+            annotation: anno_store::Item::annotation(1),
+        };
+        assert_eq!(
+            two(
+                UpdateOp::Annotate(vec![update]),
+                UpdateOp::Annotate(vec![update]),
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            two(
+                UpdateOp::RemoveNamed(vec![(TupleId(3), "A".into())]),
+                UpdateOp::RemoveNamed(vec![(TupleId(3), "A".into())]),
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            two(
+                UpdateOp::DeleteTuples(vec![TupleId(3)]),
+                UpdateOp::DeleteTuples(vec![TupleId(3)]),
+            )
+            .len(),
+            1
+        );
+        // Distinct updates survive; keep-first preserves client order
+        // within a tuple.
+        let mixed = two(
+            UpdateOp::AnnotateNamed(vec![(TupleId(3), "A".into()), (TupleId(2), "B".into())]),
+            UpdateOp::AnnotateNamed(vec![(TupleId(3), "B".into()), (TupleId(3), "A".into())]),
+        );
+        match mixed {
+            UpdateOp::AnnotateNamed(named) => {
+                assert_eq!(
+                    named,
+                    vec![
+                        (TupleId(2), "B".to_string()),
+                        (TupleId(3), "A".to_string()),
+                        (TupleId(3), "B".to_string()),
+                    ]
+                );
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Repeated rows are distinct inserts — never deduped.
+        let rows = two(
+            UpdateOp::InsertRows(vec!["1 2 X".into()]),
+            UpdateOp::InsertRows(vec!["1 2 X".into()]),
+        );
+        assert_eq!(rows.len(), 2);
     }
 
     #[test]

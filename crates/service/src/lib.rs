@@ -29,9 +29,14 @@
 //! * **durability** — a dataset opened with a directory
 //!   ([`Dataset::open`], protocol `open <ds> … dir <path>`) logs every
 //!   coalesced drain to an `anno-wal` write-ahead log *before* applying
-//!   it, takes checkpoint/compaction cycles on demand (`checkpoint`),
-//!   and recovers across process restarts by restoring the latest
-//!   checkpoint and replaying the log tail.
+//!   it, takes checkpoint/compaction cycles on demand (`checkpoint`) or
+//!   **by itself** under a [`CheckpointPolicy`] (protocol
+//!   `auto_checkpoint bytes=N records=N secs=N`), and recovers across
+//!   process restarts by restoring the latest checkpoint and replaying
+//!   the log tail. Concurrent durable tenants share one
+//!   [`GroupCommitter`]'s sync windows ([`SyncPolicy::Grouped`], the
+//!   [`Service::open_durable`](service::Service::open_durable) default),
+//!   paying amortized fsyncs instead of one each per drain.
 //!
 //! See the workspace `README.md` for the `annod` protocol reference and
 //! `examples/annod_session.rs` for an end-to-end walkthrough.
@@ -80,7 +85,8 @@ pub mod service;
 pub mod snapshot;
 mod walcodec;
 
-pub use dataset::Dataset;
+pub use anno_wal::{CheckpointPolicy, GroupCommitStats, GroupCommitter, SyncPolicy};
+pub use dataset::{Dataset, DurabilityOptions};
 pub use error::ServiceError;
 pub use metrics::MetricsReport;
 pub use protocol::{Engine, Reply};

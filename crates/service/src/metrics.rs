@@ -22,6 +22,7 @@ pub struct Metrics {
     write_nanos: AtomicU64,
     flushes: AtomicU64,
     checkpoints: AtomicU64,
+    auto_checkpoints: AtomicU64,
 }
 
 impl Metrics {
@@ -76,6 +77,12 @@ impl Metrics {
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one checkpoint the maintenance policy triggered by itself
+    /// (also counted by [`Metrics::record_checkpoint`]).
+    pub fn record_auto_checkpoint(&self) {
+        self.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
@@ -91,6 +98,7 @@ impl Metrics {
             write_nanos: self.write_nanos.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            auto_checkpoints: self.auto_checkpoints.load(Ordering::Relaxed),
         }
     }
 }
@@ -132,6 +140,9 @@ pub struct MetricsReport {
     pub flushes: u64,
     /// Durability checkpoints taken.
     pub checkpoints: u64,
+    /// Checkpoints triggered by the automatic policy (a subset of
+    /// `checkpoints`).
+    pub auto_checkpoints: u64,
 }
 
 impl MetricsReport {
@@ -147,7 +158,7 @@ impl MetricsReport {
             "rule_queries={} recommend_queries={} snapshot_reads={} \
              ops_enqueued={} updates_enqueued={} batches_applied={} \
              ops_coalesced={} snapshots_published={} flushes={} \
-             checkpoints={} read_nanos={} write_nanos={}",
+             checkpoints={} auto_checkpoints={} read_nanos={} write_nanos={}",
             self.rule_queries,
             self.recommend_queries,
             self.snapshot_reads,
@@ -158,6 +169,7 @@ impl MetricsReport {
             self.snapshots_published,
             self.flushes,
             self.checkpoints,
+            self.auto_checkpoints,
             self.read_nanos,
             self.write_nanos,
         )
@@ -179,6 +191,7 @@ mod tests {
         m.record_publish();
         m.record_flush();
         m.record_checkpoint();
+        m.record_auto_checkpoint();
         let r = m.report();
         assert_eq!(r.snapshot_reads, 1);
         assert_eq!(r.rule_queries, 1);
@@ -191,7 +204,9 @@ mod tests {
         assert_eq!(r.snapshots_published, 1);
         assert_eq!(r.flushes, 1);
         assert_eq!(r.checkpoints, 1);
+        assert_eq!(r.auto_checkpoints, 1);
         assert!(r.render().contains("updates_enqueued=5"));
         assert!(r.render().contains("checkpoints=1"));
+        assert!(r.render().contains("auto_checkpoints=1"));
     }
 }

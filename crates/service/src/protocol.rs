@@ -175,20 +175,23 @@ impl Engine {
     }
 
     fn open(&self, args: &[&str]) -> Result<Reply, ServiceError> {
-        let usage = "open <dataset> [<alpha> <beta> [<retention>]] [dir <path>]";
+        let usage = "open <dataset> [<alpha> <beta> [<retention>]] [dir <path>] \
+                     [auto_checkpoint <bytes=N|records=N|secs=N>...] [sync grouped|per_append]";
         let (name, rest) = args.split_first().ok_or_else(|| bad(usage))?;
-        // Split off a trailing `dir <path>` clause (the path is a single
-        // token, like every other protocol argument).
-        let (rest, dir): (&[&str], Option<&str>) =
-            match rest.iter().position(|t| t.eq_ignore_ascii_case("dir")) {
-                Some(pos) => match &rest[pos + 1..] {
-                    [path] => (&rest[..pos], Some(*path)),
-                    _ => return Err(bad("dir takes exactly one path, at the end")),
-                },
-                None => (rest, None),
-            };
+        let is_open_keyword = |t: &str| {
+            matches!(
+                t.to_ascii_lowercase().as_str(),
+                "dir" | "auto_checkpoint" | "sync"
+            )
+        };
+        // Positional thresholds first, then keyword clauses to the end.
+        let first_clause = rest
+            .iter()
+            .position(|t| is_open_keyword(t))
+            .unwrap_or(rest.len());
+        let (thresholds, mut clauses) = rest.split_at(first_clause);
         let mut config = ServiceConfig::default();
-        match rest {
+        match thresholds {
             [] => {}
             [alpha, beta, rest2 @ ..] => {
                 let alpha = parse_fraction(alpha, "alpha")?;
@@ -202,33 +205,110 @@ impl Engine {
             }
             _ => return Err(bad("open takes alpha and beta together")),
         }
-        match dir {
-            None => {
-                self.service.create(name, config)?;
-                Ok(Reply::ok(format!(
-                    "open {name} alpha={} beta={} retention={}",
-                    config.thresholds.min_support,
-                    config.thresholds.min_confidence,
-                    config.retention
-                )))
-            }
-            Some(path) => {
-                let ds = self
-                    .service
-                    .open_durable(name, config, std::path::Path::new(path))?;
-                // Recovered mined state keeps its checkpointed thresholds;
-                // report what the dataset actually runs with.
-                let cfg = ds.config();
-                Ok(Reply::ok(format!(
-                    "open {name} alpha={} beta={} retention={} dir={path} tuples={} mined={}",
-                    cfg.thresholds.min_support,
-                    cfg.thresholds.min_confidence,
-                    cfg.retention,
-                    ds.live_tuples(),
-                    ds.is_mined(),
-                )))
-            }
+
+        let mut dir: Option<&str> = None;
+        let mut policy = anno_wal::CheckpointPolicy::default();
+        let mut sync_mode: Option<String> = None;
+        while let Some((&clause, after)) = clauses.split_first() {
+            clauses = match clause.to_ascii_lowercase().as_str() {
+                "dir" => {
+                    let (&path, next) = after.split_first().ok_or_else(|| bad("dir <path>"))?;
+                    dir = Some(path);
+                    next
+                }
+                "auto_checkpoint" => {
+                    let mut cursor = after;
+                    let mut consumed = 0usize;
+                    while let Some((&tok, next)) = cursor.split_first() {
+                        if is_open_keyword(tok) {
+                            break;
+                        }
+                        let (key, value) = tok.split_once('=').ok_or_else(|| {
+                            bad(format!(
+                                "auto_checkpoint takes bytes=N, records=N, or secs=N; got {tok:?}"
+                            ))
+                        })?;
+                        let value: u64 = value.parse().map_err(|_| {
+                            bad(format!("auto_checkpoint {key} must be an integer: {tok:?}"))
+                        })?;
+                        match key.to_ascii_lowercase().as_str() {
+                            "bytes" => policy.log_bytes = Some(value),
+                            "records" => policy.replayed_records = Some(value),
+                            "secs" => {
+                                policy.interval = Some(std::time::Duration::from_secs(value));
+                            }
+                            other => {
+                                return Err(bad(format!(
+                                    "unknown auto_checkpoint threshold {other:?}"
+                                )))
+                            }
+                        }
+                        consumed += 1;
+                        cursor = next;
+                    }
+                    if consumed == 0 {
+                        return Err(bad("auto_checkpoint needs at least one threshold"));
+                    }
+                    cursor
+                }
+                "sync" => {
+                    let (&mode, next) = after
+                        .split_first()
+                        .ok_or_else(|| bad("sync grouped|per_append"))?;
+                    match mode.to_ascii_lowercase().as_str() {
+                        m @ ("grouped" | "per_append") => sync_mode = Some(m.to_string()),
+                        other => return Err(bad(format!("unknown sync mode {other:?}"))),
+                    }
+                    next
+                }
+                other => return Err(bad(format!("unknown open clause {other:?}; {usage}"))),
+            };
         }
+
+        let Some(path) = dir else {
+            if policy.is_enabled() || sync_mode.is_some() {
+                return Err(bad(
+                    "auto_checkpoint and sync apply to durable datasets; add `dir <path>`",
+                ));
+            }
+            self.service.create(name, config)?;
+            return Ok(Reply::ok(format!(
+                "open {name} alpha={} beta={} retention={}",
+                config.thresholds.min_support, config.thresholds.min_confidence, config.retention
+            )));
+        };
+
+        // Grouped sync through the registry's shared committer is the
+        // default for protocol opens; `sync per_append` opts back into
+        // one inline fsync per drain.
+        let sync = match sync_mode.as_deref() {
+            Some("per_append") => anno_wal::SyncPolicy::PerAppend,
+            _ => anno_wal::SyncPolicy::Grouped(self.service.group_committer()),
+        };
+        let options = crate::dataset::DurabilityOptions {
+            wal: anno_wal::WalOptions {
+                sync,
+                ..anno_wal::WalOptions::default()
+            },
+            auto_checkpoint: policy,
+        };
+        let ds =
+            self.service
+                .open_durable_with(name, config, std::path::Path::new(path), options)?;
+        // Recovered mined state keeps its checkpointed thresholds;
+        // report what the dataset actually runs with.
+        let cfg = ds.config();
+        Ok(Reply::ok(format!(
+            "open {name} alpha={} beta={} retention={} dir={path} tuples={} mined={} \
+             sync={} auto_checkpoint={}",
+            cfg.thresholds.min_support,
+            cfg.thresholds.min_confidence,
+            cfg.retention,
+            ds.live_tuples(),
+            ds.is_mined(),
+            ds.sync_policy_label().unwrap_or("per_append"),
+            render_policy(&policy),
+        )))
     }
 
     fn row(&self, args: &[&str]) -> Result<Reply, ServiceError> {
@@ -465,7 +545,8 @@ impl Engine {
         if let Some(ws) = ds.wal_stats() {
             payload.push(format!(
                 "wal_position={} wal_segments={} wal_appends={} wal_appended_bytes={} \
-                 wal_syncs={} wal_checkpoints={} wal_replayed={} wal_damaged_tails={}",
+                 wal_syncs={} wal_checkpoints={} wal_replayed={} wal_damaged_tails={} \
+                 wal_since_ckpt_records={} wal_since_ckpt_bytes={}",
                 ws.position,
                 ws.segments,
                 ws.appends,
@@ -474,9 +555,42 @@ impl Engine {
                 ws.checkpoints,
                 ws.replayed_records,
                 ws.damaged_tails,
+                ws.since_checkpoint_records,
+                ws.since_checkpoint_bytes,
             ));
+            payload.push(format!(
+                "wal_sync={} auto_checkpoint={}",
+                ds.sync_policy_label().unwrap_or("per_append"),
+                render_policy(&ds.auto_checkpoint_policy()),
+            ));
+            if let Some(gc) = ds.group_commit_stats() {
+                payload.push(format!(
+                    "grouped_submitted={} grouped_syncs={} grouped_windows={}",
+                    gc.submitted, gc.syncs, gc.windows,
+                ));
+            }
         }
         Ok(Reply::block(format!("stats {name}"), payload))
+    }
+}
+
+/// Render a checkpoint policy for reply/stats lines: `off`, or the set
+/// thresholds joined with `+` (e.g. `records=64+bytes=1048576`).
+fn render_policy(policy: &anno_wal::CheckpointPolicy) -> String {
+    let mut parts = Vec::new();
+    if let Some(b) = policy.log_bytes {
+        parts.push(format!("bytes={b}"));
+    }
+    if let Some(r) = policy.replayed_records {
+        parts.push(format!("records={r}"));
+    }
+    if let Some(i) = policy.interval {
+        parts.push(format!("secs={}", i.as_secs()));
+    }
+    if parts.is_empty() {
+        "off".to_string()
+    } else {
+        parts.join("+")
     }
 }
 
@@ -485,8 +599,12 @@ fn help() -> Reply {
         "ping | help | quit".into(),
         "datasets".into(),
         "open <ds> [<alpha> <beta> [<retention>]] [dir <path>]".into(),
+        "     [auto_checkpoint <bytes=N|records=N|secs=N>...] [sync grouped|per_append]".into(),
         "  (dir makes the dataset durable: drains are write-ahead logged and".into(),
-        "   existing state under <path> is recovered before serving)".into(),
+        "   existing state under <path> is recovered before serving;".into(),
+        "   auto_checkpoint makes the writer checkpoint itself once the log".into(),
+        "   grows past a threshold; sync grouped — the default — batches".into(),
+        "   fsyncs across all grouped datasets into shared commit windows)".into(),
         "drop <ds>".into(),
         "row <ds> <value|annotation>...        (queued write)".into(),
         "annotate <ds> <tid> <annotation>...   (queued write; names are single tokens)".into(),
@@ -800,6 +918,85 @@ mod tests {
             recs[0].contains("0 recommendations"),
             "post-crash state serves"
         );
+        ok(&e, "drop db");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_maintenance_clauses_parse_and_report() {
+        let dir =
+            std::env::temp_dir().join(format!("anno-protocol-maintenance-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_tok = dir.to_str().unwrap().to_string();
+        let e = engine();
+
+        // Maintenance clauses demand a durable dataset.
+        assert!(e.execute("open db auto_checkpoint records=4").lines[0].starts_with("ERR"));
+        assert!(e.execute("open db sync grouped").lines[0].starts_with("ERR"));
+        assert!(e
+            .execute(&format!("open db dir {dir_tok} auto_checkpoint"))
+            .lines[0]
+            .starts_with("ERR"));
+        assert!(e
+            .execute(&format!("open db dir {dir_tok} auto_checkpoint banana=1"))
+            .lines[0]
+            .starts_with("ERR"));
+        assert!(e
+            .execute(&format!("open db dir {dir_tok} sync sometimes"))
+            .lines[0]
+            .starts_with("ERR"));
+
+        let opened = ok(
+            &e,
+            &format!("open db 0.4 0.7 dir {dir_tok} auto_checkpoint records=3 bytes=1048576"),
+        );
+        assert!(
+            opened[0].contains("sync=grouped"),
+            "grouped sync is the durable default: {opened:?}"
+        );
+        assert!(
+            opened[0].contains("auto_checkpoint=bytes=1048576+records=3"),
+            "{opened:?}"
+        );
+        for row in ["28 85 Annot_1", "28 85 Annot_1", "28 85 Annot_1", "28 85"] {
+            ok(&e, &format!("row db {row}"));
+        }
+        ok(&e, "mine db");
+        ok(&e, "annotate db 3 Annot_1");
+        ok(&e, "flush db");
+        let stats = ok(&e, "stats db");
+        assert!(
+            stats
+                .iter()
+                .any(|l| l.contains("wal_sync=grouped") && l.contains("auto_checkpoint=")),
+            "{stats:?}"
+        );
+        assert!(
+            stats.iter().any(|l| l.contains("grouped_submitted=")),
+            "grouped datasets report committer counters: {stats:?}"
+        );
+        assert!(
+            stats.iter().any(|l| l.contains("wal_since_ckpt_records=")),
+            "{stats:?}"
+        );
+        // records=3: the appends crossed it at least once. How many times
+        // depends on how the un-flushed rows coalesced (1–4 drains), so
+        // pin only "fired at all".
+        assert!(
+            stats
+                .iter()
+                .any(|l| l.contains("auto_checkpoints=") && !l.contains("auto_checkpoints=0")),
+            "the policy fired without any checkpoint command: {stats:?}"
+        );
+
+        // Reopen with per-append sync: clauses parse, recovery holds.
+        ok(&e, "drop db");
+        let reopened = ok(&e, &format!("open db dir {dir_tok} sync per_append"));
+        assert!(reopened[0].contains("sync=per_append"), "{reopened:?}");
+        assert!(reopened[0].contains("mined=true"), "{reopened:?}");
+        assert!(reopened[0].contains("auto_checkpoint=off"), "{reopened:?}");
+        let verify = ok(&e, "verify db");
+        assert!(verify[0].contains("exact=true"), "{verify:?}");
         ok(&e, "drop db");
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,11 +1,12 @@
 //! The multi-tenant registry: named datasets, each with its own writer.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use anno_mine::{CountingStrategy, IncrementalConfig, Thresholds};
+use anno_wal::{GroupCommitter, SyncPolicy, WalOptions};
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, DurabilityOptions};
 use crate::error::ServiceError;
 
 /// Per-dataset mining configuration, with serving-friendly defaults.
@@ -64,6 +65,11 @@ pub struct Service {
     /// lock, so reads against other datasets never stall behind it.
     /// Lock order: `opening` before `datasets`, never the reverse.
     opening: Mutex<BTreeSet<String>>,
+    /// One group committer shared by every durable tenant this registry
+    /// opens (created on first use): K datasets committing concurrently
+    /// amortize their fsyncs into shared sync windows instead of paying
+    /// one fsync per drain each.
+    committer: OnceLock<Arc<GroupCommitter>>,
 }
 
 impl Service {
@@ -87,10 +93,29 @@ impl Service {
         Ok(ds)
     }
 
+    /// The registry's shared group committer (created on first call).
+    /// [`Service::open_durable`] threads it through every durable open;
+    /// embedders wiring up [`Dataset::open_with`] themselves can clone it
+    /// from here to join the same sync windows.
+    pub fn group_committer(&self) -> Arc<GroupCommitter> {
+        Arc::clone(
+            self.committer
+                .get_or_init(|| Arc::new(GroupCommitter::new())),
+        )
+    }
+
     /// Register a **durable** dataset rooted at `dir`, recovering any
     /// state already persisted there (checkpoint restore + write-ahead-log
     /// tail replay) before serving. `config` applies only if the
     /// directory holds no mined state — see [`Dataset::open`].
+    ///
+    /// The dataset's log syncs through the registry's shared
+    /// [group committer](Service::group_committer): its drains are acked
+    /// once their shared sync window closes, so concurrent durable
+    /// tenants pay amortized fsyncs instead of one each per drain.
+    /// Automatic checkpoints are off; use [`Service::open_durable_with`]
+    /// to set a [`anno_wal::CheckpointPolicy`] or opt back into
+    /// per-append sync.
     ///
     /// Recovery can take a while on a large directory, so it runs with
     /// only the *name* reserved — never the registry lock — and queries
@@ -103,6 +128,25 @@ impl Service {
         name: &str,
         config: ServiceConfig,
         dir: &std::path::Path,
+    ) -> Result<Arc<Dataset>, ServiceError> {
+        let options = DurabilityOptions {
+            wal: WalOptions {
+                sync: SyncPolicy::Grouped(self.group_committer()),
+                ..WalOptions::default()
+            },
+            ..DurabilityOptions::default()
+        };
+        self.open_durable_with(name, config, dir, options)
+    }
+
+    /// [`Service::open_durable`] with explicit [`DurabilityOptions`]
+    /// (sync policy, segment size, automatic checkpoint policy).
+    pub fn open_durable_with(
+        &self,
+        name: &str,
+        config: ServiceConfig,
+        dir: &std::path::Path,
+        options: DurabilityOptions,
     ) -> Result<Arc<Dataset>, ServiceError> {
         {
             let mut opening = self.opening.lock().expect("opening lock");
@@ -117,7 +161,7 @@ impl Service {
             }
             opening.insert(name.to_string());
         }
-        let opened = Dataset::open(name, config.into(), dir);
+        let opened = Dataset::open_with(name, config.into(), dir, options);
         // Release the reservation and (on success) publish, atomically
         // with respect to other create/open calls on this name.
         let mut opening = self.opening.lock().expect("opening lock");

@@ -119,9 +119,12 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<WalRecord, String> {
     Ok(record)
 }
 
-/// Serialize a checkpoint payload: the relation snapshot text and, once
-/// mined, the miner checkpoint text.
-pub(crate) fn encode_checkpoint(snapshot: &str, miner: Option<&str>) -> Vec<u8> {
+/// Serialize a checkpoint payload: the relation snapshot text, the miner
+/// checkpoint text once mined, and the dataset's publish sequence number
+/// at capture time — recovery seeds its own publish counter from it so a
+/// client comparing snapshot epochs never sees time run backwards across
+/// a restart.
+pub(crate) fn encode_checkpoint(snapshot: &str, miner: Option<&str>, publish_seq: u64) -> Vec<u8> {
     let mut out = Vec::new();
     put_str(&mut out, snapshot);
     match miner {
@@ -131,11 +134,17 @@ pub(crate) fn encode_checkpoint(snapshot: &str, miner: Option<&str>) -> Vec<u8> 
         }
         None => out.push(0),
     }
+    put_u64(&mut out, publish_seq);
     out
 }
 
-/// Deserialize a checkpoint payload back into its two text documents.
-pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<(String, Option<String>), String> {
+/// Deserialize a checkpoint payload back into its two text documents and
+/// the captured publish sequence. Payloads written before the sequence
+/// was added simply end after the miner field; they decode with
+/// `publish_seq: None` and the caller derives a safe seed instead.
+pub(crate) fn decode_checkpoint(
+    bytes: &[u8],
+) -> Result<(String, Option<String>, Option<u64>), String> {
     let mut cur = Cursor::new(bytes);
     let snapshot = cur.str()?;
     let miner = match cur.u8()? {
@@ -143,8 +152,13 @@ pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<(String, Option<String>)
         1 => Some(cur.str()?),
         other => return Err(format!("bad miner-presence flag {other}")),
     };
+    let publish_seq = if cur.exhausted() {
+        None
+    } else {
+        Some(cur.u64()?)
+    };
     cur.finish()?;
-    Ok((snapshot, miner))
+    Ok((snapshot, miner, publish_seq))
 }
 
 fn encode_op(out: &mut Vec<u8>, op: &UpdateOp) {
@@ -322,6 +336,10 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|e| format!("bad utf-8 in payload: {e}"))
     }
 
+    fn exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
     fn finish(self) -> Result<(), String> {
         if self.pos != self.bytes.len() {
             return Err(format!(
@@ -404,13 +422,34 @@ mod tests {
 
     #[test]
     fn checkpoint_payloads_roundtrip() {
-        let (snap, miner) =
-            decode_checkpoint(&encode_checkpoint("snapshot text", Some("miner text"))).unwrap();
+        let (snap, miner, seq) =
+            decode_checkpoint(&encode_checkpoint("snapshot text", Some("miner text"), 17)).unwrap();
         assert_eq!(snap, "snapshot text");
         assert_eq!(miner.as_deref(), Some("miner text"));
-        let (snap, miner) = decode_checkpoint(&encode_checkpoint("pre-mine", None)).unwrap();
+        assert_eq!(seq, Some(17));
+        let (snap, miner, seq) =
+            decode_checkpoint(&encode_checkpoint("pre-mine", None, 0)).unwrap();
         assert_eq!(snap, "pre-mine");
         assert_eq!(miner, None);
+        assert_eq!(seq, Some(0));
+    }
+
+    #[test]
+    fn pre_sequence_checkpoint_payloads_still_decode() {
+        // The PR-3 on-disk format ended right after the miner field; a
+        // durable directory written by it must keep opening.
+        let mut legacy = Vec::new();
+        put_str(&mut legacy, "old snapshot");
+        legacy.push(1);
+        put_str(&mut legacy, "old miner");
+        let (snap, miner, seq) = decode_checkpoint(&legacy).unwrap();
+        assert_eq!(snap, "old snapshot");
+        assert_eq!(miner.as_deref(), Some("old miner"));
+        assert_eq!(seq, None, "legacy payloads carry no publish sequence");
+        // A *truncated* sequence field is still an error, not a silent None.
+        let mut torn = encode_checkpoint("s", None, 7);
+        torn.truncate(torn.len() - 3);
+        assert!(decode_checkpoint(&torn).is_err());
     }
 
     #[test]

@@ -135,6 +135,7 @@ fn repeated_reopens_are_a_fixpoint_and_epochs_never_regress() {
         drain(&ds, annotate(&[(2, "X")]));
     }
     let mut last_epoch = 0;
+    let mut last_snap_epoch = 0;
     let mut last_text = String::new();
     for round in 0..3 {
         let ds = Dataset::open("db", config(), &dir).unwrap();
@@ -143,11 +144,18 @@ fn repeated_reopens_are_a_fixpoint_and_epochs_never_regress() {
             snap.relation_epoch() >= last_epoch,
             "epoch regressed on reopen {round}"
         );
+        assert!(
+            snap.epoch() >= last_snap_epoch,
+            "snapshot (publish) epoch regressed on reopen {round}: {} -> {}",
+            last_snap_epoch,
+            snap.epoch()
+        );
         if round > 0 {
             assert_eq!(snap.relation_epoch(), last_epoch, "reopen is a fixpoint");
             assert_eq!(snapshot_to_string(snap.relation()), last_text);
         }
         last_epoch = snap.relation_epoch();
+        last_snap_epoch = snap.epoch();
         last_text = snapshot_to_string(snap.relation());
         assert!(ds.verify().unwrap());
     }

@@ -46,13 +46,17 @@
 pub mod checkpoint;
 pub mod record;
 pub mod segment;
+pub mod sync;
 
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 pub use checkpoint::Checkpoint;
 pub use record::{crc32, ScanDamage};
+pub use sync::{CheckpointPolicy, GroupCommitStats, GroupCommitter, SyncPolicy, SyncTicket};
+
 use segment::{segment_header, segment_path, SEGMENT_HEADER_BYTES};
 
 /// Anything that can go wrong in the log layer.
@@ -148,24 +152,24 @@ pub struct Recovery {
 }
 
 /// Tuning knobs for a [`Wal`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WalOptions {
     /// Roll to a new segment once the active one exceeds this many bytes.
     /// (A single record larger than the threshold still fits: segments
     /// roll before a write, never mid-record.)
     pub segment_bytes: u64,
-    /// `fsync` after every append (group commit is still one sync per
-    /// *drain*, since the serving layer writes one record per drain).
-    /// Disable for throughput benchmarks or tests where the OS page cache
-    /// is durability enough.
-    pub sync: bool,
+    /// When an append becomes durable: fsync inline per append (the
+    /// default), never, or batched through a shared [`GroupCommitter`]
+    /// ([`SyncPolicy::Grouped`]) that amortizes one fsync per file over
+    /// every append landing in the same sync window.
+    pub sync: SyncPolicy,
 }
 
 impl Default for WalOptions {
     fn default() -> Self {
         WalOptions {
             segment_bytes: 8 * 1024 * 1024,
-            sync: true,
+            sync: SyncPolicy::PerAppend,
         }
     }
 }
@@ -191,6 +195,35 @@ pub struct WalStats {
     pub segments: u64,
     /// Current end-of-log position (next append lands here).
     pub position: LogPosition,
+    /// Records that would replay if the process died now: everything
+    /// appended (or replayed at open) since the last checkpoint. The
+    /// replay-time input to [`CheckpointPolicy::due`].
+    pub since_checkpoint_records: u64,
+    /// Framed log bytes accumulated since the last checkpoint — the disk
+    /// footprint a checkpoint would reclaim.
+    pub since_checkpoint_bytes: u64,
+    /// Wall time since the last checkpoint (or since open, when none has
+    /// been taken by this `Wal` value).
+    pub since_checkpoint_age: Duration,
+}
+
+/// A pinned checkpoint position from [`Wal::prepare_checkpoint`],
+/// consumed by [`Wal::finish_checkpoint`] once the payload is durably
+/// written at it. Also snapshots the since-checkpoint accounting at
+/// prepare time, so appends racing the payload write are not forgotten.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedCheckpoint {
+    position: LogPosition,
+    records: u64,
+    bytes: u64,
+}
+
+impl PreparedCheckpoint {
+    /// The position the checkpoint payload must be written at
+    /// (see [`checkpoint::write_checkpoint`]).
+    pub fn position(&self) -> LogPosition {
+        self.position
+    }
 }
 
 /// Name of the per-directory lock file guarding against two live `Wal`s.
@@ -302,6 +335,16 @@ pub struct Wal {
     checkpoints: u64,
     replayed_records: u64,
     damaged_tails: u64,
+    /// Records accumulated past the last checkpoint (seeded with the
+    /// replayed tail at open — that *is* the outstanding replay burden).
+    since_ckpt_records: u64,
+    /// Framed bytes accumulated past the last checkpoint.
+    since_ckpt_bytes: u64,
+    /// When the last checkpoint finished (open time when none has).
+    last_checkpoint: Instant,
+    /// Process-unique id distinguishing this log's files inside a shared
+    /// [`GroupCommitter`].
+    log_id: u64,
     /// Set when a failed append may have left torn bytes past `offset`
     /// that could not be truncated away; all further writes are refused.
     poisoned: bool,
@@ -350,6 +393,9 @@ impl Wal {
         };
 
         let mut tail: Vec<Vec<u8>> = Vec::new();
+        // Framed bytes of the replayed tail, seeding the since-checkpoint
+        // footprint the checkpoint policy measures.
+        let mut replayed_bytes = 0u64;
         let mut damaged: Option<DamagedTail> = None;
         // (seq, end offset) of the segment appends should resume in;
         // `None` means a fresh segment must be created.
@@ -430,6 +476,7 @@ impl Wal {
             }
             let scan = record::scan(&bytes, begin as usize);
             tail.extend(scan.payloads);
+            replayed_bytes += scan.good_end as u64 - begin;
             match scan.damage {
                 Some(kind) => {
                     damaged = Some(DamagedTail {
@@ -495,6 +542,10 @@ impl Wal {
             checkpoints: 0,
             replayed_records: tail.len() as u64,
             damaged_tails: u64::from(damaged.is_some()),
+            since_ckpt_records: tail.len() as u64,
+            since_ckpt_bytes: replayed_bytes,
+            last_checkpoint: Instant::now(),
+            log_id: sync::next_log_id(),
             poisoned: false,
             _lock: lock,
         };
@@ -516,12 +567,34 @@ impl Wal {
         }
     }
 
-    /// Append one record (a serving-layer drain) as a single buffered
-    /// write, flushed — and synced, when [`WalOptions::sync`] — before
-    /// returning. Returns the end-of-log position after the record: once
-    /// this returns, the record is recovered by every future [`Wal::open`]
-    /// (absent tail damage at exactly these bytes).
+    /// Append one record (a serving-layer drain), blocking until it is
+    /// durable under the configured [`SyncPolicy`] (a grouped append
+    /// waits for its sync window here). Returns the end-of-log position
+    /// after the record: once this returns, the record is recovered by
+    /// every future [`Wal::open`] (absent tail damage at exactly these
+    /// bytes, or a [`SyncPolicy::Never`] log losing its page cache).
     pub fn append(&mut self, payload: &[u8]) -> Result<LogPosition, WalError> {
+        let (pos, ticket) = self.append_async(payload)?;
+        if let Some(ticket) = ticket {
+            ticket.wait()?;
+        }
+        Ok(pos)
+    }
+
+    /// Append one record as a single buffered write, flushed before
+    /// returning, with durability acknowledged per the [`SyncPolicy`]:
+    ///
+    /// * `PerAppend` — synced inline; the returned ticket is `None`.
+    /// * `Never` — no sync; the ticket is `None`.
+    /// * `Grouped` — the append is submitted to the shared committer and
+    ///   the returned [`SyncTicket`] completes when its sync window does.
+    ///   The caller may keep appending (pipelined group commit) and ack
+    ///   its own clients only when the ticket resolves; tickets complete
+    ///   in append order.
+    pub fn append_async(
+        &mut self,
+        payload: &[u8],
+    ) -> Result<(LogPosition, Option<SyncTicket>), WalError> {
         if self.poisoned {
             return Err(WalError::Fenced);
         }
@@ -533,32 +606,54 @@ impl Wal {
             // untouched (roll is transactional), so it needs no fencing.
             self.roll()?;
         }
-        let wrote = self.file.write_all(&frame).and_then(|()| {
-            if self.opts.sync {
-                self.file.sync_data()?;
-                self.syncs += 1;
+        let policy = self.opts.sync.clone();
+        let mut wrote: Result<Option<SyncTicket>, std::io::Error> =
+            self.file.write_all(&frame).map(|()| None);
+        if wrote.is_ok() {
+            match policy {
+                SyncPolicy::Never => {}
+                SyncPolicy::PerAppend => match self.file.sync_data() {
+                    Ok(()) => self.syncs += 1,
+                    Err(e) => wrote = Err(e),
+                },
+                SyncPolicy::Grouped(committer) => match self.file.try_clone() {
+                    Ok(handle) => {
+                        wrote = Ok(Some(committer.submit((self.log_id, self.seq), handle)));
+                    }
+                    // A failed handle clone must not weaken durability:
+                    // fall back to an inline sync.
+                    Err(_) => match self.file.sync_data() {
+                        Ok(()) => self.syncs += 1,
+                        Err(e) => wrote = Err(e),
+                    },
+                },
             }
-            Ok(())
-        });
-        if let Err(e) = wrote {
-            // The file may now end in torn bytes past `offset` (or in a
-            // full frame whose durability is unknown). Cut it back so the
-            // next append cannot build on a frame recovery would discard;
-            // if even that fails, fence the log — only a fresh open's
-            // scan-and-truncate can re-establish the invariant.
-            let restored = self
-                .file
-                .set_len(self.offset)
-                .and_then(|()| self.file.seek(SeekFrom::Start(self.offset)).map(|_| ()));
-            if restored.is_err() {
-                self.poisoned = true;
-            }
-            return Err(e.into());
         }
+        let ticket = match wrote {
+            Ok(ticket) => ticket,
+            Err(e) => {
+                // The file may now end in torn bytes past `offset` (or in
+                // a full frame whose durability is unknown). Cut it back
+                // so the next append cannot build on a frame recovery
+                // would discard; if even that fails, fence the log — only
+                // a fresh open's scan-and-truncate can re-establish the
+                // invariant.
+                let restored = self
+                    .file
+                    .set_len(self.offset)
+                    .and_then(|()| self.file.seek(SeekFrom::Start(self.offset)).map(|_| ()));
+                if restored.is_err() {
+                    self.poisoned = true;
+                }
+                return Err(e.into());
+            }
+        };
         self.offset += frame.len() as u64;
         self.appends += 1;
         self.appended_bytes += frame.len() as u64;
-        Ok(self.position())
+        self.since_ckpt_records += 1;
+        self.since_ckpt_bytes += frame.len() as u64;
+        Ok((self.position(), ticket))
     }
 
     /// Take a checkpoint: seal the active segment, durably record
@@ -566,26 +661,61 @@ impl Wal {
     /// sealed segment behind it. After this returns, recovery restores
     /// `payload` and replays only records appended after this call —
     /// log size is once again proportional to the post-checkpoint delta.
+    ///
+    /// This convenience form holds the `&mut Wal` across the payload
+    /// write. When the payload is large and appenders must not wait, use
+    /// the split form: [`Wal::prepare_checkpoint`] (cheap, under
+    /// whatever lock serializes state capture), then
+    /// [`checkpoint::write_checkpoint`] at the prepared position with no
+    /// `Wal` lock held at all, then [`Wal::finish_checkpoint`].
     pub fn checkpoint(&mut self, payload: &[u8]) -> Result<LogPosition, WalError> {
+        let prepared = self.prepare_checkpoint()?;
+        checkpoint::write_checkpoint(&self.dir, prepared.position, payload)?;
+        self.finish_checkpoint(&prepared);
+        Ok(prepared.position)
+    }
+
+    /// Phase 1 of a split checkpoint: seal and roll the active segment
+    /// (bounded cost — one fsync plus a file create, never proportional
+    /// to state size) and pin the position the checkpoint payload must be
+    /// written at. Records appended after this call land strictly after
+    /// the pinned position and will replay on top of the checkpoint.
+    pub fn prepare_checkpoint(&mut self) -> Result<PreparedCheckpoint, WalError> {
         if self.poisoned {
             return Err(WalError::Fenced);
         }
         if self.offset > SEGMENT_HEADER_BYTES {
             self.roll()?;
         }
-        let pos = self.position();
-        checkpoint::write_checkpoint(&self.dir, pos, payload)?;
+        Ok(PreparedCheckpoint {
+            position: self.position(),
+            records: self.since_ckpt_records,
+            bytes: self.since_ckpt_bytes,
+        })
+    }
+
+    /// Phase 3 of a split checkpoint, after
+    /// [`checkpoint::write_checkpoint`] has durably bound the payload to
+    /// the prepared position: compact the sealed segments behind it and
+    /// reset the since-checkpoint accounting (appends that raced the
+    /// payload write stay counted — they are past the pinned position).
+    ///
+    /// Compaction is best-effort once the checkpoint is durable: a
+    /// straggler segment left by a failed delete is cleaned up by the
+    /// next open, and must not fail an already-successful checkpoint.
+    pub fn finish_checkpoint(&mut self, prepared: &PreparedCheckpoint) {
         self.checkpoints += 1;
-        // Compaction is best-effort once the checkpoint is durable: a
-        // straggler segment left by a failed delete is cleaned up by the
-        // next open, and must not fail an already-successful checkpoint.
+        self.since_ckpt_records = self.since_ckpt_records.saturating_sub(prepared.records);
+        self.since_ckpt_bytes = self.since_ckpt_bytes.saturating_sub(prepared.bytes);
+        self.last_checkpoint = Instant::now();
         for seq in segment::list_segments(&self.dir).unwrap_or_default() {
-            if seq < pos.segment && std::fs::remove_file(segment_path(&self.dir, seq)).is_ok() {
+            if seq < prepared.position.segment
+                && std::fs::remove_file(segment_path(&self.dir, seq)).is_ok()
+            {
                 self.live_segments = self.live_segments.saturating_sub(1);
             }
         }
         checkpoint::sync_dir(&self.dir);
-        Ok(pos)
     }
 
     /// Counters since open, plus the current position.
@@ -599,12 +729,20 @@ impl Wal {
             damaged_tails: self.damaged_tails,
             segments: self.live_segments,
             position: self.position(),
+            since_checkpoint_records: self.since_ckpt_records,
+            since_checkpoint_bytes: self.since_ckpt_bytes,
+            since_checkpoint_age: self.last_checkpoint.elapsed(),
         }
     }
 
     /// The directory this log lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The options this log was opened with (segment size, sync policy).
+    pub fn options(&self) -> &WalOptions {
+        &self.opts
     }
 
     /// Seal the active segment and open the next one. Transactional: on
@@ -659,7 +797,7 @@ mod tests {
     fn opts(segment_bytes: u64) -> WalOptions {
         WalOptions {
             segment_bytes,
-            sync: false,
+            sync: SyncPolicy::Never,
         }
     }
 

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use anno_wal::segment::{list_segments, segment_path};
-use anno_wal::{Wal, WalOptions};
+use anno_wal::{SyncPolicy, Wal, WalOptions};
 use proptest::prelude::*;
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
@@ -33,7 +33,7 @@ fn case_dir() -> PathBuf {
 fn opts(segment_bytes: u64) -> WalOptions {
     WalOptions {
         segment_bytes,
-        sync: false,
+        sync: SyncPolicy::Never,
     }
 }
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Fail the bench-smoke job on a measured regression against BENCH_*.json.
+
+Usage: check_bench_regressions.py <bench-log> <BENCH_a.json> [<BENCH_b.json>...]
+
+The bench log is the stdout of one or more `cargo bench` runs using the
+vendored criterion stand-in, whose report lines look like:
+
+    bench: vocab/10000/persistent_drain/256       426.83µs/iter  (n=20)
+
+Each BENCH_*.json records claims under `results_ns_per_iter` as a nested
+object; flattening its keys with `/` yields benchmark labels, optionally
+missing the leading group stem (e.g. `BENCH_vocab.json` stores
+`10000/persistent_drain/256` for the label `vocab/10000/...`).
+
+Only benchmarks present in BOTH the log and a baseline are compared —
+quick-mode runs legitimately skip the big sizes. A measured time more
+than TOLERANCE x the recorded claim fails the job: generous enough that
+runner-speed variance never trips it, tight enough that a real
+order-of-magnitude regression (or a bench silently measuring nothing,
+reported as ~0) cannot land unnoticed. Measurements *faster* than the
+claim never fail.
+"""
+
+import json
+import re
+import sys
+
+TOLERANCE = 3.0
+
+BENCH_LINE = re.compile(
+    r"^bench:\s+(?P<label>\S+)\s+(?P<value>[0-9.]+)(?P<unit>ns|µs|us|ms|s)/iter"
+)
+
+UNIT_NS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def flatten(node, prefix=""):
+    """Flatten nested dicts of numbers into {'a/b/c': ns} claims."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}/{key}" if prefix else str(key)
+            out.update(flatten(value, path))
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    return out
+
+
+def load_baselines(paths):
+    """Merge all baseline files into {label: (ns, source)} with stem aliases."""
+    claims = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        stem = re.sub(r"^BENCH_|\.json$", "", path.rsplit("/", 1)[-1])
+        for label, ns in flatten(doc.get("results_ns_per_iter", {})).items():
+            claims[label] = (ns, path)
+            # BENCH_vocab.json's `10000/...` keys name the `vocab/10000/...`
+            # benchmarks; register the stem-prefixed alias too.
+            claims.setdefault(f"{stem}/{label}", (ns, path))
+    return claims
+
+
+def parse_log(path):
+    measured = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            match = BENCH_LINE.match(line.strip())
+            if match:
+                ns = float(match.group("value")) * UNIT_NS[match.group("unit")]
+                measured[match.group("label")] = ns
+    return measured
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    log_path, baseline_paths = argv[1], argv[2:]
+    claims = load_baselines(baseline_paths)
+    measured = parse_log(log_path)
+    if not measured:
+        print(f"error: no `bench:` lines found in {log_path}", file=sys.stderr)
+        return 2
+
+    compared = 0
+    failures = []
+    for label, got_ns in sorted(measured.items()):
+        claim = claims.get(label)
+        if claim is None:
+            print(f"  skip   {label}: no recorded claim")
+            continue
+        claim_ns, source = claim
+        compared += 1
+        ratio = got_ns / claim_ns if claim_ns else float("inf")
+        verdict = "FAIL" if ratio > TOLERANCE else "ok"
+        print(
+            f"  {verdict:<6} {label}: measured {got_ns / 1e3:.1f}µs vs "
+            f"claimed {claim_ns / 1e3:.1f}µs ({ratio:.2f}x, {source})"
+        )
+        if ratio > TOLERANCE:
+            failures.append(label)
+
+    if compared == 0:
+        print("error: no benchmark overlapped a recorded claim", file=sys.stderr)
+        return 2
+    print(f"checked {compared} benchmarks against {len(baseline_paths)} baselines")
+    if failures:
+        print(
+            f"error: {len(failures)} benchmark(s) regressed past {TOLERANCE}x: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
