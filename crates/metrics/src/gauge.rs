@@ -1,0 +1,61 @@
+//! Point-in-time level gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A non-negative level (queue depth, segment count, backlog bytes).
+/// All operations are relaxed atomics: gauges are telemetry, not
+/// synchronization. `sub` saturates at zero so a racy decrement can
+/// never wrap to an absurd reading.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `v`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, v: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(v))
+            });
+    }
+
+    /// The current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_sub_saturate() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(10);
+        g.add(5);
+        assert_eq!(g.get(), 15);
+        g.sub(20);
+        assert_eq!(g.get(), 0, "sub saturates instead of wrapping");
+    }
+}

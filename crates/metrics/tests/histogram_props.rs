@@ -1,0 +1,82 @@
+//! Property suite for the lock-free histogram: concurrent recording
+//! must lose nothing, and quantile estimates must stay within one
+//! bucket of an exact sorted-vector oracle.
+//!
+//! Case counts respect the `PROPTEST_CASES` cap, so CI can bound the
+//! suite (see `.github/workflows/ci.yml`).
+
+use std::sync::Arc;
+
+use anno_metrics::hist::{bucket_bound, bucket_index};
+use anno_metrics::Histogram;
+use proptest::prelude::*;
+
+/// Exact order statistic matching `HistogramSnapshot::quantile`'s rank
+/// definition (`ceil(q * n)`-th smallest, 1-based).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn concurrent_recording_preserves_count_and_quantiles(
+        values in proptest::collection::vec(0u64..u64::MAX, 16..400),
+    ) {
+        // Split the workload across 4 recorder threads.
+        let hist = Arc::new(Histogram::new());
+        let chunk = values.len().div_ceil(4);
+        std::thread::scope(|scope| {
+            for part in values.chunks(chunk) {
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for &v in part {
+                        hist.record(v);
+                    }
+                });
+            }
+        });
+
+        let snap = hist.snapshot();
+        // Nothing lost, nothing invented.
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        let exact_sum: u64 = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(snap.sum(), exact_sum);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let estimate = snap.quantile(q);
+            let exact = oracle_quantile(&sorted, q);
+            let delta = bucket_index(estimate).abs_diff(bucket_index(exact));
+            prop_assert!(
+                delta <= 1,
+                "q={} estimate {} (bucket {}) vs oracle {} (bucket {})",
+                q, estimate, bucket_index(estimate), exact, bucket_index(exact)
+            );
+        }
+        // max() is the recorded maximum's bucket bound.
+        prop_assert_eq!(snap.max(), bucket_bound(bucket_index(*sorted.last().unwrap())));
+    }
+
+    #[test]
+    fn single_thread_quantiles_within_one_bucket(
+        values in proptest::collection::vec(0u64..1_000_000_000u64, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let estimate = hist.snapshot().quantile(q);
+        let exact = oracle_quantile(&sorted, q);
+        prop_assert!(
+            bucket_index(estimate).abs_diff(bucket_index(exact)) <= 1,
+            "q={} estimate {} vs oracle {}", q, estimate, exact
+        );
+    }
+}

@@ -1,22 +1,30 @@
 //! `annod` — the correlation-serving daemon.
 //!
 //! ```text
-//! annod                 # interactive REPL on stdin/stdout
+//! annod                         # interactive REPL on stdin/stdout
 //! annod repl
-//! annod serve           # TCP on 127.0.0.1:7171
+//! annod serve                   # TCP on 127.0.0.1:7171, metrics on 127.0.0.1:7172
 //! annod serve 0.0.0.0:9000
+//! annod serve 0.0.0.0:9000 metrics 0.0.0.0:9100
+//! annod serve metrics off       # no metrics listener
 //! ```
 //!
 //! Both modes speak the same line protocol (`help` lists the commands);
 //! see the workspace README for the full reference and
-//! `examples/annod_session.rs` for a scripted walkthrough.
+//! `examples/annod_session.rs` for a scripted walkthrough. In serve mode
+//! a second listener answers `GET /metrics` with the Prometheus text
+//! exposition (the `metrics` protocol verb returns the same bytes).
 
 use std::sync::Arc;
 
-use anno_service::server::{run_repl, serve_tcp};
+use anno_service::server::{run_repl, serve_metrics_http, serve_tcp};
 use anno_service::Service;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+const DEFAULT_METRICS_ADDR: &str = "127.0.0.1:7172";
+
+const USAGE: &str = "usage: annod [repl | serve [<addr>] [metrics <addr>|off]]   \
+                     (defaults 127.0.0.1:7171, metrics 127.0.0.1:7172)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,10 +39,15 @@ fn main() {
             let stdin = std::io::stdin();
             run_repl(service, stdin.lock(), std::io::stdout())
         }
-        ["serve"] => serve_tcp(service, DEFAULT_ADDR),
-        ["serve", addr] => serve_tcp(service, addr),
+        ["serve", rest @ ..] => match parse_serve(rest) {
+            Some((addr, metrics)) => serve(service, addr, metrics),
+            None => {
+                eprintln!("annod: bad serve arguments {rest:?}; {USAGE}");
+                std::process::exit(2);
+            }
+        },
         ["--help" | "-h" | "help"] => {
-            eprintln!("usage: annod [repl | serve [<addr>]]   (default addr {DEFAULT_ADDR})");
+            eprintln!("{USAGE}");
             return;
         }
         other => {
@@ -46,4 +59,39 @@ fn main() {
         eprintln!("annod: {e}");
         std::process::exit(1);
     }
+}
+
+/// Parse `[<addr>] [metrics <addr>|off]` into the protocol address and
+/// the (optional) metrics address.
+fn parse_serve<'a>(rest: &[&'a str]) -> Option<(&'a str, Option<&'a str>)> {
+    match rest {
+        [] => Some((DEFAULT_ADDR, Some(DEFAULT_METRICS_ADDR))),
+        ["metrics", "off"] => Some((DEFAULT_ADDR, None)),
+        ["metrics", m] => Some((DEFAULT_ADDR, Some(m))),
+        [addr] => Some((addr, Some(DEFAULT_METRICS_ADDR))),
+        [addr, "metrics", "off"] => Some((addr, None)),
+        [addr, "metrics", m] => Some((addr, Some(m))),
+        _ => None,
+    }
+}
+
+/// Serve the protocol on `addr`, with the metrics responder (if enabled)
+/// on its own listener thread. A metrics bind failure is reported but
+/// never takes the protocol listener down with it.
+fn serve(service: Arc<Service>, addr: &str, metrics: Option<&str>) -> std::io::Result<()> {
+    if let Some(metrics_addr) = metrics {
+        let metrics_service = Arc::clone(&service);
+        let metrics_addr = metrics_addr.to_string();
+        let spawned = std::thread::Builder::new()
+            .name("annod-metrics".to_string())
+            .spawn(move || {
+                if let Err(e) = serve_metrics_http(metrics_service, &metrics_addr) {
+                    eprintln!("annod: metrics listener failed (serving continues): {e}");
+                }
+            });
+        if let Err(e) = spawned {
+            eprintln!("annod: could not spawn metrics listener (serving continues): {e}");
+        }
+    }
+    serve_tcp(service, addr)
 }

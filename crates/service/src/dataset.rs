@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
+use anno_metrics::{Event, EventJournal};
 use anno_mine::{IncrementalConfig, IncrementalMiner};
 use anno_store::fxhash::FxHashSet;
 use anno_store::{
@@ -44,11 +45,11 @@ use anno_store::{
 };
 use anno_wal::{
     checkpoint as wal_checkpoint, CheckpointPolicy, GroupCommitStats, LogPosition, SyncTicket, Wal,
-    WalOptions, WalStats,
+    WalObserver, WalOptions, WalStats,
 };
 
 use crate::error::ServiceError;
-use crate::metrics::{timed, Metrics, MetricsReport};
+use crate::metrics::{timed, DatasetObs, Metrics, MetricsReport};
 use crate::queue::{coalesce, QueueState, UpdateOp};
 use crate::snapshot::RuleSnapshot;
 use crate::walcodec::{self, WalRecord};
@@ -73,6 +74,22 @@ pub struct DurabilityOptions {
 /// before the writer stops to retire the oldest.
 const MAX_PIPELINED_ACKS: usize = 32;
 
+/// Maintenance events each dataset retains (oldest evicted first).
+const JOURNAL_CAPACITY: usize = 256;
+
+/// Feeds the log's fsync reports into the owning dataset's metrics.
+/// Holds only the `Arc<Metrics>` — never `Inner` — so no reference
+/// cycle forms through the `Wal` the `Inner` owns.
+struct DatasetWalObserver {
+    metrics: Arc<Metrics>,
+}
+
+impl WalObserver for DatasetWalObserver {
+    fn fsync(&self, nanos: u64) {
+        self.metrics.record_fsync(nanos);
+    }
+}
+
 struct WriteState {
     relation: AnnotatedRelation,
     miner: Option<IncrementalMiner>,
@@ -93,7 +110,14 @@ struct Inner {
     /// Live tuple count, refreshed by the writer after each drain so
     /// listings never contend on the write mutex.
     tuples_hint: AtomicU64,
-    metrics: Metrics,
+    /// Shared (`Arc`) so the WAL observer can record fsync latencies
+    /// into the same histograms without holding a reference to `Inner`
+    /// (which would cycle: `Inner` owns the `Wal` that owns the
+    /// observer).
+    metrics: Arc<Metrics>,
+    /// Bounded journal of maintenance events (recovery, checkpoints,
+    /// fencing) — the `events` verb reads it.
+    journal: Arc<EventJournal>,
     /// The write-ahead log, when the dataset was opened with a durability
     /// directory. Lock order: checkpoint lock before write mutex before
     /// wal mutex, never the reverse — every mutation path (writer drains,
@@ -183,6 +207,8 @@ impl Dataset {
         // drain boundaries, so the count never exceeds the epoch by more
         // than the replayed mine records — which the tail term covers.)
         let mut publish_seed = recovery.tail.len() as u64 + MAX_PIPELINED_ACKS as u64 + 1;
+        let replayed_records = recovery.tail.len();
+        let restored_checkpoint = recovery.checkpoint.is_some();
         let mut state = match recovery.checkpoint {
             Some(ck) => {
                 let (snap_text, miner_text, ckpt_seq) = walcodec::decode_checkpoint(&ck.payload)
@@ -245,9 +271,10 @@ impl Dataset {
             m.validate_against(&state.relation)
                 .map_err(|m| dur("post-replay validation", m))?;
         }
-        if let Some(damage) = &recovery.damaged {
+        let truncated_tail = recovery.damaged.as_ref().map(|damage| {
             eprintln!("annod: dataset {name:?}: {damage}; recovered to the last intact record");
-        }
+            damage.to_string()
+        });
         // A restored miner's configuration wins over the caller's: the
         // maintained table is only exact under the thresholds it was
         // built with.
@@ -255,14 +282,22 @@ impl Dataset {
         // Pre-publish-sequence checkpoints: the relation epoch dominates
         // the dead process's publish count (see above), so take the max.
         let publish_seed = publish_seed.max(state.relation.epoch());
-        Dataset::boot(
+        let ds = Dataset::boot(
             name,
             config,
             state,
             Some(wal),
             publish_seed,
             options.auto_checkpoint,
-        )
+        )?;
+        ds.inner.journal.record(
+            "recovery",
+            format!("checkpoint={restored_checkpoint} replayed_records={replayed_records}"),
+        );
+        if let Some(damage) = truncated_tail {
+            ds.inner.journal.record("truncated_tail", damage);
+        }
+        Ok(ds)
     }
 
     /// Shared constructor: publish recovered state (if mined) and start
@@ -271,11 +306,22 @@ impl Dataset {
         name: &str,
         config: IncrementalConfig,
         state: WriteState,
-        wal: Option<Wal>,
+        mut wal: Option<Wal>,
         publish_seed: u64,
         auto_checkpoint: CheckpointPolicy,
     ) -> Result<Dataset, ServiceError> {
         let tuples = state.relation.len() as u64;
+        let metrics = Arc::new(Metrics::new());
+        if let Some(wal) = &mut wal {
+            // The log reports its own fsyncs (per-append syncs, segment
+            // seals) into this dataset's histograms; grouped-sync fsyncs
+            // belong to the shared committer and are observed at the
+            // service level instead.
+            wal.set_observer(Arc::new(DatasetWalObserver {
+                metrics: Arc::clone(&metrics),
+            }));
+            metrics.set_wal_backlog_bytes(wal.stats().since_checkpoint_bytes);
+        }
         let inner = Arc::new(Inner {
             name: name.to_string(),
             config,
@@ -286,7 +332,8 @@ impl Dataset {
             publish_seq: AtomicU64::new(publish_seed),
             published_relation_epoch: AtomicU64::new(0),
             tuples_hint: AtomicU64::new(tuples),
-            metrics: Metrics::new(),
+            metrics,
+            journal: Arc::new(EventJournal::new(JOURNAL_CAPACITY)),
             durability: wal.map(Mutex::new),
             ckpt_lock: Mutex::new(()),
             auto_checkpoint,
@@ -342,6 +389,7 @@ impl Dataset {
         }
         self.inner.metrics.record_enqueue(op.len() as u64);
         q.pending_updates += op.len();
+        self.inner.metrics.set_queue_depth(q.pending_updates as u64);
         q.pending.push(op);
         q.enqueued += 1;
         let seq = q.enqueued;
@@ -519,7 +567,12 @@ impl Dataset {
         }
         self.flush()?;
         let guard = self.inner.ckpt_lock.lock().expect("checkpoint lock");
-        run_checkpoint(&self.inner, &guard)
+        let (position, bytes) = run_checkpoint(&self.inner, &guard)?;
+        self.inner.journal.record(
+            "checkpoint",
+            format!("position={position} payload_bytes={bytes}"),
+        );
+        Ok((position, bytes))
     }
 
     /// Point-in-time operation counters.
@@ -527,9 +580,25 @@ impl Dataset {
         self.inner.metrics.report()
     }
 
+    /// Everything the exposition endpoint needs, frozen at one instant:
+    /// counters, histogram snapshots, and gauge levels.
+    pub fn observability(&self) -> DatasetObs {
+        self.inner.metrics.observe()
+    }
+
+    /// The most recent `n` maintenance events, oldest first.
+    pub fn events(&self, n: usize) -> Vec<Event> {
+        self.inner.journal.recent(n)
+    }
+
+    /// Maintenance events ever recorded, including evicted ones.
+    pub fn events_total(&self) -> u64 {
+        self.inner.journal.total()
+    }
+
     /// Live counters, for in-crate layers that record query latencies.
     pub(crate) fn raw_metrics(&self) -> &Metrics {
-        &self.inner.metrics
+        self.inner.metrics.as_ref()
     }
 
     /// Live tuple count as of the last completed write pass. Lock-free —
@@ -611,6 +680,7 @@ fn ack(inner: &Inner, drained_to: u64) {
 /// a grouped sync that never became durable) and for writer panics.
 fn disable(inner: &Inner, why: &str) {
     eprintln!("annod: writer for dataset {:?}: {why}", inner.name);
+    inner.journal.record("fenced", why.to_string());
     let mut q = inner.queue.lock().expect("queue lock");
     q.shutdown = true;
     q.writer_dead = true;
@@ -624,6 +694,7 @@ fn retire_oldest(inner: &Inner, inflight: &mut VecDeque<(u64, SyncTicket)>) -> R
     let Some((drained_to, ticket)) = inflight.pop_front() else {
         return Ok(());
     };
+    inner.metrics.set_unacked_drains(inflight.len() as u64);
     ticket
         .wait()
         .map_err(|e| format!("grouped sync failed ({e})"))?;
@@ -641,6 +712,7 @@ fn retire_ready(inner: &Inner, inflight: &mut VecDeque<(u64, SyncTicket)>) -> Re
             Some(Ok(())) => {
                 let drained_to = *drained_to;
                 inflight.pop_front();
+                inner.metrics.set_unacked_drains(inflight.len() as u64);
                 ack(inner, drained_to);
             }
             Some(Err(e)) => return Err(format!("grouped sync failed ({e})")),
@@ -672,6 +744,7 @@ fn writer_loop(inner: &Inner) {
                 let mut q = inner.queue.lock().expect("queue lock");
                 if !q.pending.is_empty() {
                     q.pending_updates = 0;
+                    inner.metrics.set_queue_depth(0);
                     q.drains += 1;
                     // Wake enqueuers blocked on backpressure now that the
                     // queue is empty again; they need not wait for the
@@ -708,6 +781,9 @@ fn writer_loop(inner: &Inner) {
         let Some((ops, drained_to)) = taken else {
             return;
         };
+        inner
+            .metrics
+            .record_drain_size(ops.iter().map(|op| op.len() as u64).sum());
         let (mut batches, folded) = coalesce(ops);
         // Canonicalize before the log sees the drain: segment-locality
         // sort plus within-batch dedupe. Coalescing can merge two
@@ -744,12 +820,14 @@ fn writer_loop(inner: &Inner) {
                         // client-visible ack instead: flush barriers
                         // release only once the sync window closes.
                         let payload = walcodec::encode_drain(&batches);
-                        ticket = wal
-                            .lock()
-                            .expect("wal lock")
+                        let mut wal_guard = wal.lock().expect("wal lock");
+                        ticket = wal_guard
                             .append_async(&payload)
                             .map_err(|e| e.to_string())?
                             .1;
+                        inner
+                            .metrics
+                            .set_wal_backlog_bytes(wal_guard.stats().since_checkpoint_bytes);
                     }
                     for batch in batches {
                         if apply_op(&mut w, batch) {
@@ -760,6 +838,10 @@ fn writer_loop(inner: &Inner) {
                 inner
                     .tuples_hint
                     .store(w.relation.len() as u64, Ordering::Relaxed);
+                inner.metrics.set_store_shape(
+                    w.relation.segments().len() as u64,
+                    w.relation.vocab_chunk_count() as u64,
+                );
                 // Republish only when the drain actually changed the
                 // relation (prefiltered no-op batches leave the epoch
                 // untouched) or no snapshot exists yet — snapshot builds
@@ -786,6 +868,7 @@ fn writer_loop(inner: &Inner) {
                 match ticket {
                     Some(ticket) => {
                         inflight.push_back((drained_to, ticket));
+                        inner.metrics.set_unacked_drains(inflight.len() as u64);
                         if inflight.len() > MAX_PIPELINED_ACKS {
                             if let Err(msg) = retire_oldest(inner, &mut inflight) {
                                 disable(inner, &format!("{msg}; dataset disabled"));
@@ -850,12 +933,21 @@ fn run_checkpoint(
     };
     // The O(|D|) part — encode and durably write the payload — runs with
     // no dataset lock held: drains, mines, and readers all proceed.
-    let snap_text = snapshot_to_string(&relation);
-    let miner_text = miner.as_ref().map(|m| m.checkpoint_to_string());
-    let payload = walcodec::encode_checkpoint(&snap_text, miner_text.as_deref(), publish_seq);
+    let (payload, encode_nanos) = timed(|| {
+        let snap_text = snapshot_to_string(&relation);
+        let miner_text = miner.as_ref().map(|m| m.checkpoint_to_string());
+        walcodec::encode_checkpoint(&snap_text, miner_text.as_deref(), publish_seq)
+    });
+    inner.metrics.record_checkpoint_encode(encode_nanos);
     wal_checkpoint::write_checkpoint(&dir, prepared.position(), &payload).map_err(to_dur)?;
     // Brief wal lock to compact and reset the policy accounting.
-    wal.lock().expect("wal lock").finish_checkpoint(&prepared);
+    {
+        let mut wal_guard = wal.lock().expect("wal lock");
+        wal_guard.finish_checkpoint(&prepared);
+        inner
+            .metrics
+            .set_wal_backlog_bytes(wal_guard.stats().since_checkpoint_bytes);
+    }
     inner.metrics.record_checkpoint();
     Ok((prepared.position(), payload.len()))
 }
@@ -882,7 +974,13 @@ fn maybe_auto_checkpoint(inner: &Inner) {
         return;
     };
     match run_checkpoint(inner, &guard) {
-        Ok(_) => inner.metrics.record_auto_checkpoint(),
+        Ok((position, bytes)) => {
+            inner.metrics.record_auto_checkpoint();
+            inner.journal.record(
+                "auto_checkpoint",
+                format!("position={position} payload_bytes={bytes}"),
+            );
+        }
         Err(e) => eprintln!(
             "annod: dataset {:?}: auto-checkpoint failed ({e}); retrying after the next drain",
             inner.name

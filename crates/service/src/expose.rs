@@ -1,0 +1,452 @@
+//! Prometheus text exposition: every dataset's counters, gauges, and
+//! histograms plus the service-level committer stats, rendered in the
+//! `text/plain; version=0.0.4` format any Prometheus-compatible scraper
+//! ingests.
+//!
+//! Rendering is **metric-major**: one `# HELP`/`# TYPE` header per
+//! family, then one series line per dataset (`{dataset="…"}`), which is
+//! the shape the format requires (a family's series must be contiguous).
+//! Histograms render their nonzero cumulative buckets plus the `+Inf`
+//! bound, `_sum`, and `_count`; the derived quantiles (p50/p90/p99/max)
+//! are exposed as separate gauge families with a `quantile` label rather
+//! than mixed into the histogram family, which would be invalid
+//! exposition. Everything is computed from frozen
+//! [`DatasetObs`](crate::metrics::DatasetObs) snapshots, so one scrape
+//! line never mixes two instants of the same dataset.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use anno_metrics::HistogramSnapshot;
+
+use crate::dataset::Dataset;
+use crate::metrics::DatasetObs;
+use crate::service::Service;
+
+/// One dataset's frozen contribution to a scrape.
+struct Row {
+    label: String,
+    obs: DatasetObs,
+    live_tuples: u64,
+    events_total: u64,
+    windowed: Option<crate::service::WindowedRates>,
+}
+
+/// Render the whole service in Prometheus text exposition format.
+pub fn render_prometheus(service: &Service) -> String {
+    let datasets: Vec<Arc<Dataset>> = service.all();
+    let rows: Vec<Row> = datasets
+        .iter()
+        .map(|ds| Row {
+            label: escape_label(ds.name()),
+            obs: ds.observability(),
+            live_tuples: ds.live_tuples() as u64,
+            events_total: ds.events_total(),
+            windowed: service.windowed(ds.name()),
+        })
+        .collect();
+
+    let mut out = String::with_capacity(16 * 1024);
+
+    type Get = fn(&Row) -> u64;
+    let counters: &[(&str, &str, Get)] = &[
+        (
+            "anno_rule_queries_total",
+            "Rule-listing/filtering queries served.",
+            |r| r.obs.report.rule_queries,
+        ),
+        (
+            "anno_recommend_queries_total",
+            "Recommendation queries served.",
+            |r| r.obs.report.recommend_queries,
+        ),
+        (
+            "anno_snapshot_reads_total",
+            "Snapshot pointer clones handed to readers.",
+            |r| r.obs.report.snapshot_reads,
+        ),
+        (
+            "anno_ops_enqueued_total",
+            "Ops accepted by the write queue.",
+            |r| r.obs.report.ops_enqueued,
+        ),
+        (
+            "anno_updates_enqueued_total",
+            "Individual updates accepted by the write queue.",
+            |r| r.obs.report.updates_enqueued,
+        ),
+        (
+            "anno_drains_total",
+            "Coalesced write passes the writer completed.",
+            |r| r.obs.report.drains,
+        ),
+        (
+            "anno_batches_applied_total",
+            "Maintenance batches actually applied.",
+            |r| r.obs.report.batches_applied,
+        ),
+        (
+            "anno_ops_coalesced_total",
+            "Ops folded into a neighbouring batch.",
+            |r| r.obs.report.ops_coalesced,
+        ),
+        (
+            "anno_snapshots_published_total",
+            "Snapshots atomically published.",
+            |r| r.obs.report.snapshots_published,
+        ),
+        ("anno_flushes_total", "Flush barriers awaited.", |r| {
+            r.obs.report.flushes
+        }),
+        (
+            "anno_checkpoints_total",
+            "Durability checkpoints taken.",
+            |r| r.obs.report.checkpoints,
+        ),
+        (
+            "anno_auto_checkpoints_total",
+            "Checkpoints the maintenance policy fired by itself.",
+            |r| r.obs.report.auto_checkpoints,
+        ),
+        (
+            "anno_wal_fsyncs_total",
+            "fsyncs issued by the dataset's own log.",
+            |r| r.obs.report.wal_fsyncs,
+        ),
+        (
+            "anno_events_total",
+            "Maintenance journal events recorded.",
+            |r| r.events_total,
+        ),
+    ];
+    for (name, help, get) in counters {
+        family(&mut out, name, help, "counter");
+        for row in &rows {
+            let _ = writeln!(out, "{name}{{dataset=\"{}\"}} {}", row.label, get(row));
+        }
+    }
+
+    let gauges: &[(&str, &str, Get)] = &[
+        (
+            "anno_write_queue_depth",
+            "Pending individual updates in the write queue.",
+            |r| r.obs.queue_depth,
+        ),
+        (
+            "anno_unacked_drains",
+            "Applied-but-unacked pipelined drains.",
+            |r| r.obs.unacked_drains,
+        ),
+        (
+            "anno_store_segments",
+            "Relation segments as of the last drain.",
+            |r| r.obs.segments,
+        ),
+        (
+            "anno_vocab_chunks",
+            "Vocabulary chunks as of the last drain.",
+            |r| r.obs.vocab_chunks,
+        ),
+        (
+            "anno_wal_since_checkpoint_bytes",
+            "Log bytes accumulated since the last checkpoint.",
+            |r| r.obs.wal_backlog_bytes,
+        ),
+        (
+            "anno_live_tuples",
+            "Live tuples as of the last drain.",
+            |r| r.live_tuples,
+        ),
+    ];
+    for (name, help, get) in gauges {
+        family(&mut out, name, help, "gauge");
+        for row in &rows {
+            let _ = writeln!(out, "{name}{{dataset=\"{}\"}} {}", row.label, get(row));
+        }
+    }
+
+    type GetHist = fn(&Row) -> &HistogramSnapshot;
+    let hists: &[(&str, &str, GetHist)] = &[
+        (
+            "anno_query_latency_ns",
+            "Rule + recommend query latency.",
+            |r| &r.obs.query_latency,
+        ),
+        (
+            "anno_drain_latency_ns",
+            "Drain apply+publish latency.",
+            |r| &r.obs.drain_latency,
+        ),
+        (
+            "anno_drain_batch_updates",
+            "Individual updates per drained batch.",
+            |r| &r.obs.drain_batch,
+        ),
+        (
+            "anno_fsync_latency_ns",
+            "The dataset's own log fsync latency.",
+            |r| &r.obs.fsync_latency,
+        ),
+        (
+            "anno_checkpoint_encode_ns",
+            "Checkpoint state-encode latency.",
+            |r| &r.obs.checkpoint_encode,
+        ),
+    ];
+    for (name, help, get) in hists {
+        family(&mut out, name, help, "histogram");
+        for row in &rows {
+            histogram_series(&mut out, name, &row.label, get(row));
+        }
+        let qname = format!("{name}_quantile");
+        family(
+            &mut out,
+            &qname,
+            "Derived quantiles of the histogram above.",
+            "gauge",
+        );
+        for row in &rows {
+            quantile_series(&mut out, &qname, &row.label, get(row));
+        }
+    }
+
+    // Windowed rates from the time-series ring (0 until two samples of
+    // the dataset land in the window).
+    type GetRate = fn(&crate::service::WindowedRates) -> f64;
+    let rates: &[(&str, &str, GetRate)] = &[
+        (
+            "anno_drains_per_sec",
+            "Drains per second over the ring's window.",
+            |w| w.drains_per_sec,
+        ),
+        (
+            "anno_queries_per_sec",
+            "Queries per second over the ring's window.",
+            |w| w.queries_per_sec,
+        ),
+        (
+            "anno_fsyncs_per_drain",
+            "Own-log fsyncs per drain over the ring's window.",
+            |w| w.fsyncs_per_drain,
+        ),
+    ];
+    for (name, help, get) in rates {
+        family(&mut out, name, help, "gauge");
+        for row in &rows {
+            let v = row.windowed.as_ref().map_or(0.0, get);
+            let _ = writeln!(out, "{name}{{dataset=\"{}\"}} {v}", row.label);
+        }
+    }
+
+    // Service-level: registry size, shared committer, its fsync latency,
+    // the service journal, and service-wide windowed rates.
+    family(&mut out, "anno_datasets", "Registered datasets.", "gauge");
+    let _ = writeln!(out, "anno_datasets {}", rows.len());
+    family(
+        &mut out,
+        "anno_service_events_total",
+        "Service-level journal events recorded (group-commit windows).",
+        "counter",
+    );
+    let _ = writeln!(out, "anno_service_events_total {}", service.events_total());
+    if let Some(gc) = service.committer_stats() {
+        let committer: &[(&str, &str, u64)] = &[
+            (
+                "anno_grouped_submitted_total",
+                "Appends submitted to the shared group committer.",
+                gc.submitted,
+            ),
+            (
+                "anno_grouped_syncs_total",
+                "fsyncs the shared committer issued.",
+                gc.syncs,
+            ),
+            (
+                "anno_grouped_windows_total",
+                "Sync windows the shared committer closed.",
+                gc.windows,
+            ),
+        ];
+        for (name, help, value) in committer {
+            family(&mut out, name, help, "counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+    }
+    let fsync = service.fsync_latency();
+    family(
+        &mut out,
+        "anno_service_fsync_latency_ns",
+        "Shared group committer fsync latency.",
+        "histogram",
+    );
+    histogram_lines(&mut out, "anno_service_fsync_latency_ns", "", &fsync);
+    family(
+        &mut out,
+        "anno_service_fsync_latency_ns_quantile",
+        "Derived quantiles of the histogram above.",
+        "gauge",
+    );
+    quantile_lines(
+        &mut out,
+        "anno_service_fsync_latency_ns_quantile",
+        "",
+        &fsync,
+    );
+    if let Some(w) = service.service_windowed() {
+        let windowed: &[(&str, &str, f64)] = &[
+            (
+                "anno_service_drains_per_sec",
+                "Drains per second across all datasets.",
+                w.drains_per_sec,
+            ),
+            (
+                "anno_service_queries_per_sec",
+                "Queries per second across all datasets.",
+                w.queries_per_sec,
+            ),
+            (
+                "anno_service_fsyncs_per_drain",
+                "All fsyncs (committer + per-dataset) per drain.",
+                w.fsyncs_per_drain,
+            ),
+        ];
+        for (name, help, value) in windowed {
+            family(&mut out, name, help, "gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+    }
+    out
+}
+
+/// Write a family's `# HELP` / `# TYPE` header.
+fn family(out: &mut String, name: &str, help: &str, typ: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {typ}");
+}
+
+/// One dataset's bucket/sum/count series of a histogram family.
+fn histogram_series(out: &mut String, name: &str, label: &str, snap: &HistogramSnapshot) {
+    histogram_lines(out, name, &format!("dataset=\"{label}\""), snap);
+}
+
+/// Histogram series lines with an arbitrary (possibly empty) label set.
+/// Buckets are cumulative and only nonzero ones render — 496 mostly-empty
+/// `le` lines per histogram would drown the scrape — with the mandatory
+/// `+Inf` bound always present.
+fn histogram_lines(out: &mut String, name: &str, labels: &str, snap: &HistogramSnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (bound, cumulative) in snap.cumulative() {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        snap.count()
+    );
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", snap.sum());
+        let _ = writeln!(out, "{name}_count {}", snap.count());
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", snap.sum());
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", snap.count());
+    }
+}
+
+/// One dataset's p50/p90/p99/max gauge series.
+fn quantile_series(out: &mut String, name: &str, label: &str, snap: &HistogramSnapshot) {
+    quantile_lines(out, name, &format!("dataset=\"{label}\""), snap);
+}
+
+fn quantile_lines(out: &mut String, name: &str, labels: &str, snap: &HistogramSnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let quantiles = [
+        ("p50", snap.quantile(0.50)),
+        ("p90", snap.quantile(0.90)),
+        ("p99", snap.quantile(0.99)),
+        ("max", snap.max()),
+    ];
+    for (q, value) in quantiles {
+        let _ = writeln!(out, "{name}{{{labels}{sep}quantile=\"{q}\"}} {value}");
+    }
+}
+
+/// Escape a dataset name for use inside a label value (`\` and `"`;
+/// protocol names are single tokens, but embedders can use anything).
+fn escape_label(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::UpdateOp;
+    use crate::service::ServiceConfig;
+
+    #[test]
+    fn scrape_renders_counters_gauges_histograms_and_rates() {
+        let service = Service::new();
+        let ds = service.create("db", ServiceConfig::default()).unwrap();
+        ds.enqueue(UpdateOp::InsertRows(vec![
+            "28 85 Annot_1".into(),
+            "28 85 Annot_1".into(),
+            "28 85".into(),
+        ]))
+        .unwrap();
+        ds.mine().unwrap();
+        // Two explicit samples bracket the traffic deterministically; the
+        // sleep keeps their millisecond timestamps distinct so the window
+        // has a nonzero timespan to rate over.
+        service.sample_now();
+        ds.raw_metrics().record_rule_query(1_000);
+        ds.raw_metrics().record_rule_query(2_000);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        service.sample_now();
+
+        let text = render_prometheus(&service);
+        assert!(
+            text.contains("# TYPE anno_query_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("anno_query_latency_ns_count{dataset=\"db\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("anno_query_latency_ns_bucket{dataset=\"db\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("anno_write_queue_depth{dataset=\"db\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("anno_drains_per_sec{dataset=\"db\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("anno_queries_per_sec{dataset=\"db\"}"),
+            "{text}"
+        );
+        assert!(text.contains("anno_datasets 1"), "{text}");
+        assert!(
+            text.contains("anno_query_latency_ns_quantile{dataset=\"db\",quantile=\"p99\"}"),
+            "{text}"
+        );
+        // Queries-per-sec must be positive: 2 queries landed between the
+        // two samples.
+        let qps_line = text
+            .lines()
+            .find(|l| l.starts_with("anno_queries_per_sec{dataset=\"db\"}"))
+            .unwrap();
+        let qps: f64 = qps_line.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(qps > 0.0, "{qps_line}");
+    }
+
+    #[test]
+    fn label_escaping_handles_quotes() {
+        assert_eq!(escape_label(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+}

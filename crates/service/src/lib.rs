@@ -76,6 +76,7 @@
 
 pub mod dataset;
 pub mod error;
+pub mod expose;
 pub mod metrics;
 pub mod protocol;
 pub mod query;
@@ -85,12 +86,14 @@ pub mod service;
 pub mod snapshot;
 mod walcodec;
 
-pub use anno_wal::{CheckpointPolicy, GroupCommitStats, GroupCommitter, SyncPolicy};
+pub use anno_wal::{CheckpointPolicy, GroupCommitStats, GroupCommitter, SyncPolicy, WalOptions};
 pub use dataset::{Dataset, DurabilityOptions};
 pub use error::ServiceError;
-pub use metrics::MetricsReport;
+pub use expose::render_prometheus;
+pub use metrics::{DatasetObs, MetricsReport};
 pub use protocol::{Engine, Reply};
 pub use query::{RuleFilter, RuleOrder, TopRecommendation};
 pub use queue::UpdateOp;
+pub use service::WindowedRates;
 pub use service::{DatasetSummary, Service, ServiceConfig};
 pub use snapshot::RuleSnapshot;

@@ -1,11 +1,18 @@
-//! Lock-free per-dataset operation counters.
+//! Lock-free per-dataset operation counters, latency/size histograms,
+//! and level gauges.
 //!
-//! Every counter is a relaxed [`AtomicU64`]: the numbers are service
-//! telemetry, not synchronization, so the cheapest ordering is correct.
-//! [`Metrics::report`] takes a point-in-time copy for rendering.
+//! Every counter is a relaxed [`AtomicU64`] and every histogram a
+//! fixed array of relaxed atomics ([`anno_metrics::Histogram`]): the
+//! numbers are service telemetry, not synchronization, so the cheapest
+//! ordering is correct and recording never blocks a hot path.
+//! [`Metrics::report`] takes a point-in-time copy of the counters for
+//! rendering; [`Metrics::observe`] freezes everything — counters,
+//! histogram snapshots, gauge levels — for the exposition endpoint.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+use anno_metrics::{Gauge, Histogram, HistogramSnapshot};
 
 /// Live counters for one dataset.
 #[derive(Debug, Default)]
@@ -23,6 +30,23 @@ pub struct Metrics {
     flushes: AtomicU64,
     checkpoints: AtomicU64,
     auto_checkpoints: AtomicU64,
+    /// Write passes the writer completed (one per coalesced drain).
+    drains: AtomicU64,
+    /// fsyncs this dataset's own log issued (per-append syncs and
+    /// segment seals; grouped-sync fsyncs live on the shared committer).
+    wal_fsyncs: AtomicU64,
+    // Latency/size distributions (see `anno_metrics::hist`).
+    query_latency: Histogram,
+    drain_latency: Histogram,
+    drain_batch: Histogram,
+    fsync_latency: Histogram,
+    checkpoint_encode: Histogram,
+    // Levels.
+    queue_depth: Gauge,
+    unacked_drains: Gauge,
+    segments: Gauge,
+    vocab_chunks: Gauge,
+    wal_backlog_bytes: Gauge,
 }
 
 impl Metrics {
@@ -40,12 +64,14 @@ impl Metrics {
     pub fn record_rule_query(&self, nanos: u64) {
         self.rule_queries.fetch_add(1, Ordering::Relaxed);
         self.read_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.query_latency.record(nanos);
     }
 
     /// Record a recommendation query taking `nanos`.
     pub fn record_recommend_query(&self, nanos: u64) {
         self.recommend_queries.fetch_add(1, Ordering::Relaxed);
         self.read_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.query_latency.record(nanos);
     }
 
     /// Record an enqueue of one op carrying `updates` individual updates.
@@ -55,11 +81,30 @@ impl Metrics {
     }
 
     /// Record one drained write pass: `batches` maintenance batches after
-    /// folding away `coalesced` ops, taking `nanos` of writer time.
+    /// folding away `coalesced` ops, taking `nanos` of writer time
+    /// (apply + publish — the drain latency distribution).
     pub fn record_write_pass(&self, batches: u64, coalesced: u64, nanos: u64) {
         self.batches_applied.fetch_add(batches, Ordering::Relaxed);
         self.ops_coalesced.fetch_add(coalesced, Ordering::Relaxed);
         self.write_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.drains.fetch_add(1, Ordering::Relaxed);
+        self.drain_latency.record(nanos);
+    }
+
+    /// Record the size (individual updates) of one drained batch.
+    pub fn record_drain_size(&self, updates: u64) {
+        self.drain_batch.record(updates);
+    }
+
+    /// Record one fsync of this dataset's log taking `nanos`.
+    pub fn record_fsync(&self, nanos: u64) {
+        self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.fsync_latency.record(nanos);
+    }
+
+    /// Record one checkpoint state encode taking `nanos`.
+    pub fn record_checkpoint_encode(&self, nanos: u64) {
+        self.checkpoint_encode.record(nanos);
     }
 
     /// Record one snapshot publication.
@@ -83,6 +128,38 @@ impl Metrics {
         self.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Mirror the write queue's pending-update count.
+    pub fn set_queue_depth(&self, updates: u64) {
+        self.queue_depth.set(updates);
+    }
+
+    /// Current pending updates in the write queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.get()
+    }
+
+    /// Mirror the writer's unacked pipelined-drain count.
+    pub fn set_unacked_drains(&self, drains: u64) {
+        self.unacked_drains.set(drains);
+    }
+
+    /// Drains applied and published but not yet durably acked.
+    pub fn unacked_drains(&self) -> u64 {
+        self.unacked_drains.get()
+    }
+
+    /// Mirror the relation's segment and vocab-chunk counts (refreshed
+    /// by the writer after each drain).
+    pub fn set_store_shape(&self, segments: u64, vocab_chunks: u64) {
+        self.segments.set(segments);
+        self.vocab_chunks.set(vocab_chunks);
+    }
+
+    /// Mirror the log's since-checkpoint byte accumulation.
+    pub fn set_wal_backlog_bytes(&self, bytes: u64) {
+        self.wal_backlog_bytes.set(bytes);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
@@ -99,6 +176,26 @@ impl Metrics {
             flushes: self.flushes.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             auto_checkpoints: self.auto_checkpoints.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Freeze everything — counters, histograms, gauges — for the
+    /// exposition endpoint.
+    pub fn observe(&self) -> DatasetObs {
+        DatasetObs {
+            report: self.report(),
+            query_latency: self.query_latency.snapshot(),
+            drain_latency: self.drain_latency.snapshot(),
+            drain_batch: self.drain_batch.snapshot(),
+            fsync_latency: self.fsync_latency.snapshot(),
+            checkpoint_encode: self.checkpoint_encode.snapshot(),
+            queue_depth: self.queue_depth.get(),
+            unacked_drains: self.unacked_drains.get(),
+            segments: self.segments.get(),
+            vocab_chunks: self.vocab_chunks.get(),
+            wal_backlog_bytes: self.wal_backlog_bytes.get(),
         }
     }
 }
@@ -111,6 +208,33 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
         out,
         u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
     )
+}
+
+/// Everything one dataset exposes to a scrape, frozen at one instant.
+#[derive(Debug, Clone)]
+pub struct DatasetObs {
+    /// The plain counters.
+    pub report: MetricsReport,
+    /// Rule + recommend query latency (ns).
+    pub query_latency: HistogramSnapshot,
+    /// Drain apply+publish latency (ns).
+    pub drain_latency: HistogramSnapshot,
+    /// Drain batch size (individual updates per drain).
+    pub drain_batch: HistogramSnapshot,
+    /// This log's own fsync latency (ns; per-append syncs and seals).
+    pub fsync_latency: HistogramSnapshot,
+    /// Checkpoint state-encode latency (ns).
+    pub checkpoint_encode: HistogramSnapshot,
+    /// Pending updates in the write queue.
+    pub queue_depth: u64,
+    /// Applied-but-unacked pipelined drains.
+    pub unacked_drains: u64,
+    /// Relation segments as of the last drain.
+    pub segments: u64,
+    /// Vocabulary chunks as of the last drain.
+    pub vocab_chunks: u64,
+    /// Log bytes accumulated since the last checkpoint.
+    pub wal_backlog_bytes: u64,
 }
 
 /// A frozen copy of one dataset's counters.
@@ -143,6 +267,10 @@ pub struct MetricsReport {
     /// Checkpoints triggered by the automatic policy (a subset of
     /// `checkpoints`).
     pub auto_checkpoints: u64,
+    /// Write passes completed (one per coalesced drain).
+    pub drains: u64,
+    /// fsyncs issued by this dataset's own log.
+    pub wal_fsyncs: u64,
 }
 
 impl MetricsReport {
@@ -152,13 +280,31 @@ impl MetricsReport {
         (n > 0).then(|| self.read_nanos / n)
     }
 
+    /// Mean writer time per drain in nanoseconds, if any drains ran.
+    pub fn mean_write_nanos(&self) -> Option<u64> {
+        (self.drains > 0).then(|| self.write_nanos / self.drains)
+    }
+
+    /// fsyncs this dataset's log issued per completed drain (0 when no
+    /// drain has run; ~0 under grouped sync, where the shared committer
+    /// issues the fsyncs instead).
+    pub fn fsyncs_per_drain(&self) -> f64 {
+        if self.drains == 0 {
+            0.0
+        } else {
+            self.wal_fsyncs as f64 / self.drains as f64
+        }
+    }
+
     /// Render as `key=value` pairs for the protocol's `stats` command.
     pub fn render(&self) -> String {
         format!(
             "rule_queries={} recommend_queries={} snapshot_reads={} \
              ops_enqueued={} updates_enqueued={} batches_applied={} \
              ops_coalesced={} snapshots_published={} flushes={} \
-             checkpoints={} auto_checkpoints={} read_nanos={} write_nanos={}",
+             checkpoints={} auto_checkpoints={} drains={} \
+             read_nanos={} write_nanos={} mean_read_ns={} mean_write_ns={} \
+             fsyncs_per_drain={:.2}",
             self.rule_queries,
             self.recommend_queries,
             self.snapshot_reads,
@@ -170,8 +316,12 @@ impl MetricsReport {
             self.flushes,
             self.checkpoints,
             self.auto_checkpoints,
+            self.drains,
             self.read_nanos,
             self.write_nanos,
+            self.mean_read_nanos().unwrap_or(0),
+            self.mean_write_nanos().unwrap_or(0),
+            self.fsyncs_per_drain(),
         )
     }
 }
@@ -192,6 +342,7 @@ mod tests {
         m.record_flush();
         m.record_checkpoint();
         m.record_auto_checkpoint();
+        m.record_fsync(2_000);
         let r = m.report();
         assert_eq!(r.snapshot_reads, 1);
         assert_eq!(r.rule_queries, 1);
@@ -205,8 +356,65 @@ mod tests {
         assert_eq!(r.flushes, 1);
         assert_eq!(r.checkpoints, 1);
         assert_eq!(r.auto_checkpoints, 1);
+        assert_eq!(r.drains, 1);
+        assert_eq!(r.wal_fsyncs, 1);
         assert!(r.render().contains("updates_enqueued=5"));
         assert!(r.render().contains("checkpoints=1"));
         assert!(r.render().contains("auto_checkpoints=1"));
+    }
+
+    #[test]
+    fn derived_ratios_render_in_stats_lines() {
+        let m = Metrics::new();
+        m.record_rule_query(100);
+        m.record_recommend_query(300);
+        m.record_write_pass(1, 0, 4_000);
+        m.record_write_pass(1, 0, 2_000);
+        m.record_fsync(500);
+        m.record_fsync(500);
+        m.record_fsync(500);
+        let r = m.report();
+        assert_eq!(r.mean_write_nanos(), Some(3_000));
+        assert!((r.fsyncs_per_drain() - 1.5).abs() < 1e-9);
+        let line = r.render();
+        assert!(line.contains("mean_read_ns=200"), "{line}");
+        assert!(line.contains("mean_write_ns=3000"), "{line}");
+        assert!(line.contains("fsyncs_per_drain=1.50"), "{line}");
+    }
+
+    #[test]
+    fn empty_report_renders_zero_ratios() {
+        let r = Metrics::new().report();
+        let line = r.render();
+        assert!(line.contains("mean_read_ns=0"), "{line}");
+        assert!(line.contains("mean_write_ns=0"), "{line}");
+        assert!(line.contains("fsyncs_per_drain=0.00"), "{line}");
+    }
+
+    #[test]
+    fn histograms_and_gauges_freeze_into_observe() {
+        let m = Metrics::new();
+        m.record_rule_query(1_000);
+        m.record_rule_query(100_000);
+        m.record_write_pass(1, 0, 5_000);
+        m.record_drain_size(128);
+        m.record_checkpoint_encode(9_000);
+        m.set_queue_depth(7);
+        m.set_unacked_drains(2);
+        m.set_store_shape(3, 4);
+        m.set_wal_backlog_bytes(4096);
+        let obs = m.observe();
+        assert_eq!(obs.query_latency.count(), 2);
+        assert!(obs.query_latency.quantile(0.99) >= 100_000);
+        assert_eq!(obs.drain_latency.count(), 1);
+        assert_eq!(obs.drain_batch.count(), 1);
+        assert_eq!(obs.checkpoint_encode.count(), 1);
+        assert_eq!(obs.queue_depth, 7);
+        assert_eq!(obs.unacked_drains, 2);
+        assert_eq!(obs.segments, 3);
+        assert_eq!(obs.vocab_chunks, 4);
+        assert_eq!(obs.wal_backlog_bytes, 4096);
+        assert_eq!(m.queue_depth(), 7);
+        assert_eq!(m.unacked_drains(), 2);
     }
 }

@@ -33,6 +33,9 @@ use crate::snapshot::RuleSnapshot;
 /// Default `k` for `recommend` when no `top k` clause is given.
 const DEFAULT_TOP_K: usize = 10;
 
+/// Default event count for `events` when no `n` is given.
+const DEFAULT_EVENTS: usize = 32;
+
 /// One reply: the lines to send back, and whether to close the session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
@@ -140,6 +143,8 @@ impl Engine {
             "rules" => self.rules(args),
             "recommend" => self.recommend(args),
             "stats" => self.stats(args),
+            "metrics" => Ok(self.metrics()),
+            "events" => self.events(args),
             "checkpoint" => {
                 let [name] = expect_args::<1>(args, "checkpoint <dataset>")?;
                 let ds = self.service.get(name)?;
@@ -507,8 +512,98 @@ impl Engine {
         ))
     }
 
+    /// The full Prometheus exposition text as a protocol block — the
+    /// same bytes `GET /metrics` serves, reachable without the second
+    /// listener.
+    fn metrics(&self) -> Reply {
+        let text = crate::expose::render_prometheus(&self.service);
+        Reply::block("metrics", text.lines().map(String::from).collect())
+    }
+
+    /// The maintenance event journal: a dataset's (recovery, checkpoints,
+    /// fencing) with a name, the service's (group-commit windows) bare.
+    fn events(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let usage = "events [<dataset>] [<n>]";
+        let (scope, events, total) = match args {
+            [] => (
+                "service".to_string(),
+                self.service.events(DEFAULT_EVENTS),
+                self.service.events_total(),
+            ),
+            [name] => {
+                let ds = self.service.get(name)?;
+                (
+                    name.to_string(),
+                    ds.events(DEFAULT_EVENTS),
+                    ds.events_total(),
+                )
+            }
+            [name, n] => {
+                let n = parse_count(n)?;
+                let ds = self.service.get(name)?;
+                (name.to_string(), ds.events(n), ds.events_total())
+            }
+            _ => return Err(bad(usage)),
+        };
+        let payload: Vec<String> = events.iter().map(|e| e.to_string()).collect();
+        Ok(Reply::block(
+            format!("{} events {scope} total={total}", payload.len()),
+            payload,
+        ))
+    }
+
+    /// `stats` with no dataset: one summary line per open dataset plus
+    /// the aggregated committer and windowed-rate numbers.
+    fn service_stats(&self) -> Reply {
+        let datasets = self.service.all();
+        let mut payload: Vec<String> = datasets
+            .iter()
+            .map(|ds| {
+                let obs = ds.observability();
+                let r = obs.report;
+                format!(
+                    "{} tuples={} mined={} queue_depth={} unacked_drains={} {}",
+                    ds.name(),
+                    ds.live_tuples(),
+                    ds.is_mined(),
+                    obs.queue_depth,
+                    obs.unacked_drains,
+                    r.render(),
+                )
+            })
+            .collect();
+        if let Some(gc) = self.service.committer_stats() {
+            payload.push(format!(
+                "grouped_submitted={} grouped_syncs={} grouped_windows={}",
+                gc.submitted, gc.syncs, gc.windows,
+            ));
+        }
+        let fsync = self.service.fsync_latency();
+        payload.push(format!(
+            "service_fsyncs={} fsync_p50_ns={} fsync_p99_ns={} service_events={}",
+            fsync.count(),
+            fsync.quantile(0.50),
+            fsync.quantile(0.99),
+            self.service.events_total(),
+        ));
+        if let Some(w) = self.service.service_windowed() {
+            payload.push(format!(
+                "drains_per_sec={:.2} queries_per_sec={:.2} fsyncs_per_drain={:.2} \
+                 window_samples={}",
+                w.drains_per_sec, w.queries_per_sec, w.fsyncs_per_drain, w.samples,
+            ));
+        }
+        Reply::block(
+            format!("service stats {} datasets", datasets.len()),
+            payload,
+        )
+    }
+
     fn stats(&self, args: &[&str]) -> Result<Reply, ServiceError> {
-        let [name] = expect_args::<1>(args, "stats <dataset>")?;
+        if args.is_empty() {
+            return Ok(self.service_stats());
+        }
+        let [name] = expect_args::<1>(args, "stats [<dataset>]")?;
         let ds = self.service.get(name)?;
         let mut payload = Vec::new();
         match ds.try_snapshot() {
@@ -618,7 +713,10 @@ fn help() -> Reply {
         "  (item escapes: =name for keyword collisions, ann:name / data:name to force a kind)"
             .into(),
         "checkpoint <ds>  persist snapshot+miner at the log head, compact the wal".into(),
-        "stats <ds> | verify <ds>".into(),
+        "stats [<ds>]     per-dataset counters, or a service-wide block with no name".into(),
+        "metrics          Prometheus text exposition (same bytes as GET /metrics)".into(),
+        "events [<ds>] [<n>]  maintenance event journal (service-level with no name)".into(),
+        "verify <ds>".into(),
     ];
     Reply::block("commands", payload)
 }
@@ -997,6 +1095,85 @@ mod tests {
         assert!(reopened[0].contains("auto_checkpoint=off"), "{reopened:?}");
         let verify = ok(&e, "verify db");
         assert!(verify[0].contains("exact=true"), "{verify:?}");
+        ok(&e, "drop db");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn observability_verbs_report_metrics_and_events() {
+        let dir = std::env::temp_dir().join(format!("anno-protocol-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_tok = dir.to_str().unwrap().to_string();
+        let e = engine();
+        ok(
+            &e,
+            &format!("open db 0.4 0.7 dir {dir_tok} auto_checkpoint records=2"),
+        );
+        for row in ["28 85 Annot_1", "28 85 Annot_1", "28 85 Annot_1", "28 85"] {
+            ok(&e, &format!("row db {row}"));
+            ok(&e, "flush db");
+        }
+        ok(&e, "mine db");
+        ok(&e, "rules db");
+
+        // `events db`: recovery is journaled at open; the auto-checkpoint
+        // policy (records=2) fired during the flushed row stream.
+        let events = ok(&e, "events db");
+        assert!(events.iter().any(|l| l.contains("recovery")), "{events:?}");
+        assert!(
+            events.iter().any(|l| l.contains("auto_checkpoint")),
+            "{events:?}"
+        );
+        // Bounded form.
+        let one = ok(&e, "events db 1");
+        assert!(one[0].starts_with("OK 1 events db"), "{one:?}");
+        assert_eq!(one.len(), 3, "header + 1 event + terminator: {one:?}");
+
+        // `metrics` carries the Prometheus families.
+        let metrics = ok(&e, "metrics");
+        assert!(
+            metrics
+                .iter()
+                .any(|l| l.contains("anno_query_latency_ns_count{dataset=\"db\"} 1")),
+            "{metrics:?}"
+        );
+        assert!(
+            metrics
+                .iter()
+                .any(|l| l.starts_with("anno_write_queue_depth{dataset=\"db\"}")),
+            "{metrics:?}"
+        );
+
+        // Argless `stats`: one line per dataset + service-level lines.
+        ok(&e, "open mem");
+        let stats = ok(&e, "stats");
+        assert!(stats[0].contains("service stats 2 datasets"), "{stats:?}");
+        assert!(
+            stats
+                .iter()
+                .any(|l| l.starts_with("db ") && l.contains("fsyncs_per_drain=")),
+            "{stats:?}"
+        );
+        assert!(
+            stats
+                .iter()
+                .any(|l| l.starts_with("mem ") && l.contains("mined=false")),
+            "{stats:?}"
+        );
+        assert!(
+            stats.iter().any(|l| l.contains("grouped_submitted=")),
+            "{stats:?}"
+        );
+
+        // Service-level events: grouped sync closed at least one window.
+        let svc_events = ok(&e, "events");
+        assert!(svc_events[0].contains("events service"), "{svc_events:?}");
+        assert!(
+            svc_events.iter().any(|l| l.contains("group_commit_window")),
+            "{svc_events:?}"
+        );
+
+        assert!(e.execute("events nosuch").lines[0].starts_with("ERR"));
         ok(&e, "drop db");
         std::fs::remove_dir_all(&dir).unwrap();
     }

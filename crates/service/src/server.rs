@@ -101,6 +101,94 @@ pub fn serve_tcp(service: Arc<Service>, addr: &str) -> std::io::Result<()> {
     serve_listener(service, listener)
 }
 
+/// Most headers a metrics scrape request may carry before the blank
+/// line; past this the request is answered anyway (scrapers send a
+/// handful — the bound only stops a deliberate header flood).
+const MAX_REQUEST_HEADERS: usize = 64;
+
+/// Answer one HTTP request on an accepted connection: `GET /metrics`
+/// (or `GET /`) returns the Prometheus exposition, anything else a
+/// minimal error. HTTP/1.0 semantics — one request, `Connection: close` —
+/// which every Prometheus-compatible scraper speaks; no dependency, no
+/// async runtime, ~40 lines of `std::net`.
+pub fn handle_metrics_request(service: &Service, stream: TcpStream) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let Some(request) = read_bounded_line(&mut reader, MAX_LINE_BYTES)? else {
+        return Ok(());
+    };
+    // Drain the headers so the peer never sees a reset while still
+    // sending; the request line is all that matters.
+    for _ in 0..MAX_REQUEST_HEADERS {
+        match read_bounded_line(&mut reader, MAX_LINE_BYTES)? {
+            None => break,
+            Some(line) if line.is_empty() => break,
+            Some(_) => {}
+        }
+    }
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if !method.eq_ignore_ascii_case("GET") {
+        (
+            "405 Method Not Allowed",
+            "only GET is supported\n".to_string(),
+        )
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", crate::expose::render_prometheus(service))
+    } else {
+        ("404 Not Found", "try GET /metrics\n".to_string())
+    };
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// Accept scrapes forever on an already-bound listener, one short-lived
+/// thread per request, with the same shed-and-survive error handling as
+/// the protocol listener.
+pub fn serve_metrics_listener(service: Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("annod: metrics accept error (continuing): {e}");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+        };
+        let service = Arc::clone(&service);
+        let spawned = std::thread::Builder::new()
+            .name("annod-scrape".to_string())
+            .spawn(move || {
+                if let Err(e) = handle_metrics_request(&service, stream) {
+                    eprintln!("annod: metrics connection error: {e}");
+                }
+            });
+        if let Err(e) = spawned {
+            eprintln!("annod: could not spawn scrape thread (shedding): {e}");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+    Ok(())
+}
+
+/// Bind `addr` and serve `GET /metrics` forever.
+pub fn serve_metrics_http(service: Arc<Service>, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!(
+        "annod: metrics on http://{}/metrics",
+        listener.local_addr()?
+    );
+    serve_metrics_listener(service, listener)
+}
+
 /// Interactive REPL over arbitrary reader/writer pairs (used with
 /// stdin/stdout by `annod repl`, and by tests with in-memory buffers).
 pub fn run_repl<R: BufRead, W: Write>(
@@ -174,6 +262,57 @@ quit
             read_bounded_line(&mut exact, 4).unwrap().as_deref(),
             Some("abcd")
         );
+    }
+
+    #[test]
+    fn metrics_http_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let service = Arc::new(Service::new());
+        {
+            use crate::queue::UpdateOp;
+            let ds = service
+                .create("db", crate::service::ServiceConfig::default())
+                .unwrap();
+            ds.enqueue(UpdateOp::InsertRows(vec!["1 2 X".into(), "1 2 X".into()]))
+                .unwrap();
+            ds.mine().unwrap();
+        }
+        let serve_service = Arc::clone(&service);
+        std::thread::spawn(move || serve_metrics_listener(serve_service, listener));
+
+        let scrape = |request: &str| -> String {
+            let stream = TcpStream::connect(addr).expect("connect loopback");
+            let mut writer = stream.try_clone().unwrap();
+            writer.write_all(request.as_bytes()).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut response = String::new();
+            reader.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        let response = scrape("GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("Content-Type: text/plain"), "{response}");
+        assert!(response.contains("anno_datasets 1"), "{response}");
+        assert!(
+            response.contains("anno_live_tuples{dataset=\"db\"} 2"),
+            "{response}"
+        );
+        // The advertised Content-Length matches the body exactly.
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let advertised: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(advertised, body.len());
+
+        let missing = scrape("GET /nope HTTP/1.0\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        let put = scrape("PUT /metrics HTTP/1.0\r\n\r\n");
+        assert!(put.starts_with("HTTP/1.0 405"), "{put}");
     }
 
     #[test]

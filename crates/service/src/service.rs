@@ -1,13 +1,34 @@
-//! The multi-tenant registry: named datasets, each with its own writer.
+//! The multi-tenant registry: named datasets, each with its own writer —
+//! plus the service-level observability spine: a background sampler that
+//! snapshots every dataset's counters into a time-series ring (windowed
+//! rates like drains/s fall out of it), a service event journal, and the
+//! shared group committer's fsync latency histogram.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
+use anno_metrics::{windowed_rate, Event, EventJournal, Histogram, HistogramSnapshot, Ring};
 use anno_mine::{CountingStrategy, IncrementalConfig, Thresholds};
-use anno_wal::{GroupCommitter, SyncPolicy, WalOptions};
+use anno_wal::{GroupCommitStats, GroupCommitter, SyncPolicy, WalObserver, WalOptions};
 
 use crate::dataset::{Dataset, DurabilityOptions};
 use crate::error::ServiceError;
+
+/// How often the background sampler snapshots every dataset's counters.
+const SAMPLE_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Ring capacity: at the sampling interval this retains roughly the last
+/// minute of samples, which is also the window the rates are quoted over.
+const RING_CAPACITY: usize = 600;
+
+/// The window (milliseconds of ring history) rates are computed over.
+const WINDOW_MS: u64 = 60_000;
+
+/// Service maintenance events retained (group-commit windows, lifecycle).
+const SERVICE_JOURNAL_CAPACITY: usize = 512;
 
 /// Per-dataset mining configuration, with serving-friendly defaults.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +79,9 @@ pub struct DatasetSummary {
 /// background writers, and embedding applications.
 #[derive(Debug, Default)]
 pub struct Service {
-    datasets: RwLock<BTreeMap<String, Arc<Dataset>>>,
+    /// `Arc`-shared with the background sampler thread, which walks the
+    /// registry on its own schedule without borrowing from `Service`.
+    datasets: Arc<RwLock<BTreeMap<String, Arc<Dataset>>>>,
     /// Names with a durable open in flight. Recovery (checkpoint restore
     /// plus log replay) can take seconds; reserving the name here lets
     /// [`Service::open_durable`] run it *without* holding the registry
@@ -70,6 +93,140 @@ pub struct Service {
     /// amortize their fsyncs into shared sync windows instead of paying
     /// one fsync per drain each.
     committer: OnceLock<Arc<GroupCommitter>>,
+    /// Service-level observability state, shared with the sampler thread
+    /// and the committer's observer.
+    obs: Arc<ServiceObs>,
+    /// The background sampler, started lazily with the first dataset.
+    sampler: OnceLock<SamplerHandle>,
+}
+
+/// Service-level observability state: the event journal, the shared
+/// committer's fsync latency distribution, and the sample ring windowed
+/// rates are computed from.
+#[derive(Debug)]
+struct ServiceObs {
+    journal: EventJournal,
+    fsync_latency: Histogram,
+    /// Shared-committer fsyncs, counted separately from the histogram so
+    /// sampling needs one relaxed load, not a 496-bucket snapshot.
+    fsyncs: AtomicU64,
+    ring: Ring<ServiceSample>,
+}
+
+impl Default for ServiceObs {
+    fn default() -> Self {
+        ServiceObs {
+            journal: EventJournal::new(SERVICE_JOURNAL_CAPACITY),
+            fsync_latency: Histogram::new(),
+            fsyncs: AtomicU64::new(0),
+            ring: Ring::new(RING_CAPACITY),
+        }
+    }
+}
+
+/// Feeds the shared group committer's reports into the service-level
+/// histogram and journal.
+struct ServiceWalObserver {
+    obs: Arc<ServiceObs>,
+}
+
+impl WalObserver for ServiceWalObserver {
+    fn fsync(&self, nanos: u64) {
+        self.obs.fsync_latency.record(nanos);
+        self.obs.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn window_closed(&self, submitted: u64, files_synced: u64, nanos: u64) {
+        self.obs.journal.record(
+            "group_commit_window",
+            format!("submitted={submitted} files_synced={files_synced} nanos={nanos}"),
+        );
+    }
+}
+
+/// One ring entry: every dataset's rate-relevant counters at one instant.
+#[derive(Debug, Clone)]
+struct ServiceSample {
+    total_drains: u64,
+    total_ds_fsyncs: u64,
+    committer_fsyncs: u64,
+    per_dataset: Vec<(String, DatasetCounters)>,
+}
+
+/// The per-dataset counters the sampler records (cheap relaxed loads).
+#[derive(Debug, Clone, Copy)]
+struct DatasetCounters {
+    drains: u64,
+    queries: u64,
+    fsyncs: u64,
+}
+
+/// Windowed rates derived from the sample ring — `None`-free: a window
+/// too short to rate over yields no [`WindowedRates`] at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowedRates {
+    /// Coalesced drains per second over the window.
+    pub drains_per_sec: f64,
+    /// Rule + recommend queries per second over the window.
+    pub queries_per_sec: f64,
+    /// fsyncs per drain over the window (0 when no drain ran). For the
+    /// service-wide view this counts shared-committer fsyncs too — the
+    /// number group commit exists to push below 1.0.
+    pub fsyncs_per_drain: f64,
+    /// Ring samples the window was computed from.
+    pub samples: usize,
+}
+
+/// The sampler thread: stop flag + condvar (for prompt shutdown) and the
+/// joinable handle.
+#[derive(Debug)]
+struct SamplerHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Take one sample of every dataset's counters into the ring.
+fn take_sample(datasets: &RwLock<BTreeMap<String, Arc<Dataset>>>, obs: &ServiceObs) {
+    let per_dataset: Vec<(String, DatasetCounters)> = datasets
+        .read()
+        .expect("registry lock")
+        .iter()
+        .map(|(name, ds)| {
+            let r = ds.metrics();
+            (
+                name.clone(),
+                DatasetCounters {
+                    drains: r.drains,
+                    queries: r.rule_queries + r.recommend_queries,
+                    fsyncs: r.wal_fsyncs,
+                },
+            )
+        })
+        .collect();
+    obs.ring.push(ServiceSample {
+        total_drains: per_dataset.iter().map(|(_, c)| c.drains).sum(),
+        total_ds_fsyncs: per_dataset.iter().map(|(_, c)| c.fsyncs).sum(),
+        committer_fsyncs: obs.fsyncs.load(Ordering::Relaxed),
+        per_dataset,
+    });
+}
+
+/// Rate a counter series; 0.0 when the window cannot be rated (counter
+/// reset or a degenerate timespan).
+fn rate_or_zero(series: &[(u64, u64)]) -> f64 {
+    windowed_rate(series).unwrap_or(0.0)
+}
+
+/// Δlater − Δearlier of `numer` per Δ of `denom` across the window's
+/// endpoints; 0.0 when the denominator did not advance.
+fn per_unit(numer: (u64, u64), denom: (u64, u64)) -> f64 {
+    let dn = numer.1.saturating_sub(numer.0);
+    let dd = denom.1.saturating_sub(denom.0);
+    if dd == 0 {
+        0.0
+    } else {
+        dn as f64 / dd as f64
+    }
 }
 
 impl Service {
@@ -90,6 +247,9 @@ impl Service {
         }
         let ds = Arc::new(Dataset::spawn(name, config.into())?);
         map.insert(name.to_string(), Arc::clone(&ds));
+        drop(map);
+        drop(opening);
+        self.ensure_sampler();
         Ok(ds)
     }
 
@@ -98,10 +258,15 @@ impl Service {
     /// embedders wiring up [`Dataset::open_with`] themselves can clone it
     /// from here to join the same sync windows.
     pub fn group_committer(&self) -> Arc<GroupCommitter> {
-        Arc::clone(
-            self.committer
-                .get_or_init(|| Arc::new(GroupCommitter::new())),
-        )
+        Arc::clone(self.committer.get_or_init(|| {
+            let committer = Arc::new(GroupCommitter::new());
+            // The committer reports every fsync and closed window into
+            // the service-level histogram and journal.
+            committer.set_observer(Arc::new(ServiceWalObserver {
+                obs: Arc::clone(&self.obs),
+            }));
+            committer
+        }))
     }
 
     /// Register a **durable** dataset rooted at `dir`, recovering any
@@ -171,6 +336,7 @@ impl Service {
             .write()
             .expect("registry lock")
             .insert(name.to_string(), Arc::clone(&ds));
+        self.ensure_sampler();
         Ok(ds)
     }
 
@@ -218,12 +384,154 @@ impl Service {
             })
             .collect()
     }
+
+    /// Every registered dataset, in name order. The exposition endpoint
+    /// and the service-wide `stats` block iterate this.
+    pub fn all(&self) -> Vec<Arc<Dataset>> {
+        self.datasets
+            .read()
+            .expect("registry lock")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Take one counter sample into the time-series ring immediately,
+    /// without waiting for the background sampler's next tick. Tests and
+    /// embedders use this for deterministic windowed rates.
+    pub fn sample_now(&self) {
+        take_sample(&self.datasets, &self.obs);
+    }
+
+    /// Windowed rates for one dataset over the ring's last minute, or
+    /// `None` until two samples covering it exist (the sampler starts
+    /// with the first dataset; call [`Service::sample_now`] to force).
+    pub fn windowed(&self, name: &str) -> Option<WindowedRates> {
+        let window = self.obs.ring.window(WINDOW_MS);
+        let series: Vec<(u64, DatasetCounters)> = window
+            .iter()
+            .filter_map(|(ts, sample)| {
+                sample
+                    .per_dataset
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, c)| (*ts, *c))
+            })
+            .collect();
+        let (first, last) = match (series.first(), series.last()) {
+            (Some(f), Some(l)) if series.len() >= 2 => (*f, *l),
+            _ => return None,
+        };
+        let drains: Vec<(u64, u64)> = series.iter().map(|(ts, c)| (*ts, c.drains)).collect();
+        let queries: Vec<(u64, u64)> = series.iter().map(|(ts, c)| (*ts, c.queries)).collect();
+        Some(WindowedRates {
+            drains_per_sec: rate_or_zero(&drains),
+            queries_per_sec: rate_or_zero(&queries),
+            fsyncs_per_drain: per_unit(
+                (first.1.fsyncs, last.1.fsyncs),
+                (first.1.drains, last.1.drains),
+            ),
+            samples: series.len(),
+        })
+    }
+
+    /// Service-wide windowed rates: totals across every dataset, with
+    /// shared-committer fsyncs included in `fsyncs_per_drain`.
+    pub fn service_windowed(&self) -> Option<WindowedRates> {
+        let window = self.obs.ring.window(WINDOW_MS);
+        if window.len() < 2 {
+            return None;
+        }
+        let (first_ts, first) = window.first().expect("len checked");
+        let (last_ts, last) = window.last().expect("len checked");
+        let drains = [
+            (*first_ts, first.total_drains),
+            (*last_ts, last.total_drains),
+        ];
+        let queries: Vec<(u64, u64)> = window
+            .iter()
+            .map(|(ts, s)| (*ts, s.per_dataset.iter().map(|(_, c)| c.queries).sum()))
+            .collect();
+        let fsyncs = (
+            first.committer_fsyncs + first.total_ds_fsyncs,
+            last.committer_fsyncs + last.total_ds_fsyncs,
+        );
+        Some(WindowedRates {
+            drains_per_sec: rate_or_zero(&drains),
+            queries_per_sec: rate_or_zero(&queries),
+            fsyncs_per_drain: per_unit(fsyncs, (first.total_drains, last.total_drains)),
+            samples: window.len(),
+        })
+    }
+
+    /// The most recent `n` service-level events (group-commit windows),
+    /// oldest first. Per-dataset events live on [`Dataset::events`].
+    pub fn events(&self, n: usize) -> Vec<Event> {
+        self.obs.journal.recent(n)
+    }
+
+    /// Service-level events ever recorded, including evicted ones.
+    pub fn events_total(&self) -> u64 {
+        self.obs.journal.total()
+    }
+
+    /// Latency distribution of the shared group committer's fsyncs.
+    pub fn fsync_latency(&self) -> HistogramSnapshot {
+        self.obs.fsync_latency.snapshot()
+    }
+
+    /// Counters of the shared group committer, if it was ever created
+    /// (i.e. at least one grouped-sync dataset opened).
+    pub fn committer_stats(&self) -> Option<GroupCommitStats> {
+        self.committer.get().map(|c| c.stats())
+    }
+
+    /// Start the background sampler if it is not running yet. Sampling
+    /// is best-effort: if the OS refuses the thread, windowed rates stay
+    /// empty (datasets still serve) until [`Service::sample_now`].
+    fn ensure_sampler(&self) {
+        self.sampler.get_or_init(|| {
+            let datasets = Arc::clone(&self.datasets);
+            let obs = Arc::clone(&self.obs);
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let thread_stop = Arc::clone(&stop);
+            let thread = std::thread::Builder::new()
+                .name("annod-sampler".to_string())
+                .spawn(move || {
+                    let (flag, cv) = &*thread_stop;
+                    loop {
+                        take_sample(&datasets, &obs);
+                        let stopped = flag.lock().expect("sampler stop lock");
+                        let (stopped, _) = cv
+                            .wait_timeout(stopped, SAMPLE_INTERVAL)
+                            .expect("sampler stop lock");
+                        if *stopped {
+                            return;
+                        }
+                    }
+                })
+                .ok();
+            SamplerHandle {
+                stop,
+                thread: Mutex::new(thread),
+            }
+        });
+    }
 }
 
 impl Drop for Service {
     fn drop(&mut self) {
-        // Stop every writer deterministically; Dataset::drop would do it
-        // too, but only once the last outside Arc is gone.
+        // Stop the sampler first (condvar makes this prompt, not a full
+        // sample interval), then every writer. Dataset::drop would stop
+        // writers too, but only once the last outside Arc is gone.
+        if let Some(sampler) = self.sampler.get() {
+            let (flag, cv) = &*sampler.stop;
+            *flag.lock().expect("sampler stop lock") = true;
+            cv.notify_all();
+            if let Some(handle) = sampler.thread.lock().expect("sampler join lock").take() {
+                let _ = handle.join();
+            }
+        }
         for ds in self.datasets.read().expect("registry lock").values() {
             ds.shutdown();
         }

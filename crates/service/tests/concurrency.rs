@@ -369,3 +369,72 @@ fn mid_drain_snapshots_see_pre_or_post_epoch_only() {
     }
     assert!(ds.verify().expect("mined"));
 }
+
+/// Observability satellite: the queue-depth and unacked-drain gauges
+/// mirror the writer's actual state under concurrent enqueue pressure —
+/// nonzero while clients race ops in, and exactly zero once `flush`
+/// returns (a flush barrier means applied *and* acked, so both levels
+/// must have drained with it).
+#[test]
+fn queue_gauges_return_to_zero_after_flush() {
+    const CLIENTS: usize = 4;
+    const OPS_PER_CLIENT: u32 = 25;
+
+    let service = Arc::new(Service::new());
+    let ds = service
+        .create(
+            "gauges",
+            ServiceConfig {
+                thresholds: Thresholds::new(0.3, 0.8),
+                ..Default::default()
+            },
+        )
+        .expect("fresh dataset");
+    let rows: Vec<String> = (0..200).map(|i| format!("{} 7", 100 + i)).collect();
+    ds.enqueue(UpdateOp::InsertRows(rows)).expect("seed");
+    ds.mine().expect("initial mine");
+
+    let saw_depth = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let ds = Arc::clone(&ds);
+            let saw_depth = Arc::clone(&saw_depth);
+            std::thread::spawn(move || {
+                for i in 0..OPS_PER_CLIENT {
+                    let tid = TupleId((c as u32 * OPS_PER_CLIENT + i) % 200);
+                    ds.enqueue(UpdateOp::AnnotateNamed(vec![(tid, format!("Ann_{c}_{i}"))]))
+                        .expect("enqueue");
+                    // The gauge is set under the queue lock in the same
+                    // critical section as the enqueue, so right after at
+                    // least this thread's op was once reflected in it.
+                    saw_depth.fetch_max(ds.observability().queue_depth, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    assert!(
+        saw_depth.load(Ordering::SeqCst) > 0,
+        "racing clients never observed their own pending updates in the gauge"
+    );
+
+    ds.flush().expect("flush barrier");
+    let obs = ds.observability();
+    assert_eq!(
+        obs.queue_depth, 0,
+        "flush returned with updates still pending in the queue gauge"
+    );
+    assert_eq!(
+        obs.unacked_drains, 0,
+        "memory-only datasets never pipeline acks"
+    );
+    assert_eq!(
+        obs.drain_batch.sum(),
+        ds.metrics().updates_enqueued,
+        "every enqueued update passed through exactly one drained batch"
+    );
+    assert!(obs.drain_latency.count() > 0, "drains recorded latencies");
+    assert!(ds.verify().expect("mined"));
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod observe;
 pub mod record;
 pub mod segment;
 pub mod sync;
@@ -54,6 +55,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 pub use checkpoint::Checkpoint;
+pub use observe::WalObserver;
 pub use record::{crc32, ScanDamage};
 pub use sync::{CheckpointPolicy, GroupCommitStats, GroupCommitter, SyncPolicy, SyncTicket};
 
@@ -348,6 +350,8 @@ pub struct Wal {
     /// Set when a failed append may have left torn bytes past `offset`
     /// that could not be truncated away; all further writes are refused.
     poisoned: bool,
+    /// Telemetry hook for fsync latency (see [`observe`]).
+    observer: observe::ObserverSlot,
     /// Held for the life of the `Wal`; dropping releases the directory.
     _lock: DirLock,
 }
@@ -547,6 +551,7 @@ impl Wal {
             last_checkpoint: Instant::now(),
             log_id: sync::next_log_id(),
             poisoned: false,
+            observer: observe::ObserverSlot::default(),
             _lock: lock,
         };
         Ok((
@@ -612,7 +617,7 @@ impl Wal {
         if wrote.is_ok() {
             match policy {
                 SyncPolicy::Never => {}
-                SyncPolicy::PerAppend => match self.file.sync_data() {
+                SyncPolicy::PerAppend => match self.sync_active() {
                     Ok(()) => self.syncs += 1,
                     Err(e) => wrote = Err(e),
                 },
@@ -622,7 +627,7 @@ impl Wal {
                     }
                     // A failed handle clone must not weaken durability:
                     // fall back to an inline sync.
-                    Err(_) => match self.file.sync_data() {
+                    Err(_) => match self.sync_active() {
                         Ok(()) => self.syncs += 1,
                         Err(e) => wrote = Err(e),
                     },
@@ -745,13 +750,31 @@ impl Wal {
         &self.opts
     }
 
+    /// Install an observer that hears about this log's fsyncs (grouped
+    /// appends report through the shared committer's observer instead —
+    /// see [`GroupCommitter::set_observer`]).
+    pub fn set_observer(&mut self, observer: std::sync::Arc<dyn WalObserver>) {
+        self.observer.install(observer);
+    }
+
+    /// `sync_data` the active segment, reporting the latency to the
+    /// observer whether or not the sync succeeded (a slow failure is
+    /// still a latency the operator wants to see).
+    fn sync_active(&mut self) -> std::io::Result<()> {
+        let start = Instant::now();
+        let out = self.file.sync_data();
+        self.observer
+            .fsync(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        out
+    }
+
     /// Seal the active segment and open the next one. Transactional: on
     /// any error the old segment stays active with its cursor unmoved, so
     /// callers can simply propagate.
     fn roll(&mut self) -> Result<(), WalError> {
         // Seal the full segment durably before any record lands in the
         // next one, so recovery never sees segment N+1 outlive bytes of N.
-        self.file.sync_data()?;
+        self.sync_active()?;
         self.syncs += 1;
         let file = create_segment(&self.dir, self.seq + 1, self.offset)?;
         self.seq += 1;

@@ -1,0 +1,64 @@
+//! Observer hooks: how the log reports latencies upward.
+//!
+//! The wal crate must stay dependency-free — it cannot know about the
+//! serving layer's histograms or journals. Instead the serving layer
+//! hands a [`WalObserver`] down: the log (and the shared
+//! [`GroupCommitter`](crate::GroupCommitter)) calls it at each fsync
+//! and at each closed sync window, and the observer records wherever it
+//! likes. Every hook has a no-op default, is called outside the
+//! committer's queue lock, and must be cheap and non-blocking — it runs
+//! on appending threads and the commit thread.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Callbacks the log layer invokes as durability work happens.
+pub trait WalObserver: Send + Sync {
+    /// An `fsync` for appended records or a segment seal completed
+    /// (successfully or not) after `nanos` nanoseconds.
+    fn fsync(&self, nanos: u64) {
+        let _ = nanos;
+    }
+
+    /// A group-commit sync window closed: `submitted` requests were
+    /// acknowledged by `files_synced` fsyncs taking `nanos` in total.
+    fn window_closed(&self, submitted: u64, files_synced: u64, nanos: u64) {
+        let _ = (submitted, files_synced, nanos);
+    }
+}
+
+/// An optional observer, cloneable and `Debug` regardless of the
+/// observer's own type (trait objects have no useful `Debug`).
+#[derive(Clone, Default)]
+pub struct ObserverSlot(Option<Arc<dyn WalObserver>>);
+
+impl ObserverSlot {
+    /// Install `observer`; replaces any previous one.
+    pub fn install(&mut self, observer: Arc<dyn WalObserver>) {
+        self.0 = Some(observer);
+    }
+
+    /// Forward an fsync completion, if an observer is installed.
+    pub(crate) fn fsync(&self, nanos: u64) {
+        if let Some(obs) = &self.0 {
+            obs.fsync(nanos);
+        }
+    }
+
+    /// Forward a closed sync window, if an observer is installed.
+    pub(crate) fn window_closed(&self, submitted: u64, files_synced: u64, nanos: u64) {
+        if let Some(obs) = &self.0 {
+            obs.window_closed(submitted, files_synced, nanos);
+        }
+    }
+}
+
+impl fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ObserverSlot(installed)"
+        } else {
+            "ObserverSlot(none)"
+        })
+    }
+}

@@ -35,9 +35,10 @@ use std::fs::File;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::{WalError, WalStats};
+use crate::observe::ObserverSlot;
+use crate::{WalError, WalObserver, WalStats};
 
 /// Hands out process-unique ids so the committer can tell two logs'
 /// files apart without platform inode calls.
@@ -201,6 +202,9 @@ struct CommitterShared {
     /// as soon as the thread gets the CPU (lowest latency; batching then
     /// only comes from fsync-in-progress backpressure).
     window: Duration,
+    /// Telemetry hook: hears each fsync and each closed window. Behind
+    /// its own mutex so installing one never contends with submitters.
+    observer: Mutex<ObserverSlot>,
 }
 
 /// A shared fsync batcher: submit files, get tickets, pay one fsync per
@@ -241,6 +245,7 @@ impl GroupCommitter {
             state: Mutex::new(CommitterState::default()),
             work_cv: Condvar::new(),
             window,
+            observer: Mutex::new(ObserverSlot::default()),
         });
         let worker = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
@@ -270,6 +275,16 @@ impl GroupCommitter {
         self.shared.work_cv.notify_one();
         drop(state);
         SyncTicket { shared }
+    }
+
+    /// Install an observer that hears each fsync (with latency) and
+    /// each closed sync window; replaces any previous one.
+    pub fn set_observer(&self, observer: Arc<dyn WalObserver>) {
+        self.shared
+            .observer
+            .lock()
+            .expect("observer lock")
+            .install(observer);
     }
 
     /// Point-in-time counters.
@@ -321,14 +336,24 @@ fn committer_loop(shared: &CommitterShared) {
 
         // Sync outside the lock: submissions for the *next* window are
         // never blocked behind this one's fsyncs.
+        let observer = shared.observer.lock().expect("observer lock").clone();
+        let window_start = Instant::now();
         let mut results: HashMap<(u64, u64), Result<(), String>> = HashMap::new();
         let mut syncs = 0u64;
         for req in &batch {
             results.entry(req.key).or_insert_with(|| {
                 syncs += 1;
-                req.file.sync_data().map_err(|e| e.to_string())
+                let start = Instant::now();
+                let outcome = req.file.sync_data().map_err(|e| e.to_string());
+                observer.fsync(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                outcome
             });
         }
+        observer.window_closed(
+            batch.len() as u64,
+            syncs,
+            u64::try_from(window_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         for req in &batch {
             let outcome = results.get(&req.key).expect("synced above").clone();
             let mut slot = req.ticket.state.lock().expect("ticket lock");

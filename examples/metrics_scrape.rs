@@ -1,0 +1,150 @@
+//! Scrape a live `annod` metrics endpoint over plain TCP.
+//!
+//! Opens a durable dataset, drives enough traffic to light up every
+//! instrument (drains, queries, fsyncs, an auto-checkpoint), then does
+//! what a Prometheus poller does: one `GET /metrics` over a raw TCP
+//! socket against the second listener, parsing the p99 drain latency and
+//! a few headline series out of the text exposition.
+//!
+//! Run with: `cargo run --example metrics_scrape`
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use annomine::mine::Thresholds;
+use annomine::service::dataset::DurabilityOptions;
+use annomine::service::server::serve_metrics_listener;
+use annomine::service::{
+    CheckpointPolicy, Service, ServiceConfig, SyncPolicy, UpdateOp, WalOptions,
+};
+use annomine::store::TupleId;
+
+fn main() -> std::io::Result<()> {
+    // ------------------------------------------------------------------
+    // 1. A durable dataset under an auto-checkpoint policy.
+    // ------------------------------------------------------------------
+    let dir = std::env::temp_dir().join(format!("annomine-scrape-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = Arc::new(Service::new());
+    let config = ServiceConfig {
+        thresholds: Thresholds::new(0.3, 0.8),
+        ..Default::default()
+    };
+    let options = DurabilityOptions {
+        wal: WalOptions {
+            sync: SyncPolicy::Grouped(service.group_committer()),
+            ..WalOptions::default()
+        },
+        auto_checkpoint: CheckpointPolicy {
+            replayed_records: Some(8),
+            ..Default::default()
+        },
+    };
+    let ds = service
+        .open_durable_with("curation", config, &dir, options)
+        .expect("durable dataset");
+
+    // ------------------------------------------------------------------
+    // 2. Traffic: inserts, a mine, annotate drains, rule queries.
+    // ------------------------------------------------------------------
+    let rows: Vec<String> = (0..500)
+        .map(|i| {
+            if i % 10 == 0 {
+                format!("{} {} Seed", i % 97, (i * 7 + 1) % 97)
+            } else {
+                format!("{} {}", i % 97, (i * 7 + 1) % 97)
+            }
+        })
+        .collect();
+    ds.enqueue(UpdateOp::InsertRows(rows)).expect("load");
+    ds.flush().expect("loaded");
+    ds.mine().expect("mined");
+    for batch in 0..16 {
+        let annotations = (0..8)
+            .map(|i| (TupleId(batch * 8 + i), format!("Curated_{batch}")))
+            .collect();
+        ds.enqueue(UpdateOp::AnnotateNamed(annotations))
+            .expect("annotate");
+        ds.flush().expect("drained");
+    }
+    let snap = ds.snapshot().expect("published");
+    println!(
+        "drove {} tuples to epoch {}; {} maintenance events so far",
+        snap.db_size(),
+        snap.epoch(),
+        ds.events_total()
+    );
+    for event in ds.events(4) {
+        println!("  event {event}");
+    }
+    // Two ring samples a few ms apart give the windowed rates a window.
+    service.sample_now();
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    service.sample_now();
+
+    // ------------------------------------------------------------------
+    // 3. The scrape: what `annod serve` exposes on its second listener.
+    // ------------------------------------------------------------------
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let scrape_service = Arc::clone(&service);
+    std::thread::spawn(move || serve_metrics_listener(scrape_service, listener));
+
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: annod\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body split in HTTP response");
+    println!(
+        "\nGET http://{addr}/metrics -> {} ({} bytes, {} series lines)",
+        head.lines().next().unwrap_or(""),
+        body.len(),
+        body.lines().filter(|l| !l.starts_with('#')).count()
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Parse the headline numbers a dashboard would chart.
+    // ------------------------------------------------------------------
+    let p99_drain = series(
+        body,
+        "anno_drain_latency_ns_quantile",
+        &[("dataset", "curation"), ("quantile", "p99")],
+    )
+    .expect("p99 drain latency series");
+    println!("p99 drain latency: {:.3} ms", p99_drain / 1e6);
+    for (name, unit) in [
+        ("anno_drains_total", "drains"),
+        ("anno_wal_fsyncs_total", "fsyncs"),
+        ("anno_auto_checkpoints_total", "auto-checkpoints"),
+        ("anno_live_tuples", "live tuples"),
+    ] {
+        if let Some(v) = series(body, name, &[("dataset", "curation")]) {
+            println!("{name}: {v} {unit}");
+        }
+    }
+    if let Some(rate) = series(body, "anno_drains_per_sec", &[("dataset", "curation")]) {
+        println!("windowed drain rate: {rate:.1}/s over the last minute");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// Find one sample in the exposition: a line `name{labels} value` whose
+/// label set contains every `(key, value)` pair in `labels`.
+fn series(body: &str, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    body.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let (label_part, value) = match rest.strip_prefix('{') {
+            Some(rest) => rest.split_once("} ")?,
+            None => ("", rest.strip_prefix(' ')?),
+        };
+        labels
+            .iter()
+            .all(|(k, v)| label_part.contains(&format!("{k}=\"{v}\"")))
+            .then(|| value.trim().parse().ok())?
+    })
+}
