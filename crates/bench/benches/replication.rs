@@ -1,0 +1,218 @@
+//! Replication benchmarks: what log shipping costs on each side of the
+//! wire-less wire (recorded in `BENCH_replication.json` at the workspace
+//! root).
+//!
+//! Three questions:
+//!
+//! * **Follower apply throughput** — a cold follower attaching to a dead
+//!   leader's directory and catching up over the whole log: the mine
+//!   event plus every maintenance drain replayed through the same
+//!   `apply_op` path recovery uses, published at record boundaries. This
+//!   is the rebuild-a-replica number; each run also prints the measured
+//!   records/s.
+//! * **Tail-poll visibility latency** — with the leader live and the
+//!   follower attached, the time from one effective drain committing on
+//!   the leader to that drain being published on the follower (one
+//!   explicit catchup poll): the freshness floor of follower reads.
+//! * **Promote latency** — from a caught-up follower on a dead leader's
+//!   directory to a writable leader: lock takeover, tail-loop shutdown,
+//!   full recovery, state install (teardown of the promoted dataset is
+//!   included in the timed region; directory copy and attach are not).
+//!
+//! Set `ANNO_BENCH_QUICK=1` (the CI bench smoke gate does) to shrink
+//! sizes so every group still runs end to end in seconds.
+
+use std::cell::Cell;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use anno_mine::{IncrementalConfig, Thresholds};
+use anno_service::{Dataset, UpdateOp};
+use anno_store::TupleId;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn quick() -> bool {
+    std::env::var_os("ANNO_BENCH_QUICK").is_some()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anno-repl-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> IncrementalConfig {
+    IncrementalConfig {
+        thresholds: Thresholds::new(0.4, 0.8),
+        ..Default::default()
+    }
+}
+
+/// A poll interval long enough that every poll in a benchmark is an
+/// explicit `catchup_now` — nothing fires between measurements.
+const MANUAL: Duration = Duration::from_secs(3600);
+
+fn row(i: usize) -> String {
+    if i % 10 == 0 {
+        format!("{} {} Seed", i % 997, (i * 7 + 1) % 997)
+    } else {
+        format!("{} {}", i % 997, (i * 7 + 1) % 997)
+    }
+}
+
+fn load(ds: &Dataset, n: usize) {
+    for chunk_start in (0..n).step_by(8192) {
+        let lines: Vec<String> = (chunk_start..(chunk_start + 8192).min(n))
+            .map(row)
+            .collect();
+        ds.enqueue(UpdateOp::InsertRows(lines)).unwrap();
+    }
+    ds.flush().unwrap();
+}
+
+/// Build a dead leader's log directory: `n` loaded tuples, a mine, then
+/// `drains` effective single-annotation toggle drains — the workload a
+/// follower must replay. Returns the number of log records written.
+fn build_leader_log(dir: &Path, n: usize, drains: usize) -> u64 {
+    let ds = Dataset::open("bench", config(), dir).unwrap();
+    load(&ds, n);
+    ds.mine().unwrap();
+    for i in 0..drains {
+        let t = TupleId((i as u32 % 512) * 39 + 1);
+        let named = vec![(t, "Seed".to_string())];
+        let op = if (i / 512) % 2 == 0 {
+            UpdateOp::AnnotateNamed(named)
+        } else {
+            UpdateOp::RemoveNamed(named)
+        };
+        ds.enqueue(op).unwrap();
+        ds.flush().unwrap();
+    }
+    let records = ds.wal_stats().unwrap().appends;
+    drop(ds);
+    records
+}
+
+/// Copy a log directory (the lock file is gone once the leader is
+/// dropped, so a plain file copy is a dead leader's directory).
+fn copy_log_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+fn follower_apply_throughput(c: &mut Criterion) {
+    let n: usize = if quick() { 2_000 } else { 10_000 };
+    let drains: usize = if quick() { 64 } else { 256 };
+    let dir = bench_dir("apply");
+    let records = build_leader_log(&dir, n, drains);
+
+    let mut group = c.benchmark_group(format!("replication_apply/{n}x{drains}"));
+    group.sample_size(10);
+    let mut last = Duration::ZERO;
+    group.bench_function("full_catchup", |b| {
+        b.iter(|| {
+            let start = std::time::Instant::now();
+            let follower = Dataset::follow("bench", config(), &dir, MANUAL).unwrap();
+            let st = follower.catchup_now().unwrap();
+            assert_eq!(st.bytes_behind, 0, "{st:?}");
+            last = start.elapsed();
+            drop(follower);
+        })
+    });
+    println!(
+        "replication_apply/records_per_sec: {:.0} ({records} records in {last:.2?})",
+        records as f64 / last.as_secs_f64().max(1e-9)
+    );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn tail_poll_latency(c: &mut Criterion) {
+    let n: usize = if quick() { 2_000 } else { 10_000 };
+    let dir = bench_dir("tail");
+    let leader = Dataset::open("bench", config(), &dir).unwrap();
+    load(&leader, n);
+    leader.mine().unwrap();
+    let follower = Dataset::follow("bench", config(), &dir, MANUAL).unwrap();
+    follower.catchup_now().unwrap();
+
+    let mut group = c.benchmark_group(format!("replication_tail/{n}"));
+    let mut attach = true;
+    let mut i = 0u32;
+    group.bench_function("drain_to_visible", |b| {
+        b.iter(|| {
+            let t = TupleId((i % 512) * 39 + 1);
+            i += 1;
+            let named = vec![(t, "Seed".to_string())];
+            let op = if attach {
+                UpdateOp::AnnotateNamed(named)
+            } else {
+                UpdateOp::RemoveNamed(named)
+            };
+            if i % 512 == 0 {
+                attach = !attach;
+            }
+            leader.enqueue(op).unwrap();
+            leader.flush().unwrap();
+            let st = follower.catchup_now().unwrap();
+            assert_eq!(st.bytes_behind, 0, "{st:?}");
+        })
+    });
+    group.finish();
+    drop(follower);
+    drop(leader);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn promote_latency(c: &mut Criterion) {
+    let n: usize = if quick() { 2_000 } else { 10_000 };
+    let drains: usize = if quick() { 32 } else { 128 };
+    let template = bench_dir("promote-template");
+    build_leader_log(&template, n, drains);
+
+    let mut group = c.benchmark_group(format!("replication_promote/{n}x{drains}"));
+    group.sample_size(10);
+    let copies = Cell::new(0u32);
+    let copy_dir = |i: u32| {
+        std::env::temp_dir().join(format!(
+            "anno-repl-bench-promote-{}-{i}",
+            std::process::id()
+        ))
+    };
+    group.bench_function("promote", |b| {
+        b.iter_batched(
+            || {
+                let i = copies.get();
+                copies.set(i + 1);
+                let dir = copy_dir(i);
+                let _ = std::fs::remove_dir_all(&dir);
+                copy_log_dir(&template, &dir);
+                let follower = Dataset::follow("bench", config(), &dir, MANUAL).unwrap();
+                follower.catchup_now().unwrap();
+                follower
+            },
+            |follower| {
+                follower.promote().unwrap();
+                assert!(follower.is_durable());
+                follower
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+    for i in 0..copies.get() {
+        let _ = std::fs::remove_dir_all(copy_dir(i));
+    }
+    let _ = std::fs::remove_dir_all(&template);
+}
+
+criterion_group!(
+    benches,
+    follower_apply_throughput,
+    tail_poll_latency,
+    promote_latency
+);
+criterion_main!(benches);

@@ -31,10 +31,11 @@
 //!   ([`Dataset::verify`] checks this on demand).
 
 use std::collections::VecDeque;
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use anno_metrics::{Event, EventJournal};
 use anno_mine::{IncrementalConfig, IncrementalMiner};
@@ -44,8 +45,8 @@ use anno_store::{
     AnnotationUpdate, ItemKind, Tuple, TupleId,
 };
 use anno_wal::{
-    checkpoint as wal_checkpoint, CheckpointPolicy, GroupCommitStats, LogPosition, SyncTicket, Wal,
-    WalObserver, WalOptions, WalStats,
+    checkpoint as wal_checkpoint, CheckpointPolicy, GroupCommitStats, LogPosition, SyncTicket,
+    TailCursor, Wal, WalError, WalObserver, WalOptions, WalStats,
 };
 
 use crate::error::ServiceError;
@@ -67,6 +68,105 @@ pub struct DurabilityOptions {
     /// When the writer should checkpoint without being asked. Disabled
     /// by default (all thresholds `None`).
     pub auto_checkpoint: CheckpointPolicy,
+}
+
+/// Which side of replication a dataset is on. A **leader** owns its log
+/// directory (it holds `wal.lock`) and accepts writes; a **follower**
+/// tails another process's directory read-only, replays its records, and
+/// fences every mutation with [`ServiceError::ReadOnlyRole`] until
+/// [`Dataset::promote`] turns it into the leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes; owns the log directory.
+    Leader,
+    /// Read-only replica replaying a leader's shipped log.
+    Follower,
+}
+
+impl Role {
+    /// Short label for stats lines: `leader` or `follower`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Role::Leader => "leader",
+            Role::Follower => "follower",
+        }
+    }
+}
+
+/// Point-in-time progress of a follower's tail loop — the lag a
+/// replication dashboard watches. Sequence numbers are log *segment*
+/// numbers (the WAL's coarse clock); `bytes_behind` is the exact byte lag.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationStatus {
+    /// Leader log segment the follower has applied up to.
+    pub applied_seq: u64,
+    /// Highest segment present in the leader's directory at the last poll.
+    pub leader_seq: u64,
+    /// On-disk log bytes not yet applied.
+    pub bytes_behind: u64,
+    /// Shipped records applied since attach.
+    pub records_applied: u64,
+    /// Checkpoint restarts the tail cursor performed.
+    pub restarts: u64,
+    /// Tail polls completed since attach.
+    pub polls: u64,
+    /// Set when the tail loop stopped on undecodable or unappliable
+    /// shipped state; reads keep serving the last good prefix.
+    pub failed: Option<String>,
+}
+
+/// Shared state between a follower's tail thread and the dataset handle.
+#[derive(Default)]
+struct FollowerCtl {
+    state: Mutex<FollowerProgress>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct FollowerProgress {
+    stop: bool,
+    /// Highest poll number a `catchup` has asked for.
+    poll_requests: u64,
+    /// Polls the loop has begun (a catchup must wait for a poll that
+    /// *starts* after the request, or an in-flight poll could satisfy it
+    /// with a pre-request view of the directory).
+    polls_started: u64,
+    polls_done: u64,
+    applied_seq: u64,
+    leader_seq: u64,
+    bytes_behind: u64,
+    records_applied: u64,
+    restarts: u64,
+    failed: Option<String>,
+}
+
+impl FollowerProgress {
+    fn status(&self) -> ReplicationStatus {
+        ReplicationStatus {
+            applied_seq: self.applied_seq,
+            leader_seq: self.leader_seq,
+            bytes_behind: self.bytes_behind,
+            records_applied: self.records_applied,
+            restarts: self.restarts,
+            polls: self.polls_done,
+            failed: self.failed.clone(),
+        }
+    }
+}
+
+impl FollowerCtl {
+    fn stop(&self) {
+        let mut st = self.state.lock().expect("follower lock");
+        st.stop = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A live follower attachment: the tail thread and its control block.
+struct FollowerHandle {
+    ctl: Arc<FollowerCtl>,
+    dir: PathBuf,
+    thread: Option<JoinHandle<()>>,
 }
 
 /// The writer acks a grouped drain only when its sync ticket resolves;
@@ -97,7 +197,12 @@ struct WriteState {
 
 struct Inner {
     name: String,
-    config: IncrementalConfig,
+    /// The mining configuration. Mutable because replication moves it:
+    /// a follower adopts the configuration carried by replayed `mine`
+    /// records and restored checkpoints, and promotion installs the
+    /// recovered one. Lock order: write mutex before config, never the
+    /// reverse (readers take config alone).
+    config: Mutex<IncrementalConfig>,
     write: Mutex<WriteState>,
     published: RwLock<Option<Arc<RuleSnapshot>>>,
     queue: Mutex<QueueState>,
@@ -124,8 +229,10 @@ struct Inner {
     /// `mine`, `checkpoint`) appends under the write mutex, so a recorded
     /// log position is always consistent with the applied state it claims
     /// to cover. (`wal_stats` takes the wal mutex alone, which respects
-    /// the order.)
-    durability: Option<Mutex<Wal>>,
+    /// the order.) `None` for memory-only datasets *and* for followers —
+    /// a follower must not hold the leader's `wal.lock`; promotion
+    /// installs a log here.
+    durability: Mutex<Option<Wal>>,
     /// Serializes checkpoints (manual vs. the writer's automatic ones):
     /// two racing checkpoints could commit their payloads out of position
     /// order and compact records the surviving checkpoint does not cover.
@@ -133,8 +240,16 @@ struct Inner {
     /// taken for the capture, so the O(|D|) encode stalls nobody.
     ckpt_lock: Mutex<()>,
     /// The policy under which the writer checkpoints by itself after a
-    /// drain. Disabled (never fires) for memory-only datasets.
-    auto_checkpoint: CheckpointPolicy,
+    /// drain. Disabled (never fires) for memory-only datasets. Mutable so
+    /// promotion can install the policy of its [`DurabilityOptions`].
+    auto_checkpoint: Mutex<CheckpointPolicy>,
+    /// `true` while the dataset is a read-only follower replica; every
+    /// mutation path checks it first. Flipped exactly once, by
+    /// [`Dataset::promote`].
+    follower: AtomicBool,
+    /// The follower attachment (tail thread + control block), when one
+    /// is live. Promotion takes it out.
+    replication: Mutex<Option<FollowerHandle>>,
 }
 
 /// A served dataset handle. Cheap to clone via `Arc` (the [`Service`]
@@ -156,7 +271,15 @@ impl Dataset {
             relation: AnnotatedRelation::new(name),
             miner: None,
         };
-        Dataset::boot(name, config, state, None, 0, CheckpointPolicy::default())
+        Dataset::boot(
+            name,
+            config,
+            state,
+            None,
+            0,
+            CheckpointPolicy::default(),
+            Role::Leader,
+        )
     }
 
     /// Open a **durable** dataset rooted at directory `dir`: restore the
@@ -189,112 +312,24 @@ impl Dataset {
     ) -> Result<Dataset, ServiceError> {
         let (wal, recovery) =
             Wal::open(dir, options.wal).map_err(|e| ServiceError::Durability(e.to_string()))?;
-        let dur = |stage: &str, msg: String| {
-            ServiceError::Durability(format!("dataset {name:?} {stage}: {msg}"))
-        };
-        // Publish epochs must never regress across a restart. Seed the
-        // publish counter past anything the dead process can have handed
-        // out: the checkpoint stores the counter at capture time, and
-        // every logged record after it published at most one snapshot.
-        // Under grouped sync a pipelined drain can be published *before*
-        // its record is durable, so a power loss (page cache gone, unlike
-        // the process-kill case where the OS still has the bytes) may
-        // recover fewer records than were published — the writer caps
-        // that overhang at its ack pipeline depth plus the one drain in
-        // flight, so that slack is added unconditionally. (The relation's
-        // mutation epoch is a floor for checkpoints from before the
-        // counter was persisted: publishes happen only at epoch-advancing
-        // drain boundaries, so the count never exceeds the epoch by more
-        // than the replayed mine records — which the tail term covers.)
-        let mut publish_seed = recovery.tail.len() as u64 + MAX_PIPELINED_ACKS as u64 + 1;
-        let replayed_records = recovery.tail.len();
-        let restored_checkpoint = recovery.checkpoint.is_some();
-        let mut state = match recovery.checkpoint {
-            Some(ck) => {
-                let (snap_text, miner_text, ckpt_seq) = walcodec::decode_checkpoint(&ck.payload)
-                    .map_err(|m| dur("checkpoint payload", m))?;
-                publish_seed += ckpt_seq.unwrap_or(0);
-                let relation =
-                    snapshot_from_string(&snap_text).map_err(|m| dur("checkpoint snapshot", m))?;
-                let miner = miner_text
-                    .as_deref()
-                    .map(IncrementalMiner::checkpoint_from_string)
-                    .transpose()
-                    .map_err(|m| dur("miner checkpoint", m))?;
-                if let Some(m) = &miner {
-                    // The two halves of the checkpoint must be from the
-                    // same instant; continuing maintenance from a
-                    // mismatched pair would silently void exactness.
-                    m.validate_against(&relation)
-                        .map_err(|m| dur("checkpoint validation", m))?;
-                }
-                WriteState { relation, miner }
-            }
-            None => WriteState {
-                relation: AnnotatedRelation::new(name),
-                miner: None,
-            },
-        };
-        for payload in &recovery.tail {
-            let record = walcodec::decode(payload).map_err(|m| dur("log record", m))?;
-            // The live writer contains apply panics with catch_unwind
-            // ("an unforeseen panic in maintenance code must disable the
-            // dataset loudly"); replay needs the same containment, or a
-            // drain that was logged and then panicked would turn every
-            // future open into a crash loop instead of a clean error.
-            // The log is left untouched: the record may replay fine once
-            // the offending code is fixed.
-            let replayed =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match record {
-                    WalRecord::Drain(ops) => {
-                        for op in ops {
-                            apply_op(&mut state, op);
-                        }
-                    }
-                    WalRecord::Mine(mine_config) => {
-                        state.miner =
-                            Some(IncrementalMiner::mine_initial(&state.relation, mine_config));
-                    }
-                }));
-            if replayed.is_err() {
-                return Err(dur(
-                    "log replay",
-                    "a logged record panicked during re-application; \
-                     the log is preserved for inspection"
-                        .to_string(),
-                ));
-            }
-        }
-        if let Some(m) = &state.miner {
-            // Cheap resume screen over the fully replayed state; the
-            // exhaustive check stays on demand (`Dataset::verify`).
-            m.validate_against(&state.relation)
-                .map_err(|m| dur("post-replay validation", m))?;
-        }
-        let truncated_tail = recovery.damaged.as_ref().map(|damage| {
-            eprintln!("annod: dataset {name:?}: {damage}; recovered to the last intact record");
-            damage.to_string()
-        });
-        // A restored miner's configuration wins over the caller's: the
-        // maintained table is only exact under the thresholds it was
-        // built with.
-        let config = state.miner.as_ref().map_or(config, |m| m.config());
-        // Pre-publish-sequence checkpoints: the relation epoch dominates
-        // the dead process's publish count (see above), so take the max.
-        let publish_seed = publish_seed.max(state.relation.epoch());
+        let rec = recover_write_state(name, config, recovery)?;
         let ds = Dataset::boot(
             name,
-            config,
-            state,
+            rec.config,
+            rec.state,
             Some(wal),
-            publish_seed,
+            rec.publish_seed,
             options.auto_checkpoint,
+            Role::Leader,
         )?;
         ds.inner.journal.record(
             "recovery",
-            format!("checkpoint={restored_checkpoint} replayed_records={replayed_records}"),
+            format!(
+                "checkpoint={} replayed_records={}",
+                rec.restored_checkpoint, rec.replayed_records
+            ),
         );
-        if let Some(damage) = truncated_tail {
+        if let Some(damage) = rec.damage {
             ds.inner.journal.record("truncated_tail", damage);
         }
         Ok(ds)
@@ -309,6 +344,7 @@ impl Dataset {
         mut wal: Option<Wal>,
         publish_seed: u64,
         auto_checkpoint: CheckpointPolicy,
+        role: Role,
     ) -> Result<Dataset, ServiceError> {
         let tuples = state.relation.len() as u64;
         let metrics = Arc::new(Metrics::new());
@@ -322,9 +358,10 @@ impl Dataset {
             }));
             metrics.set_wal_backlog_bytes(wal.stats().since_checkpoint_bytes);
         }
+        metrics.set_role_follower(role == Role::Follower);
         let inner = Arc::new(Inner {
             name: name.to_string(),
-            config,
+            config: Mutex::new(config),
             write: Mutex::new(state),
             published: RwLock::new(None),
             queue: Mutex::new(QueueState::default()),
@@ -334,9 +371,11 @@ impl Dataset {
             tuples_hint: AtomicU64::new(tuples),
             metrics,
             journal: Arc::new(EventJournal::new(JOURNAL_CAPACITY)),
-            durability: wal.map(Mutex::new),
+            durability: Mutex::new(wal),
             ckpt_lock: Mutex::new(()),
-            auto_checkpoint,
+            auto_checkpoint: Mutex::new(auto_checkpoint),
+            follower: AtomicBool::new(role == Role::Follower),
+            replication: Mutex::new(None),
         });
         {
             // Recovered mined state is served immediately — the relation
@@ -362,9 +401,11 @@ impl Dataset {
         &self.inner.name
     }
 
-    /// The mining configuration this dataset was created with.
+    /// The mining configuration this dataset currently runs under. For a
+    /// follower this tracks the leader: replayed `mine` records and
+    /// restored checkpoints carry the leader's configuration with them.
     pub fn config(&self) -> IncrementalConfig {
-        self.inner.config
+        *self.inner.config.lock().expect("config lock")
     }
 
     /// Queue one mutation. Returns the op's sequence number (pass it to
@@ -375,6 +416,7 @@ impl Dataset {
     /// client cannot grow the daemon's memory without bound. An op larger
     /// than the whole cap is still accepted once the queue is empty.
     pub fn enqueue(&self, op: UpdateOp) -> Result<u64, ServiceError> {
+        self.check_writable()?;
         let mut q = self.inner.queue.lock().expect("queue lock");
         loop {
             // A writer panic sets both flags and notifies, so a blocked
@@ -416,6 +458,17 @@ impl Dataset {
         Ok(())
     }
 
+    /// Role fence: every mutation path calls this first, so a follower
+    /// rejects writes with a *typed* error a client can distinguish from
+    /// a dead writer ([`ServiceError::ShutDown`]) — a follower is healthy,
+    /// just not the leader.
+    fn check_writable(&self) -> Result<(), ServiceError> {
+        if self.inner.follower.load(Ordering::SeqCst) {
+            return Err(ServiceError::ReadOnlyRole(self.inner.name.clone()));
+        }
+        Ok(())
+    }
+
     /// The write mutex, with poisoning (a writer panic mid-apply) mapped
     /// to [`ServiceError::ShutDown`] instead of propagating the panic.
     fn write_lock(&self) -> Result<std::sync::MutexGuard<'_, WriteState>, ServiceError> {
@@ -437,6 +490,7 @@ impl Dataset {
     /// from what a restart recovers; one failure policy covers both
     /// mutation paths.
     pub fn mine(&self) -> Result<Arc<RuleSnapshot>, ServiceError> {
+        self.check_writable()?;
         self.flush()?;
         // A fenced dataset (unloggable drain, mine, or sync — the writer
         // died abnormally) refuses further mines outright instead of
@@ -445,19 +499,23 @@ impl Dataset {
             return Err(ServiceError::ShutDown(self.inner.name.clone()));
         }
         let mut w = self.write_lock()?;
-        if let Some(wal) = &self.inner.durability {
-            let payload = walcodec::encode_mine(&self.inner.config);
-            let logged = wal.lock().expect("wal lock").append(&payload);
-            if let Err(e) = logged {
-                drop(w);
-                disable(
-                    &self.inner,
-                    &format!("cannot log a mine event ({e}); dataset disabled"),
-                );
-                return Err(ServiceError::Durability(e.to_string()));
+        let config = *self.inner.config.lock().expect("config lock");
+        {
+            let mut dur = self.inner.durability.lock().expect("wal lock");
+            if let Some(wal) = dur.as_mut() {
+                let payload = walcodec::encode_mine(&config);
+                if let Err(e) = wal.append(&payload) {
+                    drop(dur);
+                    drop(w);
+                    disable(
+                        &self.inner,
+                        &format!("cannot log a mine event ({e}); dataset disabled"),
+                    );
+                    return Err(ServiceError::Durability(e.to_string()));
+                }
             }
         }
-        let miner = IncrementalMiner::mine_initial(&w.relation, self.inner.config);
+        let miner = IncrementalMiner::mine_initial(&w.relation, config);
         w.miner = Some(miner);
         Ok(publish(&self.inner, &w).expect("just mined"))
     }
@@ -500,22 +558,26 @@ impl Dataset {
     }
 
     /// `true` iff this dataset logs its drains to a write-ahead log.
+    /// Followers are not durable in this sense: they replay somebody
+    /// else's log and own none.
     pub fn is_durable(&self) -> bool {
-        self.inner.durability.is_some()
+        self.inner.durability.lock().expect("wal lock").is_some()
     }
 
     /// Write-ahead-log counters, if the dataset is durable.
     pub fn wal_stats(&self) -> Option<WalStats> {
         self.inner
             .durability
+            .lock()
+            .expect("wal lock")
             .as_ref()
-            .map(|wal| wal.lock().expect("wal lock").stats())
+            .map(Wal::stats)
     }
 
     /// The automatic checkpoint policy this dataset runs under (disabled
     /// for memory-only datasets and durable opens without one).
     pub fn auto_checkpoint_policy(&self) -> CheckpointPolicy {
-        self.inner.auto_checkpoint
+        *self.inner.auto_checkpoint.lock().expect("policy lock")
     }
 
     /// Short label of the WAL's sync policy (`per_append`, `none`,
@@ -523,23 +585,22 @@ impl Dataset {
     pub fn sync_policy_label(&self) -> Option<&'static str> {
         self.inner
             .durability
+            .lock()
+            .expect("wal lock")
             .as_ref()
-            .map(|wal| wal.lock().expect("wal lock").options().sync.label())
+            .map(|wal| wal.options().sync.label())
     }
 
     /// Counters of the shared group committer, when this dataset's log
     /// syncs through one. Process-wide numbers: every tenant sharing the
     /// committer contributes to them — that sharing is the point.
     pub fn group_commit_stats(&self) -> Option<GroupCommitStats> {
-        let wal = self.inner.durability.as_ref()?;
-        let stats = wal
+        self.inner
+            .durability
             .lock()
             .expect("wal lock")
-            .options()
-            .sync
-            .committer()
-            .map(|c| c.stats());
-        stats
+            .as_ref()
+            .and_then(|wal| wal.options().sync.committer().map(|c| c.stats()))
     }
 
     /// Take a durability checkpoint: drain the queue, persist the
@@ -559,7 +620,8 @@ impl Dataset {
     /// dataset stalls neither the writer nor other clients. (This is
     /// what makes the automatic policy safe to fire on the write path.)
     pub fn checkpoint(&self) -> Result<(LogPosition, usize), ServiceError> {
-        if self.inner.durability.is_none() {
+        self.check_writable()?;
+        if self.inner.durability.lock().expect("wal lock").is_none() {
             return Err(ServiceError::Durability(format!(
                 "dataset {:?} has no durability directory; reopen it with one",
                 self.inner.name
@@ -615,6 +677,215 @@ impl Dataset {
         self.inner.queue.lock().expect("queue lock").drains
     }
 
+    /// Which side of replication this dataset is on right now.
+    pub fn role(&self) -> Role {
+        if self.inner.follower.load(Ordering::SeqCst) {
+            Role::Follower
+        } else {
+            Role::Leader
+        }
+    }
+
+    /// The follower's tail-loop progress, when one is attached. `None`
+    /// for leaders (including freshly promoted ones).
+    pub fn replication_status(&self) -> Option<ReplicationStatus> {
+        let repl = self.inner.replication.lock().expect("replication lock");
+        repl.as_ref()
+            .map(|h| h.ctl.state.lock().expect("follower lock").status())
+    }
+
+    /// Attach a **follower** replica to a leader's log directory `dir`:
+    /// spawn a tail thread that polls the directory every `poll`, replays
+    /// shipped checkpoints and records through the same apply path
+    /// recovery uses, and publishes read-only snapshots as the leader's
+    /// drains arrive. The directory is never locked or written — the
+    /// leader may be live in another process (or another thread) the
+    /// whole time.
+    ///
+    /// Every mutation verb on the returned dataset fails with
+    /// [`ServiceError::ReadOnlyRole`] until [`Dataset::promote`] turns it
+    /// into the leader. `config` only seeds the pre-mine phase; replayed
+    /// `mine` records and checkpoints carry the leader's configuration.
+    pub fn follow(
+        name: &str,
+        config: IncrementalConfig,
+        dir: &Path,
+        poll: Duration,
+    ) -> Result<Dataset, ServiceError> {
+        let state = WriteState {
+            relation: AnnotatedRelation::new(name),
+            miner: None,
+        };
+        let ds = Dataset::boot(
+            name,
+            config,
+            state,
+            None,
+            0,
+            CheckpointPolicy::default(),
+            Role::Follower,
+        )?;
+        let ctl = Arc::new(FollowerCtl::default());
+        let worker_inner = Arc::clone(&ds.inner);
+        let worker_ctl = Arc::clone(&ctl);
+        let tail_dir = dir.to_path_buf();
+        let thread = std::thread::Builder::new()
+            .name(format!("annod-follower-{name}"))
+            .spawn(move || follower_loop(&worker_inner, &worker_ctl, &tail_dir, poll))
+            .map_err(|e| ServiceError::Io(format!("cannot spawn follower thread: {e}")))?;
+        *ds.inner.replication.lock().expect("replication lock") = Some(FollowerHandle {
+            ctl,
+            dir: dir.to_path_buf(),
+            thread: Some(thread),
+        });
+        ds.inner
+            .journal
+            .record("attach", format!("dir={}", dir.display()));
+        Ok(ds)
+    }
+
+    /// Force a tail poll now and wait for it to finish, returning the
+    /// post-poll progress — `catchup` for clients that just wrote to the
+    /// leader and want the follower to reflect it. Errs if this dataset
+    /// is not a follower or its tail loop has failed.
+    pub fn catchup_now(&self) -> Result<ReplicationStatus, ServiceError> {
+        let ctl = {
+            let repl = self.inner.replication.lock().expect("replication lock");
+            match repl.as_ref() {
+                Some(h) => Arc::clone(&h.ctl),
+                None => {
+                    return Err(ServiceError::Durability(format!(
+                        "dataset {:?} is not a follower; nothing to catch up",
+                        self.inner.name
+                    )))
+                }
+            }
+        };
+        let mut st = ctl.state.lock().expect("follower lock");
+        // Wait for a poll that *starts* after this request: an in-flight
+        // poll read the directory before the caller's writes landed.
+        let target = st.polls_started + 1;
+        st.poll_requests = st.poll_requests.max(target);
+        ctl.cv.notify_all();
+        while st.polls_done < target {
+            if st.stop {
+                break;
+            }
+            if let Some(why) = &st.failed {
+                return Err(ServiceError::Durability(format!(
+                    "dataset {:?} follower failed: {why}",
+                    self.inner.name
+                )));
+            }
+            st = ctl.cv.wait(st).expect("follower lock");
+        }
+        if let Some(why) = &st.failed {
+            return Err(ServiceError::Durability(format!(
+                "dataset {:?} follower failed: {why}",
+                self.inner.name
+            )));
+        }
+        Ok(st.status())
+    }
+
+    /// Promote this follower to leader with default [`DurabilityOptions`].
+    /// See [`Dataset::promote_with`].
+    pub fn promote(&self) -> Result<(), ServiceError> {
+        self.promote_with(DurabilityOptions::default())
+    }
+
+    /// Promote a follower to **leader**: acquire the log directory's
+    /// `wal.lock` (the fencing point — a still-live leader refuses the
+    /// takeover with a lock error and the follower keeps tailing; a dead
+    /// leader's stale lock is reclaimed), stop the tail loop, re-run full
+    /// recovery over the directory (checkpoint + every intact record —
+    /// this resolves what a tailing follower never can: whether a torn
+    /// tip was a mid-write or real damage), install the recovered state
+    /// and the log, and start accepting writes.
+    ///
+    /// Publish epochs stay monotone across the role flip: the recovered
+    /// seed is taken with `fetch_max`, never stored blindly.
+    pub fn promote_with(&self, options: DurabilityOptions) -> Result<(), ServiceError> {
+        if !self.inner.follower.load(Ordering::SeqCst) {
+            return Err(ServiceError::Durability(format!(
+                "dataset {:?} is already the leader",
+                self.inner.name
+            )));
+        }
+        let dir = {
+            let repl = self.inner.replication.lock().expect("replication lock");
+            match repl.as_ref() {
+                Some(h) => h.dir.clone(),
+                None => {
+                    return Err(ServiceError::Durability(format!(
+                        "dataset {:?} has no replication attachment",
+                        self.inner.name
+                    )))
+                }
+            }
+        };
+        // Take the lock FIRST. Failing here (live leader) leaves the
+        // follower untouched and still tailing.
+        let (mut wal, recovery) = Wal::open(&dir, options.wal)
+            .map_err(|e| ServiceError::Durability(format!("cannot take over the log: {e}")))?;
+        // Now the takeover is committed: stop the tail loop.
+        let handle = self
+            .inner
+            .replication
+            .lock()
+            .expect("replication lock")
+            .take();
+        if let Some(mut h) = handle {
+            h.ctl.stop();
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
+        }
+        let config = *self.inner.config.lock().expect("config lock");
+        let rec = recover_write_state(&self.inner.name, config, recovery)?;
+        wal.set_observer(Arc::new(DatasetWalObserver {
+            metrics: Arc::clone(&self.inner.metrics),
+        }));
+        self.inner
+            .metrics
+            .set_wal_backlog_bytes(wal.stats().since_checkpoint_bytes);
+        {
+            let mut w = self.write_lock()?;
+            *self.inner.durability.lock().expect("wal lock") = Some(wal);
+            *w = rec.state;
+            self.inner
+                .tuples_hint
+                .store(w.relation.len() as u64, Ordering::Relaxed);
+            self.inner.metrics.set_store_shape(
+                w.relation.segments().len() as u64,
+                w.relation.vocab_chunk_count() as u64,
+            );
+            // Monotone across the role flip: the follower's own publishes
+            // may already be past the recovered seed.
+            self.inner
+                .publish_seq
+                .fetch_max(rec.publish_seed, Ordering::SeqCst);
+            *self.inner.config.lock().expect("config lock") = rec.config;
+            *self.inner.auto_checkpoint.lock().expect("policy lock") = options.auto_checkpoint;
+            self.inner.follower.store(false, Ordering::SeqCst);
+            self.inner.metrics.set_role_follower(false);
+            if w.miner.is_some() {
+                publish(&self.inner, &w);
+            }
+        }
+        self.inner.journal.record(
+            "promote",
+            format!(
+                "checkpoint={} replayed_records={}",
+                rec.restored_checkpoint, rec.replayed_records
+            ),
+        );
+        if let Some(damage) = rec.damage {
+            self.inner.journal.record("truncated_tail", damage);
+        }
+        Ok(())
+    }
+
     /// Stop the writer thread, draining anything already queued. Further
     /// enqueues fail with [`ServiceError::ShutDown`]. Idempotent.
     pub fn shutdown(&self) {
@@ -622,6 +893,18 @@ impl Dataset {
             let mut q = self.inner.queue.lock().expect("queue lock");
             q.shutdown = true;
             self.inner.queue_cv.notify_all();
+        }
+        if let Some(mut h) = self
+            .inner
+            .replication
+            .lock()
+            .expect("replication lock")
+            .take()
+        {
+            h.ctl.stop();
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
         }
         if let Some(handle) = self.worker.lock().expect("worker lock").take() {
             let _ = handle.join();
@@ -726,6 +1009,310 @@ fn retire_ready(inner: &Inner, inflight: &mut VecDeque<(u64, SyncTicket)>) -> Re
 /// quiet moment adds on top of the committer's sync window.
 const ACK_POLL: std::time::Duration = std::time::Duration::from_micros(200);
 
+/// Everything recovery derives from a log directory, shared by
+/// [`Dataset::open_with`] and [`Dataset::promote_with`].
+struct Recovered {
+    state: WriteState,
+    config: IncrementalConfig,
+    publish_seed: u64,
+    replayed_records: usize,
+    restored_checkpoint: bool,
+    damage: Option<String>,
+}
+
+/// Rebuild write state from a WAL recovery: restore the checkpoint
+/// (validated), replay the tail through [`apply_op`], and derive the
+/// publish-counter seed. See [`Dataset::open_with`] for the contract.
+fn recover_write_state(
+    name: &str,
+    config: IncrementalConfig,
+    recovery: anno_wal::Recovery,
+) -> Result<Recovered, ServiceError> {
+    let dur = |stage: &str, msg: String| {
+        ServiceError::Durability(format!("dataset {name:?} {stage}: {msg}"))
+    };
+    // Publish epochs must never regress across a restart. Seed the
+    // publish counter past anything the dead process can have handed
+    // out: the checkpoint stores the counter at capture time, and
+    // every logged record after it published at most one snapshot.
+    // Under grouped sync a pipelined drain can be published *before*
+    // its record is durable, so a power loss (page cache gone, unlike
+    // the process-kill case where the OS still has the bytes) may
+    // recover fewer records than were published — the writer caps
+    // that overhang at its ack pipeline depth plus the one drain in
+    // flight, so that slack is added unconditionally. (The relation's
+    // mutation epoch is a floor for checkpoints from before the
+    // counter was persisted: publishes happen only at epoch-advancing
+    // drain boundaries, so the count never exceeds the epoch by more
+    // than the replayed mine records — which the tail term covers.)
+    let mut publish_seed = recovery.tail.len() as u64 + MAX_PIPELINED_ACKS as u64 + 1;
+    let replayed_records = recovery.tail.len();
+    let restored_checkpoint = recovery.checkpoint.is_some();
+    let mut state = match recovery.checkpoint {
+        Some(ck) => {
+            let (snap_text, miner_text, ckpt_seq) = walcodec::decode_checkpoint(&ck.payload)
+                .map_err(|m| dur("checkpoint payload", m))?;
+            publish_seed += ckpt_seq.unwrap_or(0);
+            let relation =
+                snapshot_from_string(&snap_text).map_err(|m| dur("checkpoint snapshot", m))?;
+            let miner = miner_text
+                .as_deref()
+                .map(IncrementalMiner::checkpoint_from_string)
+                .transpose()
+                .map_err(|m| dur("miner checkpoint", m))?;
+            if let Some(m) = &miner {
+                // The two halves of the checkpoint must be from the
+                // same instant; continuing maintenance from a
+                // mismatched pair would silently void exactness.
+                m.validate_against(&relation)
+                    .map_err(|m| dur("checkpoint validation", m))?;
+            }
+            WriteState { relation, miner }
+        }
+        None => WriteState {
+            relation: AnnotatedRelation::new(name),
+            miner: None,
+        },
+    };
+    for payload in &recovery.tail {
+        let record = walcodec::decode(payload).map_err(|m| dur("log record", m))?;
+        // The live writer contains apply panics with catch_unwind
+        // ("an unforeseen panic in maintenance code must disable the
+        // dataset loudly"); replay needs the same containment, or a
+        // drain that was logged and then panicked would turn every
+        // future open into a crash loop instead of a clean error.
+        // The log is left untouched: the record may replay fine once
+        // the offending code is fixed.
+        let replayed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match record {
+            WalRecord::Drain(ops) => {
+                for op in ops {
+                    apply_op(&mut state, op);
+                }
+            }
+            WalRecord::Mine(mine_config) => {
+                state.miner = Some(IncrementalMiner::mine_initial(&state.relation, mine_config));
+            }
+        }));
+        if replayed.is_err() {
+            return Err(dur(
+                "log replay",
+                "a logged record panicked during re-application; \
+                 the log is preserved for inspection"
+                    .to_string(),
+            ));
+        }
+    }
+    if let Some(m) = &state.miner {
+        // Cheap resume screen over the fully replayed state; the
+        // exhaustive check stays on demand (`Dataset::verify`).
+        m.validate_against(&state.relation)
+            .map_err(|m| dur("post-replay validation", m))?;
+    }
+    let damage = recovery.damaged.as_ref().map(|damage| {
+        eprintln!("annod: dataset {name:?}: {damage}; recovered to the last intact record");
+        damage.to_string()
+    });
+    // A restored miner's configuration wins over the caller's: the
+    // maintained table is only exact under the thresholds it was
+    // built with.
+    let config = state.miner.as_ref().map_or(config, |m| m.config());
+    // Pre-publish-sequence checkpoints: the relation epoch dominates
+    // the dead process's publish count (see above), so take the max.
+    let publish_seed = publish_seed.max(state.relation.epoch());
+    Ok(Recovered {
+        state,
+        config,
+        publish_seed,
+        replayed_records,
+        restored_checkpoint,
+        damage,
+    })
+}
+
+/// How a follower poll went wrong. Transient faults (I/O against a
+/// directory mid-change) are retried at the next poll; fatal faults
+/// (undecodable or unappliable shipped state) stop the tail loop — the
+/// follower keeps serving its last good prefix, and `catchup` reports
+/// the failure.
+enum FollowerFault {
+    Transient(String),
+    Fatal(String),
+}
+
+/// Refresh the lock-free read hints after the write state changed under
+/// the write mutex.
+fn refresh_shape(inner: &Inner, w: &WriteState) {
+    inner
+        .tuples_hint
+        .store(w.relation.len() as u64, Ordering::Relaxed);
+    inner.metrics.set_store_shape(
+        w.relation.segments().len() as u64,
+        w.relation.vocab_chunk_count() as u64,
+    );
+}
+
+/// One tail poll: pull whatever the leader's directory has past the
+/// cursor and apply it. Returns `(leader_seq, bytes_behind)`.
+///
+/// Publishes are gated to **record boundaries whose apply changed the
+/// relation epoch** (or installed a miner), exactly like the live
+/// writer's drain boundaries — so every snapshot a follower ever serves
+/// equals some drain-prefix of the leader's history, never a partial
+/// batch.
+fn follower_poll(inner: &Inner, cursor: &mut TailCursor) -> Result<(u64, u64), FollowerFault> {
+    let polled = match cursor.poll() {
+        Ok(p) => p,
+        Err(WalError::Io(e)) => return Err(FollowerFault::Transient(e.to_string())),
+        Err(e) => return Err(FollowerFault::Fatal(e.to_string())),
+    };
+    let fatal = |stage: &str, msg: String| FollowerFault::Fatal(format!("{stage}: {msg}"));
+    if let Some(ck) = polled.restart {
+        // The cursor restarted from a shipped checkpoint (compaction
+        // passed us, or first contact with a checkpointed log): replace
+        // the whole write state, exactly as recovery would.
+        let (snap_text, miner_text, ckpt_seq) =
+            walcodec::decode_checkpoint(&ck.payload).map_err(|m| fatal("checkpoint payload", m))?;
+        let relation =
+            snapshot_from_string(&snap_text).map_err(|m| fatal("checkpoint snapshot", m))?;
+        let miner = miner_text
+            .as_deref()
+            .map(IncrementalMiner::checkpoint_from_string)
+            .transpose()
+            .map_err(|m| fatal("miner checkpoint", m))?;
+        if let Some(m) = &miner {
+            m.validate_against(&relation)
+                .map_err(|m| fatal("checkpoint validation", m))?;
+        }
+        let config = miner.as_ref().map(|m| m.config());
+        let mut w = inner.write.lock().expect("write lock");
+        *w = WriteState { relation, miner };
+        if let Some(config) = config {
+            *inner.config.lock().expect("config lock") = config;
+        }
+        // Keep handed-out snapshot epochs monotone past the leader's
+        // checkpointed publish counter.
+        inner
+            .publish_seq
+            .fetch_max(ckpt_seq.unwrap_or(0), Ordering::SeqCst);
+        refresh_shape(inner, &w);
+        if w.miner.is_some() {
+            publish(inner, &w);
+        }
+        inner
+            .journal
+            .record("follower_restart", format!("position={}", ck.position));
+    }
+    for payload in &polled.records {
+        let record = walcodec::decode(payload).map_err(|m| fatal("log record", m))?;
+        let mut w = inner.write.lock().expect("write lock");
+        let mined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match record {
+            WalRecord::Drain(ops) => {
+                for op in ops {
+                    apply_op(&mut w, op);
+                }
+                false
+            }
+            WalRecord::Mine(mine_config) => {
+                w.miner = Some(IncrementalMiner::mine_initial(&w.relation, mine_config));
+                *inner.config.lock().expect("config lock") = mine_config;
+                true
+            }
+        }))
+        .map_err(|_| {
+            fatal(
+                "record apply",
+                "a shipped record panicked during application".to_string(),
+            )
+        })?;
+        // Same republish screen as the live writer: only at record
+        // (= drain) boundaries, only when the state actually moved.
+        let stale = mined
+            || match inner.published.read().expect("published lock").as_ref() {
+                Some(snap) => snap.relation_epoch() != w.relation.epoch(),
+                None => w.miner.is_some(),
+            };
+        refresh_shape(inner, &w);
+        if stale {
+            publish(inner, &w);
+        }
+    }
+    Ok((polled.leader_position.segment, polled.bytes_behind))
+}
+
+/// The follower's tail thread: poll the leader's directory on a timer
+/// (or sooner, when `catchup` asks), apply what arrived, and publish the
+/// progress numbers.
+fn follower_loop(inner: &Arc<Inner>, ctl: &FollowerCtl, dir: &Path, poll: Duration) {
+    let mut cursor = TailCursor::new(dir);
+    loop {
+        {
+            let mut st = ctl.state.lock().expect("follower lock");
+            if st.stop {
+                return;
+            }
+            st.polls_started += 1;
+        }
+        let outcome = follower_poll(inner, &mut cursor);
+        {
+            let mut st = ctl.state.lock().expect("follower lock");
+            st.polls_done += 1;
+            st.applied_seq = cursor.position().segment;
+            st.records_applied = cursor.records_read();
+            st.restarts = cursor.restarts();
+            match outcome {
+                Ok((leader_seq, bytes_behind)) => {
+                    st.leader_seq = leader_seq;
+                    st.bytes_behind = bytes_behind;
+                    inner.metrics.set_replication_lag(
+                        st.applied_seq,
+                        st.leader_seq,
+                        st.bytes_behind,
+                        st.records_applied,
+                        st.restarts,
+                    );
+                }
+                Err(FollowerFault::Transient(msg)) => {
+                    // Directory mid-change (leader rolling a segment,
+                    // compaction deleting behind us): next poll retries.
+                    inner.journal.record("follower_retry", msg);
+                }
+                Err(FollowerFault::Fatal(msg)) => {
+                    eprintln!(
+                        "annod: follower for dataset {:?}: {msg}; tailing stopped \
+                         (last good prefix still served)",
+                        inner.name
+                    );
+                    inner.journal.record("follower_failed", msg.clone());
+                    st.failed = Some(msg);
+                    ctl.cv.notify_all();
+                    return;
+                }
+            }
+            ctl.cv.notify_all();
+            // Park until the next poll is due — or a catchup wants one
+            // sooner.
+            let deadline = Instant::now() + poll;
+            loop {
+                if st.stop {
+                    return;
+                }
+                if st.poll_requests > st.polls_done {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = ctl
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .expect("follower lock");
+                st = guard;
+            }
+        }
+    }
+}
+
 fn writer_loop(inner: &Inner) {
     // Drains whose effects are applied and published but whose group-
     // commit sync window has not yet closed, oldest first. Empty unless
@@ -810,7 +1397,8 @@ fn writer_loop(inner: &Inner) {
                 // record per *effective* drain".
                 let effective = batches.iter().any(|b| op_has_effect(&w.relation, b));
                 if effective {
-                    if let Some(wal) = &inner.durability {
+                    let mut dur = inner.durability.lock().expect("wal lock");
+                    if let Some(wal) = dur.as_mut() {
                         // Log before apply: the coalesced drain is written
                         // (and, under per-append sync, durable) before any
                         // of its effects can be published, so a crash
@@ -820,15 +1408,12 @@ fn writer_loop(inner: &Inner) {
                         // client-visible ack instead: flush barriers
                         // release only once the sync window closes.
                         let payload = walcodec::encode_drain(&batches);
-                        let mut wal_guard = wal.lock().expect("wal lock");
-                        ticket = wal_guard
-                            .append_async(&payload)
-                            .map_err(|e| e.to_string())?
-                            .1;
+                        ticket = wal.append_async(&payload).map_err(|e| e.to_string())?.1;
                         inner
                             .metrics
-                            .set_wal_backlog_bytes(wal_guard.stats().since_checkpoint_bytes);
+                            .set_wal_backlog_bytes(wal.stats().since_checkpoint_bytes);
                     }
+                    drop(dur);
                     for batch in batches {
                         if apply_op(&mut w, batch) {
                             applied += 1;
@@ -904,10 +1489,6 @@ fn run_checkpoint(
     inner: &Inner,
     _ckpt_guard: &std::sync::MutexGuard<'_, ()>,
 ) -> Result<(LogPosition, usize), ServiceError> {
-    let wal = inner
-        .durability
-        .as_ref()
-        .expect("checkpoint callers verify durability");
     let to_dur = |e: anno_wal::WalError| ServiceError::Durability(e.to_string());
     // Capture under the write mutex: a persistent relation clone
     // (O(#segments) pointer copies), a miner clone (O(rule table), far
@@ -919,10 +1500,11 @@ fn run_checkpoint(
             .write
             .lock()
             .map_err(|_| ServiceError::ShutDown(inner.name.clone()))?;
-        let mut wal_guard = wal.lock().expect("wal lock");
-        let prepared = wal_guard.prepare_checkpoint().map_err(to_dur)?;
-        let dir = wal_guard.dir().to_path_buf();
-        drop(wal_guard);
+        let mut dur = inner.durability.lock().expect("wal lock");
+        let wal = dur.as_mut().expect("checkpoint callers verify durability");
+        let prepared = wal.prepare_checkpoint().map_err(to_dur)?;
+        let dir = wal.dir().to_path_buf();
+        drop(dur);
         (
             w.relation.clone(),
             w.miner.clone(),
@@ -942,11 +1524,12 @@ fn run_checkpoint(
     wal_checkpoint::write_checkpoint(&dir, prepared.position(), &payload).map_err(to_dur)?;
     // Brief wal lock to compact and reset the policy accounting.
     {
-        let mut wal_guard = wal.lock().expect("wal lock");
-        wal_guard.finish_checkpoint(&prepared);
+        let mut dur = inner.durability.lock().expect("wal lock");
+        let wal = dur.as_mut().expect("checkpoint callers verify durability");
+        wal.finish_checkpoint(&prepared);
         inner
             .metrics
-            .set_wal_backlog_bytes(wal_guard.stats().since_checkpoint_bytes);
+            .set_wal_backlog_bytes(wal.stats().since_checkpoint_bytes);
     }
     inner.metrics.record_checkpoint();
     Ok((prepared.position(), payload.len()))
@@ -958,15 +1541,14 @@ fn run_checkpoint(
 /// keeps growing but stays correct); a manual checkpoint already holding
 /// the lock simply wins — it resets the same accounting.
 fn maybe_auto_checkpoint(inner: &Inner) {
-    if !inner.auto_checkpoint.is_enabled() {
+    let policy = *inner.auto_checkpoint.lock().expect("policy lock");
+    if !policy.is_enabled() {
         return;
     }
-    let Some(wal) = &inner.durability else {
-        return;
+    let due = match inner.durability.lock().expect("wal lock").as_ref() {
+        Some(wal) => policy.due(&wal.stats()),
+        None => return,
     };
-    let due = inner
-        .auto_checkpoint
-        .due(&wal.lock().expect("wal lock").stats());
     if !due {
         return;
     }

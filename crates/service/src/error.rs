@@ -21,6 +21,10 @@ pub enum ServiceError {
     /// The write-ahead log failed, refused to validate recovered state,
     /// or a durability operation was asked of a non-durable dataset.
     Durability(String),
+    /// A write verb reached a follower replica. Followers fence every
+    /// mutation (their state is replayed from the leader's log); `promote`
+    /// the dataset to accept writes.
+    ReadOnlyRole(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -40,6 +44,12 @@ impl fmt::Display for ServiceError {
             ServiceError::BadCommand(msg) => write!(f, "bad command: {msg}"),
             ServiceError::Io(msg) => write!(f, "io error: {msg}"),
             ServiceError::Durability(msg) => write!(f, "durability error: {msg}"),
+            ServiceError::ReadOnlyRole(name) => {
+                write!(
+                    f,
+                    "dataset {name:?} is a read-only follower; `promote` it to accept writes"
+                )
+            }
         }
     }
 }

@@ -157,6 +157,36 @@ pub fn render_prometheus(service: &Service) -> String {
             "Live tuples as of the last drain.",
             |r| r.live_tuples,
         ),
+        (
+            "anno_replication_follower",
+            "1 while the dataset is a read-only follower replica.",
+            |r| u64::from(r.obs.follower),
+        ),
+        (
+            "anno_replication_applied_seq",
+            "Leader log segment the follower has applied up to.",
+            |r| r.obs.repl_applied_seq,
+        ),
+        (
+            "anno_replication_leader_seq",
+            "Highest segment seen in the leader's log directory.",
+            |r| r.obs.repl_leader_seq,
+        ),
+        (
+            "anno_replication_bytes_behind",
+            "On-disk leader log bytes not yet applied by the follower.",
+            |r| r.obs.repl_bytes_behind,
+        ),
+        (
+            "anno_replication_records_applied",
+            "Shipped log records the follower has applied since attach.",
+            |r| r.obs.repl_records_applied,
+        ),
+        (
+            "anno_replication_restarts",
+            "Checkpoint restarts the follower's tail cursor performed.",
+            |r| r.obs.repl_restarts,
+        ),
     ];
     for (name, help, get) in gauges {
         family(&mut out, name, help, "gauge");

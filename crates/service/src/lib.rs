@@ -87,7 +87,7 @@ pub mod snapshot;
 mod walcodec;
 
 pub use anno_wal::{CheckpointPolicy, GroupCommitStats, GroupCommitter, SyncPolicy, WalOptions};
-pub use dataset::{Dataset, DurabilityOptions};
+pub use dataset::{Dataset, DurabilityOptions, ReplicationStatus, Role};
 pub use error::ServiceError;
 pub use expose::render_prometheus;
 pub use metrics::{DatasetObs, MetricsReport};

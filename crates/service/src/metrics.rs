@@ -47,6 +47,19 @@ pub struct Metrics {
     segments: Gauge,
     vocab_chunks: Gauge,
     wal_backlog_bytes: Gauge,
+    // Replication (all zero on a plain leader that was never attached).
+    /// 0 = leader, 1 = follower.
+    repl_follower: Gauge,
+    /// Highest leader log segment the follower has fully applied up to.
+    repl_applied_seq: Gauge,
+    /// Highest log segment present in the leader's directory.
+    repl_leader_seq: Gauge,
+    /// On-disk log bytes the follower has not applied yet.
+    repl_bytes_behind: Gauge,
+    /// Shipped log records the follower has applied.
+    repl_records_applied: Gauge,
+    /// Checkpoint restarts the follower's tail cursor performed.
+    repl_restarts: Gauge,
 }
 
 impl Metrics {
@@ -160,6 +173,29 @@ impl Metrics {
         self.wal_backlog_bytes.set(bytes);
     }
 
+    /// Mirror the dataset's replication role (`true` = follower).
+    pub fn set_role_follower(&self, follower: bool) {
+        self.repl_follower.set(u64::from(follower));
+    }
+
+    /// Mirror the follower's lag watermarks after one tail poll:
+    /// applied/leader segment sequence numbers, byte lag, cumulative
+    /// applied-record and restart counts.
+    pub fn set_replication_lag(
+        &self,
+        applied_seq: u64,
+        leader_seq: u64,
+        bytes_behind: u64,
+        records_applied: u64,
+        restarts: u64,
+    ) {
+        self.repl_applied_seq.set(applied_seq);
+        self.repl_leader_seq.set(leader_seq);
+        self.repl_bytes_behind.set(bytes_behind);
+        self.repl_records_applied.set(records_applied);
+        self.repl_restarts.set(restarts);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
@@ -196,6 +232,12 @@ impl Metrics {
             segments: self.segments.get(),
             vocab_chunks: self.vocab_chunks.get(),
             wal_backlog_bytes: self.wal_backlog_bytes.get(),
+            follower: self.repl_follower.get() != 0,
+            repl_applied_seq: self.repl_applied_seq.get(),
+            repl_leader_seq: self.repl_leader_seq.get(),
+            repl_bytes_behind: self.repl_bytes_behind.get(),
+            repl_records_applied: self.repl_records_applied.get(),
+            repl_restarts: self.repl_restarts.get(),
         }
     }
 }
@@ -235,6 +277,18 @@ pub struct DatasetObs {
     pub vocab_chunks: u64,
     /// Log bytes accumulated since the last checkpoint.
     pub wal_backlog_bytes: u64,
+    /// `true` when the dataset is a read-only follower replica.
+    pub follower: bool,
+    /// Leader log segment the follower has applied up to (0 on leaders).
+    pub repl_applied_seq: u64,
+    /// Highest segment in the tailed leader directory (0 on leaders).
+    pub repl_leader_seq: u64,
+    /// On-disk log bytes not yet applied by the follower (0 on leaders).
+    pub repl_bytes_behind: u64,
+    /// Shipped records the follower has applied (0 on leaders).
+    pub repl_records_applied: u64,
+    /// Checkpoint restarts the follower performed (0 on leaders).
+    pub repl_restarts: u64,
 }
 
 /// A frozen copy of one dataset's counters.

@@ -115,6 +115,27 @@ impl Engine {
             }),
             "datasets" => Ok(self.datasets()),
             "open" => self.open(args),
+            "attach" => self.attach(args),
+            "catchup" => {
+                let [name] = expect_args::<1>(args, "catchup <dataset>")?;
+                let ds = self.service.get(name)?;
+                let rs = ds.catchup_now()?;
+                Ok(Reply::ok(format!(
+                    "catchup {name} {}",
+                    render_replication(ds.role(), &rs)
+                )))
+            }
+            "promote" => {
+                let [name] = expect_args::<1>(args, "promote <dataset>")?;
+                let ds = self.service.get(name)?;
+                ds.promote()?;
+                Ok(Reply::ok(format!(
+                    "promoted {name} role={} tuples={} mined={}",
+                    ds.role().label(),
+                    ds.live_tuples(),
+                    ds.is_mined()
+                )))
+            }
             "drop" => {
                 let [name] = expect_args::<1>(args, "drop <dataset>")?;
                 self.service.remove(name)?;
@@ -313,6 +334,51 @@ impl Engine {
             ds.is_mined(),
             ds.sync_policy_label().unwrap_or("per_append"),
             render_policy(&policy),
+        )))
+    }
+
+    /// `attach <ds> dir <path> [poll_ms <n>]`: register a read-only
+    /// follower replica tailing the leader's log directory.
+    fn attach(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let usage = "attach <dataset> dir <path> [poll_ms <n>]";
+        let (name, rest) = args.split_first().ok_or_else(|| bad(usage))?;
+        let mut dir: Option<&str> = None;
+        let mut poll = std::time::Duration::from_millis(50);
+        let mut rest = rest;
+        while let Some((&clause, after)) = rest.split_first() {
+            rest = match clause.to_ascii_lowercase().as_str() {
+                "dir" => {
+                    let (&path, next) = after.split_first().ok_or_else(|| bad("dir <path>"))?;
+                    dir = Some(path);
+                    next
+                }
+                "poll_ms" => {
+                    let (&ms, next) = after.split_first().ok_or_else(|| bad("poll_ms <n>"))?;
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| bad(format!("poll_ms must be an integer, got {ms:?}")))?;
+                    poll = std::time::Duration::from_millis(ms);
+                    next
+                }
+                other => return Err(bad(format!("unknown attach clause {other:?}; {usage}"))),
+            };
+        }
+        let Some(path) = dir else {
+            return Err(bad(usage));
+        };
+        let ds = self.service.attach_follower(
+            name,
+            ServiceConfig::default(),
+            std::path::Path::new(path),
+            poll,
+        )?;
+        // Catch up before replying, so `attach` against a quiet leader
+        // serves its full state immediately.
+        let rs = ds.catchup_now()?;
+        Ok(Reply::ok(format!(
+            "attach {name} dir={path} poll_ms={} {}",
+            poll.as_millis(),
+            render_replication(ds.role(), &rs)
         )))
     }
 
@@ -637,6 +703,10 @@ impl Engine {
             None => payload.push(format!("tuples={} (not mined)", ds.live_tuples())),
         }
         payload.push(ds.metrics().render());
+        match ds.replication_status() {
+            Some(rs) => payload.push(render_replication(ds.role(), &rs)),
+            None => payload.push(format!("role={}", ds.role().label())),
+        }
         if let Some(ws) = ds.wal_stats() {
             payload.push(format!(
                 "wal_position={} wal_segments={} wal_appends={} wal_appended_bytes={} \
@@ -667,6 +737,29 @@ impl Engine {
         }
         Ok(Reply::block(format!("stats {name}"), payload))
     }
+}
+
+/// Render a follower's role + lag numbers for `attach`/`catchup`/`stats`
+/// lines.
+fn render_replication(
+    role: crate::dataset::Role,
+    rs: &crate::dataset::ReplicationStatus,
+) -> String {
+    let mut line = format!(
+        "role={} applied_seq={} leader_seq={} bytes_behind={} records_applied={} \
+         restarts={} polls={}",
+        role.label(),
+        rs.applied_seq,
+        rs.leader_seq,
+        rs.bytes_behind,
+        rs.records_applied,
+        rs.restarts,
+        rs.polls,
+    );
+    if let Some(why) = &rs.failed {
+        line.push_str(&format!(" failed={why:?}"));
+    }
+    line
 }
 
 /// Render a checkpoint policy for reply/stats lines: `off`, or the set
@@ -713,6 +806,9 @@ fn help() -> Reply {
         "  (item escapes: =name for keyword collisions, ann:name / data:name to force a kind)"
             .into(),
         "checkpoint <ds>  persist snapshot+miner at the log head, compact the wal".into(),
+        "attach <ds> dir <path> [poll_ms <n>]  read-only follower tailing a leader's log".into(),
+        "catchup <ds>     force a follower poll now and report replication lag".into(),
+        "promote <ds>     follower -> leader: take the wal lock, recover, accept writes".into(),
         "stats [<ds>]     per-dataset counters, or a service-wide block with no name".into(),
         "metrics          Prometheus text exposition (same bytes as GET /metrics)".into(),
         "events [<ds>] [<n>]  maintenance event journal (service-level with no name)".into(),
@@ -1175,6 +1271,93 @@ mod tests {
 
         assert!(e.execute("events nosuch").lines[0].starts_with("ERR"));
         ok(&e, "drop db");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replication_verbs_attach_fence_catchup_and_promote() {
+        let dir = std::env::temp_dir().join(format!("anno-protocol-repl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_tok = dir.to_str().unwrap().to_string();
+        let e = engine();
+
+        // Leader: durable, per-append sync (every record durable at ack).
+        ok(
+            &e,
+            &format!("open db 0.4 0.7 dir {dir_tok} sync per_append"),
+        );
+        for row in ["28 85 Annot_1", "28 85 Annot_1", "28 85 Annot_1", "28 85"] {
+            ok(&e, &format!("row db {row}"));
+        }
+        ok(&e, "mine db");
+        ok(&e, "flush db");
+
+        // Attach grammar errors first.
+        assert!(e.execute("attach f").lines[0].starts_with("ERR"));
+        assert!(e
+            .execute(&format!("attach f dir {dir_tok} poll_ms abc"))
+            .lines[0]
+            .starts_with("ERR"));
+
+        // Follower tails the same directory while the leader is live.
+        let attached = ok(&e, &format!("attach f dir {dir_tok} poll_ms 10"));
+        assert!(attached[0].contains("role=follower"), "{attached:?}");
+        let caught = ok(&e, "catchup f");
+        assert!(
+            caught[0].contains("role=follower") && caught[0].contains("bytes_behind=0"),
+            "{caught:?}"
+        );
+
+        // The follower serves the leader's mined state read-only.
+        let rules = ok(&e, "rules f");
+        assert!(rules[0].contains("3 rules"), "{rules:?}");
+        // Every write verb is fenced with the *typed* read-only error —
+        // not ShutDown: the follower is healthy, just not the leader.
+        for verb in [
+            "row f 1 2",
+            "annotate f 0 X",
+            "unannotate f 0 Annot_1",
+            "delete f 0",
+            "mine f",
+            "checkpoint f",
+        ] {
+            let reply = e.execute(verb);
+            assert!(
+                reply.lines[0].starts_with("ERR") && reply.lines[0].contains("read-only follower"),
+                "{verb:?} -> {:?}",
+                reply.lines
+            );
+        }
+        // `stats` on a follower renders the role and lag fields.
+        let stats = ok(&e, "stats f");
+        assert!(
+            stats
+                .iter()
+                .any(|l| l.contains("role=follower") && l.contains("applied_seq=")),
+            "{stats:?}"
+        );
+        // `catchup` against a leader is a client error.
+        assert!(e.execute("catchup db").lines[0].starts_with("ERR"));
+        // Promote against a live leader is refused (wal.lock held) and
+        // the follower keeps serving.
+        assert!(e.execute("promote f").lines[0].starts_with("ERR"));
+        assert!(ok(&e, "rules f")[0].contains("3 rules"));
+
+        // Kill the leader; promote the follower; writes flow again.
+        ok(&e, "drop db");
+        let promoted = ok(&e, "promote f");
+        assert!(promoted[0].contains("role=leader"), "{promoted:?}");
+        assert!(promoted[0].contains("mined=true"), "{promoted:?}");
+        let stats = ok(&e, "stats f");
+        assert!(stats.iter().any(|l| l == "role=leader"), "{stats:?}");
+        ok(&e, "annotate f 3 Annot_1");
+        ok(&e, "flush f");
+        assert!(ok(&e, "verify f")[0].contains("exact=true"));
+        // Re-promote and catchup are now client errors.
+        assert!(e.execute("promote f").lines[0].starts_with("ERR"));
+        assert!(e.execute("catchup f").lines[0].starts_with("ERR"));
+
+        ok(&e, "drop f");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

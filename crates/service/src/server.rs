@@ -316,6 +316,94 @@ quit
     }
 
     #[test]
+    fn metrics_listener_survives_hostile_clients() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let service = Arc::new(Service::new());
+        service
+            .create("db", crate::service::ServiceConfig::default())
+            .unwrap();
+        let serve_service = Arc::clone(&service);
+        std::thread::spawn(move || serve_metrics_listener(serve_service, listener));
+
+        // Each abuse below must be shed by its per-request thread without
+        // taking the accept loop down; writes may legitimately fail once
+        // the server has given up on the connection, so errors on the
+        // client side are expected and ignored.
+
+        // 1. Early disconnect: connect and vanish without sending a byte.
+        drop(TcpStream::connect(addr).expect("connect loopback"));
+
+        // 2. Malformed request line: not HTTP at all, NUL bytes included.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let _ = stream.write_all(b"\x00\x01 not http \x7f\r\n\r\n");
+            let mut response = String::new();
+            let _ = BufReader::new(stream).read_to_string(&mut response);
+            // Whatever the verdict, it is an HTTP error reply, not a hang.
+            assert!(
+                response.starts_with("HTTP/1.0 4") || response.starts_with("HTTP/1.0 405"),
+                "{response}"
+            );
+        }
+
+        // 3. A newline-free request-line flood past the line cap: the
+        // handler must error out instead of buffering forever.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let _ = stream.write_all(&vec![b'x'; (MAX_LINE_BYTES as usize) + 512]);
+            let mut sink = String::new();
+            let _ = BufReader::new(stream).read_to_string(&mut sink);
+        }
+
+        // 4. A single oversized header line (> line cap) after a valid
+        // request line: dropped mid-drain, connection closed.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let _ = stream.write_all(b"GET /metrics HTTP/1.0\r\nX-Flood: ");
+            let _ = stream.write_all(&vec![b'y'; (MAX_LINE_BYTES as usize) + 512]);
+            let mut sink = String::new();
+            let _ = BufReader::new(stream).read_to_string(&mut sink);
+        }
+
+        // 5. A header *count* flood: more header lines than the drain
+        // bound. The request is answered anyway — the bound only stops
+        // the drain, not the reply.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut request = String::from("GET /metrics HTTP/1.0\r\n");
+            for i in 0..(MAX_REQUEST_HEADERS + 16) {
+                request.push_str(&format!("X-Pad-{i}: {i}\r\n"));
+            }
+            request.push_str("\r\n");
+            let _ = stream.write_all(request.as_bytes());
+            let mut response = String::new();
+            let _ = BufReader::new(stream).read_to_string(&mut response);
+            assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        }
+
+        // 6. Disconnect mid-request: valid prefix, then hang up before
+        // the blank line.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let _ = stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n");
+            drop(stream);
+        }
+
+        // After every abuse, a well-formed scrape still gets the full
+        // exposition — the listener thread is alive and serving.
+        let stream = TcpStream::connect(addr).expect("listener still accepting");
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("anno_datasets 1"), "{response}");
+    }
+
+    #[test]
     fn tcp_round_trip() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
         let addr = listener.local_addr().unwrap();

@@ -340,6 +340,43 @@ impl Service {
         Ok(ds)
     }
 
+    /// Register a **follower** replica of the leader log directory `dir`
+    /// (see [`Dataset::follow`]): read-only, tailing the directory every
+    /// `poll`, promotable with [`Dataset::promote`]. The name is reserved
+    /// through the same protocol as a durable open, so a racing `open` or
+    /// `attach` on it is refused.
+    pub fn attach_follower(
+        &self,
+        name: &str,
+        config: ServiceConfig,
+        dir: &std::path::Path,
+        poll: Duration,
+    ) -> Result<Arc<Dataset>, ServiceError> {
+        {
+            let mut opening = self.opening.lock().expect("opening lock");
+            if opening.contains(name)
+                || self
+                    .datasets
+                    .read()
+                    .expect("registry lock")
+                    .contains_key(name)
+            {
+                return Err(ServiceError::DatasetExists(name.to_string()));
+            }
+            opening.insert(name.to_string());
+        }
+        let attached = Dataset::follow(name, config.into(), dir, poll);
+        let mut opening = self.opening.lock().expect("opening lock");
+        opening.remove(name);
+        let ds = Arc::new(attached?);
+        self.datasets
+            .write()
+            .expect("registry lock")
+            .insert(name.to_string(), Arc::clone(&ds));
+        self.ensure_sampler();
+        Ok(ds)
+    }
+
     /// Look up a dataset by name.
     pub fn get(&self, name: &str) -> Result<Arc<Dataset>, ServiceError> {
         self.datasets

@@ -48,6 +48,7 @@ pub mod observe;
 pub mod record;
 pub mod segment;
 pub mod sync;
+pub mod tail;
 
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -58,6 +59,7 @@ pub use checkpoint::Checkpoint;
 pub use observe::WalObserver;
 pub use record::{crc32, ScanDamage};
 pub use sync::{CheckpointPolicy, GroupCommitStats, GroupCommitter, SyncPolicy, SyncTicket};
+pub use tail::{TailCursor, TailPoll};
 
 use segment::{segment_header, segment_path, SEGMENT_HEADER_BYTES};
 
@@ -554,6 +556,11 @@ impl Wal {
             observer: observe::ObserverSlot::default(),
             _lock: lock,
         };
+        // Join the committer's tenant roster so its sync windows can
+        // close early once every attached log has submitted.
+        if let Some(committer) = wal.opts.sync.committer() {
+            committer.register_tenant(wal.log_id);
+        }
         Ok((
             wal,
             Recovery {
@@ -790,6 +797,11 @@ impl Drop for Wal {
         // Appends are already flushed per call; this is belt-and-braces
         // for the unsynced mode.
         let _ = self.file.sync_data();
+        // Leave the tenant roster so open sync windows stop waiting for
+        // a log that will never submit again.
+        if let Some(committer) = self.opts.sync.committer() {
+            committer.deregister_tenant(self.log_id);
+        }
     }
 }
 

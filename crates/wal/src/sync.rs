@@ -30,7 +30,7 @@
 //! log* is durable too — the property the serving layer's in-order ack
 //! pipeline relies on.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -132,6 +132,9 @@ pub struct GroupCommitStats {
     pub syncs: u64,
     /// Sync windows completed (each syncs every distinct dirty file once).
     pub windows: u64,
+    /// Windows that closed before their full duration because every
+    /// registered tenant had already submitted (nothing left to wait for).
+    pub early_closes: u64,
 }
 
 /// Result slot one waiter blocks on. `None` = still pending.
@@ -188,9 +191,28 @@ struct SyncRequest {
 struct CommitterState {
     queue: Vec<SyncRequest>,
     shutdown: bool,
+    /// Log ids of the logs currently attached to this committer. When
+    /// every one of them has a request in `queue`, holding the window
+    /// open any longer cannot grow the batch — it closes early.
+    tenants: HashSet<u64>,
     submitted: u64,
     syncs: u64,
     windows: u64,
+    early_closes: u64,
+}
+
+impl CommitterState {
+    /// `true` when the open window cannot gain anything by waiting:
+    /// every registered tenant already has a request queued. With no
+    /// registered tenants the answer is always `false` (unknown
+    /// population — wait the window out, the pre-registry behaviour).
+    fn all_tenants_submitted(&self) -> bool {
+        !self.tenants.is_empty()
+            && self
+                .tenants
+                .iter()
+                .all(|t| self.queue.iter().any(|r| r.key.0 == *t))
+    }
 }
 
 struct CommitterShared {
@@ -277,6 +299,29 @@ impl GroupCommitter {
         SyncTicket { shared }
     }
 
+    /// Register a log as a committer tenant. While registered, its sync
+    /// windows adapt: a window whose queue already covers *every*
+    /// registered tenant closes immediately instead of waiting out its
+    /// full duration (an idle-tenant-free round never pays the window).
+    /// [`Wal::open`](crate::Wal::open) registers automatically when the
+    /// policy is grouped; the matching drop deregisters.
+    pub fn register_tenant(&self, log_id: u64) {
+        let mut state = self.shared.state.lock().expect("committer lock");
+        state.tenants.insert(log_id);
+        // A currently-open window may now never satisfy the new roster;
+        // that's fine — the deadline still bounds it.
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Remove a log from the tenant roster (its windows stop waiting for
+    /// it). Idempotent.
+    pub fn deregister_tenant(&self, log_id: u64) {
+        let mut state = self.shared.state.lock().expect("committer lock");
+        state.tenants.remove(&log_id);
+        // The roster shrank: an open window may be satisfiable now.
+        self.shared.work_cv.notify_all();
+    }
+
     /// Install an observer that hears each fsync (with latency) and
     /// each closed sync window; replaces any previous one.
     pub fn set_observer(&self, observer: Arc<dyn WalObserver>) {
@@ -294,6 +339,7 @@ impl GroupCommitter {
             submitted: state.submitted,
             syncs: state.syncs,
             windows: state.windows,
+            early_closes: state.early_closes,
         }
     }
 }
@@ -325,11 +371,32 @@ fn committer_loop(shared: &CommitterShared) {
                 return;
             }
             if !shared.window.is_zero() && !state.shutdown {
-                // Window open: release the lock so tenants keep
-                // submitting, then take everything that accumulated.
-                drop(state);
-                std::thread::sleep(shared.window);
-                state = shared.state.lock().expect("committer lock");
+                // Window open: wait (releasing the lock so tenants keep
+                // submitting) until the deadline — or close early the
+                // moment every registered tenant has submitted, since no
+                // further wait can grow the batch.
+                let deadline = Instant::now() + shared.window;
+                loop {
+                    if state.shutdown {
+                        break;
+                    }
+                    if state.all_tenants_submitted() {
+                        state.early_closes += 1;
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = shared
+                        .work_cv
+                        .wait_timeout(state, deadline - now)
+                        .expect("committer lock");
+                    state = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
             }
             std::mem::take(&mut state.queue)
         };
@@ -414,6 +481,17 @@ mod tests {
         use crate::{Wal, WalOptions};
         let committer = Arc::new(GroupCommitter::with_window(Duration::from_millis(2)));
         let dirs: Vec<_> = (0..4).map(|i| test_dir(&format!("grouped-{i}"))).collect();
+        // An idle fifth tenant keeps the adaptive windows open for their
+        // full duration, so this test pins the batching path itself.
+        let idle_dir = test_dir("grouped-idle");
+        let (_idle, _) = Wal::open(
+            &idle_dir,
+            WalOptions {
+                sync: SyncPolicy::Grouped(Arc::clone(&committer)),
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
         let mut wals: Vec<Wal> = dirs
             .iter()
             .map(|d| {
@@ -458,6 +536,94 @@ mod tests {
             let (_, rec) = Wal::open(dir, WalOptions::default()).unwrap();
             assert_eq!(rec.tail.len(), 8, "log {i} lost records");
             assert!(rec.damaged.is_none());
+            std::fs::remove_dir_all(dir).unwrap();
+        }
+        drop(_idle);
+        std::fs::remove_dir_all(&idle_dir).unwrap();
+    }
+
+    #[test]
+    fn adaptive_window_closes_early_when_every_tenant_submitted() {
+        use crate::{Wal, WalOptions};
+        // A window far longer than the assertion bound: if the round
+        // waited it out, the test fails on time alone.
+        let committer = Arc::new(GroupCommitter::with_window(Duration::from_millis(500)));
+        let dirs: Vec<_> = (0..3).map(|i| test_dir(&format!("adaptive-{i}"))).collect();
+        let mut wals: Vec<Wal> = dirs
+            .iter()
+            .map(|d| {
+                Wal::open(
+                    d,
+                    WalOptions {
+                        sync: SyncPolicy::Grouped(Arc::clone(&committer)),
+                        ..WalOptions::default()
+                    },
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+
+        let start = Instant::now();
+        let tickets: Vec<_> = wals
+            .iter_mut()
+            .map(|w| w.append_async(b"round").unwrap().1.expect("grouped"))
+            .collect();
+        for t in &tickets {
+            t.wait().unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "all tenants submitted, yet the round waited {elapsed:?} of a 500ms window"
+        );
+        assert!(
+            committer.stats().early_closes >= 1,
+            "the early close must be counted: {:?}",
+            committer.stats()
+        );
+        drop(wals);
+        for dir in &dirs {
+            std::fs::remove_dir_all(dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn idle_registered_tenant_holds_the_window_open() {
+        use crate::{Wal, WalOptions};
+        let window = Duration::from_millis(120);
+        let committer = Arc::new(GroupCommitter::with_window(window));
+        let dirs: Vec<_> = (0..2)
+            .map(|i| test_dir(&format!("idle-tenant-{i}")))
+            .collect();
+        let mut wals: Vec<Wal> = dirs
+            .iter()
+            .map(|d| {
+                Wal::open(
+                    d,
+                    WalOptions {
+                        sync: SyncPolicy::Grouped(Arc::clone(&committer)),
+                        ..WalOptions::default()
+                    },
+                )
+                .unwrap()
+                .0
+            })
+            .collect();
+
+        // Only tenant 0 submits: the committer cannot know tenant 1 is
+        // idle, so the window must run its course.
+        let start = Instant::now();
+        let (_, ticket) = wals[0].append_async(b"lonely").unwrap();
+        ticket.expect("grouped").wait().unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(80),
+            "an idle tenant must not let the window close early ({elapsed:?})"
+        );
+        assert_eq!(committer.stats().early_closes, 0);
+        drop(wals);
+        for dir in &dirs {
             std::fs::remove_dir_all(dir).unwrap();
         }
     }

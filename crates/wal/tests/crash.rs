@@ -180,3 +180,104 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+/// A pid that provably does not run right now (scanned down from a high
+/// number), so a lock naming it reads as stale.
+fn dead_pid() -> u32 {
+    (2..99_999u32)
+        .rev()
+        .find(|pid| !std::path::Path::new(&format!("/proc/{pid}")).exists())
+        .expect("some pid below 99999 must be unused")
+}
+
+#[test]
+fn live_lock_refuses_every_concurrent_open() {
+    use anno_wal::WalError;
+    let dir = case_dir();
+    let (holder, _) = Wal::open(&dir, opts(4096)).unwrap();
+
+    // A stampede of opens against a *live* owner: every one must be
+    // refused with `Locked`, and none may damage the owner's lock.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+    let losers: Vec<_> = (0..8)
+        .map(|_| {
+            let dir = dir.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                Wal::open(&dir, opts(4096))
+            })
+        })
+        .collect();
+    for t in losers {
+        match t.join().unwrap() {
+            Err(WalError::Locked(_)) => {}
+            other => panic!("a live lock must refuse opens, got {other:?}"),
+        }
+    }
+
+    // The owner is unharmed: it still appends, and releasing it frees
+    // the directory for exactly the normal path.
+    let mut holder = holder;
+    holder.append(b"still the owner").unwrap();
+    drop(holder);
+    let (_, rec) = Wal::open(&dir, opts(4096)).unwrap();
+    assert_eq!(rec.tail, vec![b"still the owner".to_vec()]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_lock_is_reclaimed_by_exactly_one_racer() {
+    use anno_wal::{WalError, LOCK_FILE};
+    // Run the race several rounds: a single lucky interleaving proves
+    // little about a mutual-exclusion bug.
+    for round in 0..16 {
+        let dir = case_dir();
+        {
+            // Seed the directory with one committed record, then fake a
+            // crash: the owner "dies" leaving a lock naming a dead pid.
+            let (mut wal, _) = Wal::open(&dir, opts(4096)).unwrap();
+            wal.append(format!("pre-crash-{round}").as_bytes()).unwrap();
+            drop(wal);
+        }
+        std::fs::write(dir.join(LOCK_FILE), format!("{}:0", dead_pid())).unwrap();
+
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(6));
+        let racers: Vec<_> = (0..6)
+            .map(|_| {
+                let dir = dir.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    Wal::open(&dir, opts(4096))
+                })
+            })
+            .collect();
+        let mut winners = Vec::new();
+        for t in racers {
+            match t.join().unwrap() {
+                Ok((wal, rec)) => {
+                    // The winner sees the committed pre-crash state whole.
+                    assert_eq!(rec.tail, vec![format!("pre-crash-{round}").into_bytes()]);
+                    winners.push(wal);
+                }
+                // Losers lose cleanly: refused, never corrupted.
+                Err(WalError::Locked(_)) => {}
+                Err(other) => panic!("round {round}: unexpected failure {other:?}"),
+            }
+        }
+        assert_eq!(
+            winners.len(),
+            1,
+            "round {round}: a stale lock must be reclaimed exactly once"
+        );
+        // The reclaimed lock now names the live winner, so a follow-up
+        // open is refused like any other double-open.
+        match Wal::open(&dir, opts(4096)) {
+            Err(WalError::Locked(_)) => {}
+            other => panic!("round {round}: winner's lock must hold, got {other:?}"),
+        }
+        drop(winners);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
