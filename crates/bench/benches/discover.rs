@@ -1,0 +1,223 @@
+//! Discovery maintenance benchmarks (ISSUE 8 acceptance, recorded in
+//! `BENCH_discover.json` at the workspace root).
+//!
+//! Three questions:
+//!
+//! * **Incremental refresh vs rescan-per-drain** — the tentpole claim.
+//!   A drain script (annotation attach/detach toggles over a rich pair
+//!   space) is driven through the miner ONCE, recording after each
+//!   drain the itemset table state and the drained `DiscoveryTouch`
+//!   log. The two maintenance strategies then replay identical
+//!   recordings: per-drain [`DiscoveryIndex::refresh`] (work ∝ the
+//!   drain's item footprint) vs [`DiscoveryIndex::rebuilt_from`] (work
+//!   ∝ the whole table). The miner's own batch maintenance is identical
+//!   in both worlds and deliberately excluded from the timed region.
+//!   Acceptance: ≥10× at the 100k-tuple / 256-drain scale.
+//! * **Snapshot materialization** — what publishing the bounded top-k
+//!   (cap 64, names resolved) costs per drain, the fixed overhead both
+//!   maintenance strategies share in the service.
+//! * **Query cost** — `discover top=10` against a published snapshot:
+//!   O(k) over the pre-ranked lists, the read path dashboards poll.
+//!
+//! The workload's pair structure is deliberate: every tuple co-fires
+//! one `A_x` with one `B_y` annotation, giving |A|·|B| tracked pairs,
+//! while each drain touches one name — the regime where rescans do
+//! quadratic-in-vocabulary work for a constant-size change.
+//!
+//! Set `ANNO_BENCH_QUICK=1` (the CI bench smoke gate does) to shrink
+//! sizes so every group still runs end to end in seconds.
+
+use anno_discover::DiscoveryIndex;
+use anno_mine::{
+    DiscoveryTouch, FrequentItemsets, IncrementalConfig, IncrementalMiner, Thresholds,
+};
+use anno_store::{AnnotatedRelation, AnnotationUpdate, Item, Tuple, TupleId};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+fn quick() -> bool {
+    std::env::var_os("ANNO_BENCH_QUICK").is_some()
+}
+
+struct Workload {
+    relation: AnnotatedRelation,
+    /// The index as of the initial mine — the state both strategies
+    /// start from.
+    index: DiscoveryIndex,
+    /// Per-drain recording: the miner's table after the drain and the
+    /// touch log it drained.
+    steps: Vec<(FrequentItemsets, DiscoveryTouch)>,
+}
+
+/// Build the benchmark state: `n` tuples whose annotations pair one of
+/// `pool` `A_*` names with one of `pool` `B_*` names (so `pool²` pairs
+/// stay frequent), an initial index, and `drain_count` recorded
+/// toggle drains of 8 updates each (each full cycle through the `A_*`
+/// names detaches a slice, the next cycle re-attaches it).
+fn build(n: usize, drain_count: usize, pool: usize) -> Workload {
+    let mut relation = AnnotatedRelation::new("bench");
+    let anns_a: Vec<Item> = (0..pool)
+        .map(|i| relation.vocab_mut().annotation(&format!("A_{i}")))
+        .collect();
+    let anns_b: Vec<Item> = (0..pool)
+        .map(|i| relation.vocab_mut().annotation(&format!("B_{i}")))
+        .collect();
+    let data: Vec<Item> = (0..997)
+        .map(|i| relation.vocab_mut().data(&format!("{i}")))
+        .collect();
+    let tuples: Vec<Tuple> = (0..n)
+        .map(|i| {
+            Tuple::new(
+                [data[i % 997], data[(i * 7 + 1) % 997]],
+                [anns_a[i % pool], anns_b[(i / pool) % pool]],
+            )
+        })
+        .collect();
+    relation.extend(tuples);
+
+    // Support floor low enough that every A×B pair (n/pool² occurrences)
+    // stays frequent with 2× headroom through the removal drains.
+    let alpha = (n as f64 / (pool * pool) as f64) / 2.0 / n as f64;
+    let mut miner = IncrementalMiner::mine_initial(
+        &relation,
+        IncrementalConfig {
+            thresholds: Thresholds::new(alpha, 0.5),
+            ..Default::default()
+        },
+    );
+    let _ = miner.take_touches();
+    let index = DiscoveryIndex::rebuilt_from(miner.table());
+    assert!(
+        index.pairs_tracked() >= pool * pool / 2,
+        "the workload must track a rich pair space, got {}",
+        index.pairs_tracked()
+    );
+
+    let stride = n / pool;
+    let steps = (0..drain_count)
+        .map(|d| {
+            let x = d % pool;
+            let occ = d / pool;
+            let base = (occ / 2) * 8;
+            let updates: Vec<AnnotationUpdate> = (0..8)
+                .map(|k| AnnotationUpdate {
+                    tuple: TupleId((x + pool * ((base + k) % stride)) as u32),
+                    annotation: anns_a[x],
+                })
+                .collect();
+            if occ % 2 == 0 {
+                miner.remove_annotations(&mut relation, &updates);
+            } else {
+                miner.apply_annotations(&mut relation, updates.iter().copied());
+            }
+            (miner.table().clone(), miner.take_touches())
+        })
+        .collect();
+
+    Workload {
+        relation,
+        index,
+        steps,
+    }
+}
+
+fn maintenance(c: &mut Criterion) {
+    let (n, drain_count, pool) = if quick() {
+        (5_000, 32, 16)
+    } else {
+        (100_000, 256, 64)
+    };
+    let w = build(n, drain_count, pool);
+
+    // Correctness pin before timing anything: replaying the recorded
+    // touches must land exactly where a rescan of the final table does.
+    {
+        let mut index = w.index.clone();
+        for (table, touch) in &w.steps {
+            index.refresh(table, touch);
+        }
+        let (final_table, _) = w.steps.last().expect("non-empty script");
+        assert!(
+            index.verify_against_rescan(final_table),
+            "incremental maintenance diverged from the rescan reference"
+        );
+    }
+
+    let mut group = c.benchmark_group(format!("discover_maintain/{n}x{drain_count}"));
+    group.sample_size(10);
+    group.bench_function("incremental", |b| {
+        b.iter_batched(
+            || w.index.clone(),
+            |mut index| {
+                for (table, touch) in &w.steps {
+                    index.refresh(table, touch);
+                }
+                black_box(index.pairs_tracked())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("rescan_per_drain", |b| {
+        b.iter(|| {
+            let mut index = DiscoveryIndex::new();
+            for (table, _) in &w.steps {
+                index = DiscoveryIndex::rebuilt_from(table);
+            }
+            black_box(index.pairs_tracked())
+        })
+    });
+    group.finish();
+
+    // The acceptance ratio, measured outside criterion's estimator so
+    // the run prints it directly.
+    let inc = {
+        let mut index = w.index.clone();
+        let start = std::time::Instant::now();
+        for (table, touch) in &w.steps {
+            index.refresh(table, touch);
+        }
+        black_box(index.pairs_tracked());
+        start.elapsed()
+    };
+    let scan = {
+        let start = std::time::Instant::now();
+        let mut index = DiscoveryIndex::new();
+        for (table, _) in &w.steps {
+            index = DiscoveryIndex::rebuilt_from(table);
+        }
+        black_box(index.pairs_tracked());
+        start.elapsed()
+    };
+    println!(
+        "discover_maintain/speedup: {:.1}x (incremental {inc:.2?} vs rescan {scan:.2?} \
+         over {drain_count} drains, {} pairs tracked)",
+        scan.as_secs_f64() / inc.as_secs_f64().max(1e-9),
+        w.index.pairs_tracked(),
+    );
+}
+
+fn snapshot_and_query(c: &mut Criterion) {
+    let (n, pool) = if quick() { (5_000, 16) } else { (100_000, 64) };
+    let w = build(n, 0, pool);
+
+    let mut group = c.benchmark_group(format!("discover_read/{n}"));
+    group.bench_function("snapshot_cap64", |b| {
+        b.iter(|| {
+            black_box(
+                w.index
+                    .snapshot(1, w.relation.len() as u64, 64, w.relation.vocab()),
+            )
+            .within
+            .len()
+        })
+    });
+    let snap = w
+        .index
+        .snapshot(1, w.relation.len() as u64, 64, w.relation.vocab());
+    group.bench_function("query_top10", |b| {
+        b.iter(|| black_box(snap.query(10, 0.0, false)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, maintenance, snapshot_and_query);
+criterion_main!(benches);

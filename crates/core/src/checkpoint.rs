@@ -183,6 +183,7 @@ impl IncrementalMiner {
             base_size,
             added_since,
             stats,
+            touches: crate::incremental::DiscoveryTouch::default(),
         };
         miner.rederive();
         Ok(miner)

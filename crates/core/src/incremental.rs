@@ -66,6 +66,52 @@ impl Default for IncrementalConfig {
     }
 }
 
+/// The footprint of recent maintenance operations, for consumers that
+/// mirror the miner's counts (e.g. a discovery index): which
+/// annotation-like items may have changed support, and which
+/// pure-annotation pairs were newly stored. Drained with
+/// [`IncrementalMiner::take_touches`]; a full re-mine (or any operation
+/// whose footprint is not itemised) sets `all` instead.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryTouch {
+    /// Everything may have changed (full re-mine / initial mine): rescan
+    /// the whole table instead of applying `items`/`new_pairs`.
+    pub all: bool,
+    /// Annotation-like items whose singleton count — or the count of any
+    /// stored itemset containing them — may have changed.
+    pub items: FxHashSet<Item>,
+    /// Pure-annotation 2-itemsets newly inserted into the table (Fig. 13
+    /// discovery), as sorted `(low, high)` item pairs.
+    pub new_pairs: Vec<(Item, Item)>,
+}
+
+impl DiscoveryTouch {
+    /// `true` iff no maintenance happened since the last drain.
+    pub fn is_empty(&self) -> bool {
+        !self.all && self.items.is_empty() && self.new_pairs.is_empty()
+    }
+
+    /// Record the annotation-like items of one transaction.
+    fn note_transaction(&mut self, items: &[Item]) {
+        self.items
+            .extend(items.iter().copied().filter(|i| i.is_annotation_like()));
+    }
+
+    /// Record a newly stored itemset if it is a pure-annotation pair.
+    fn note_inserted(&mut self, s: &ItemSet) {
+        if s.len() == 2 && s.data_count() == 0 {
+            self.new_pairs.push((s.items()[0], s.items()[1]));
+        }
+    }
+
+    /// Fold another touch record into this one.
+    pub fn merge(&mut self, other: DiscoveryTouch) {
+        self.all |= other.all;
+        self.items.extend(other.items);
+        self.new_pairs.extend(other.new_pairs);
+    }
+}
+
 /// Counters describing how the miner has been maintaining its state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaintenanceStats {
@@ -101,6 +147,10 @@ pub struct IncrementalMiner {
     /// Tuples added since the last full mine.
     pub(crate) added_since: u64,
     pub(crate) stats: MaintenanceStats,
+    /// Accumulated maintenance footprint since the last
+    /// [`IncrementalMiner::take_touches`] drain. Not persisted: a restored
+    /// miner starts with an empty log and consumers rebuild from the table.
+    pub(crate) touches: DiscoveryTouch,
 }
 
 impl IncrementalMiner {
@@ -118,6 +168,7 @@ impl IncrementalMiner {
             base_size: 0,
             added_since: 0,
             stats: MaintenanceStats::default(),
+            touches: DiscoveryTouch::default(),
         };
         miner.full_remine(relation);
         miner
@@ -142,6 +193,14 @@ impl IncrementalMiner {
     /// Maintenance statistics.
     pub fn stats(&self) -> MaintenanceStats {
         self.stats
+    }
+
+    /// Drain the accumulated maintenance footprint (see
+    /// [`DiscoveryTouch`]), leaving an empty log. Consumers mirroring the
+    /// table (e.g. `anno-discover`) call this after each batch and apply
+    /// the touches to their own state.
+    pub fn take_touches(&mut self) -> DiscoveryTouch {
+        std::mem::take(&mut self.touches)
     }
 
     /// The configured thresholds.
@@ -212,6 +271,9 @@ impl IncrementalMiner {
         tuples: Vec<Tuple>,
     ) -> Vec<TupleId> {
         let transactions: Vec<Transaction> = tuples.iter().map(|t| Box::from(t.items())).collect();
+        for t in &transactions {
+            self.touches.note_transaction(t);
+        }
         let tids = relation.extend(tuples);
         self.added_since += tids.len() as u64;
         let new_size = relation.len() as u64;
@@ -279,6 +341,7 @@ impl IncrementalMiner {
         let retention_min = self.retention_min_count();
         let mut anns_sorted: Vec<Item> = delta.distinct_annotations();
         anns_sorted.sort_unstable();
+        self.touches.items.extend(anns_sorted.iter().copied());
         for &a in &anns_sorted {
             let freq = relation.index().frequency(a) as u64;
             let single = ItemSet::single(a);
@@ -376,6 +439,7 @@ impl IncrementalMiner {
                     // candidates would otherwise be re-scanned on every
                     // future batch, and their counts stay exact under the
                     // Fig. 12 delta updates like any other stored itemset.
+                    self.touches.note_inserted(&candidate);
                     self.table.insert(candidate, count);
                     if count >= retention_min {
                         self.stats.discovered_itemsets += 1;
@@ -421,6 +485,7 @@ impl IncrementalMiner {
             return 0;
         }
         self.stats.deletion_batches += 1;
+        self.touches.items.extend(removed_anns.iter().copied());
 
         // Mirror image of the Fig. 12 update: an itemset lost a match on a
         // touched tuple iff it contains a removed annotation and matched
@@ -474,6 +539,9 @@ impl IncrementalMiner {
             return 0;
         }
         self.stats.deletion_batches += 1;
+        for t in &deleted_transactions {
+            self.touches.note_transaction(t);
+        }
         let new_size = relation.len() as u64;
         if !self.budget_ok_with(self.added_since, new_size) {
             let n = deleted_transactions.len();
@@ -536,6 +604,7 @@ impl IncrementalMiner {
         self.base_size = relation.len() as u64;
         self.added_since = 0;
         self.stats.full_remines += 1;
+        self.touches.all = true;
         self.rederive();
     }
 

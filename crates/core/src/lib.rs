@@ -72,7 +72,7 @@ pub use eclat::eclat;
 pub use fpgrowth::fpgrowth;
 pub use frequent::{support_count_threshold, FrequentItemsets};
 pub use hashtree::HashTree;
-pub use incremental::{IncrementalConfig, IncrementalMiner, MaintenanceStats};
+pub use incremental::{DiscoveryTouch, IncrementalConfig, IncrementalMiner, MaintenanceStats};
 pub use itemset::{transactions_of, ItemSet, MiningMode, Transaction};
 pub use mine::{
     mine_annotation_to_annotation, mine_data_to_annotation, mine_generalized, mine_rules,

@@ -37,6 +37,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use anno_discover::{DiscoveryIndex, DiscoverySnapshot};
 use anno_metrics::{Event, EventJournal};
 use anno_mine::{IncrementalConfig, IncrementalMiner};
 use anno_store::fxhash::FxHashSet;
@@ -68,6 +69,11 @@ pub struct DurabilityOptions {
     /// When the writer should checkpoint without being asked. Disabled
     /// by default (all thresholds `None`).
     pub auto_checkpoint: CheckpointPolicy,
+    /// Test hook: sleep this long inside the checkpoint *encode* step.
+    /// Lets the offload regression test hold an automatic checkpoint's
+    /// helper thread mid-encode and prove concurrent drains do not block
+    /// on it. `None` (no stall) in production.
+    pub encode_stall_for_tests: Option<Duration>,
 }
 
 /// Which side of replication a dataset is on. A **leader** owns its log
@@ -190,9 +196,18 @@ impl WalObserver for DatasetWalObserver {
     }
 }
 
+/// Ranked discovery pairs a snapshot materializes per side (cross- and
+/// within-namespace). Bounds snapshot build cost per publish; `discover`
+/// queries clamp `top=K` to it.
+pub const DISCOVERY_TOPK_CAP: usize = 64;
+
 struct WriteState {
     relation: AnnotatedRelation,
     miner: Option<IncrementalMiner>,
+    /// The incrementally maintained correlation-discovery index, refreshed
+    /// from the miner's touch log after every maintenance pass (empty and
+    /// inert until mined).
+    discovery: DiscoveryIndex,
 }
 
 struct Inner {
@@ -205,6 +220,16 @@ struct Inner {
     config: Mutex<IncrementalConfig>,
     write: Mutex<WriteState>,
     published: RwLock<Option<Arc<RuleSnapshot>>>,
+    /// The discovery top-k published alongside `published`, carrying the
+    /// same epoch — a reader pairing the two verbs sees one instant.
+    /// Swapped under the write mutex by the same [`publish`] call.
+    published_discovery: RwLock<Option<Arc<DiscoverySnapshot>>>,
+    /// Positive-only lookaside over the vocabulary HAMT for protocol-side
+    /// name resolution, one map per [`ItemKind`] namespace (indexed by the
+    /// kind's discriminant). Interning is append-only, so a cached hit can
+    /// never go stale; misses are *never* cached — a later drain may
+    /// intern the name.
+    name_cache: [RwLock<anno_store::fxhash::FxHashMap<String, anno_store::Item>>; 3],
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     publish_seq: AtomicU64,
@@ -239,6 +264,14 @@ struct Inner {
     /// Held across capture → encode → commit; the write mutex is only
     /// taken for the capture, so the O(|D|) encode stalls nobody.
     ckpt_lock: Mutex<()>,
+    /// The in-flight automatic-checkpoint helper thread, when one is
+    /// running. Auto checkpoints capture under `ckpt_lock` on the writer
+    /// thread but encode-and-commit here, so a drain is never blocked on
+    /// an O(|D|) encode. A manual checkpoint **joins** this first (under
+    /// `ckpt_lock`): an older in-flight commit landing after a newer
+    /// manual one would record a position whose follow-up segments the
+    /// newer checkpoint already compacted.
+    ckpt_helper: Mutex<Option<JoinHandle<()>>>,
     /// The policy under which the writer checkpoints by itself after a
     /// drain. Disabled (never fires) for memory-only datasets. Mutable so
     /// promotion can install the policy of its [`DurabilityOptions`].
@@ -250,6 +283,8 @@ struct Inner {
     /// The follower attachment (tail thread + control block), when one
     /// is live. Promotion takes it out.
     replication: Mutex<Option<FollowerHandle>>,
+    /// See [`DurabilityOptions::encode_stall_for_tests`].
+    encode_stall: Mutex<Option<Duration>>,
 }
 
 /// A served dataset handle. Cheap to clone via `Arc` (the [`Service`]
@@ -270,6 +305,7 @@ impl Dataset {
         let state = WriteState {
             relation: AnnotatedRelation::new(name),
             miner: None,
+            discovery: DiscoveryIndex::new(),
         };
         Dataset::boot(
             name,
@@ -278,6 +314,7 @@ impl Dataset {
             None,
             0,
             CheckpointPolicy::default(),
+            None,
             Role::Leader,
         )
     }
@@ -320,6 +357,7 @@ impl Dataset {
             Some(wal),
             rec.publish_seed,
             options.auto_checkpoint,
+            options.encode_stall_for_tests,
             Role::Leader,
         )?;
         ds.inner.journal.record(
@@ -337,6 +375,7 @@ impl Dataset {
 
     /// Shared constructor: publish recovered state (if mined) and start
     /// the writer thread.
+    #[allow(clippy::too_many_arguments)]
     fn boot(
         name: &str,
         config: IncrementalConfig,
@@ -344,6 +383,7 @@ impl Dataset {
         mut wal: Option<Wal>,
         publish_seed: u64,
         auto_checkpoint: CheckpointPolicy,
+        encode_stall: Option<Duration>,
         role: Role,
     ) -> Result<Dataset, ServiceError> {
         let tuples = state.relation.len() as u64;
@@ -364,6 +404,8 @@ impl Dataset {
             config: Mutex::new(config),
             write: Mutex::new(state),
             published: RwLock::new(None),
+            published_discovery: RwLock::new(None),
+            name_cache: Default::default(),
             queue: Mutex::new(QueueState::default()),
             queue_cv: Condvar::new(),
             publish_seq: AtomicU64::new(publish_seed),
@@ -373,9 +415,11 @@ impl Dataset {
             journal: Arc::new(EventJournal::new(JOURNAL_CAPACITY)),
             durability: Mutex::new(wal),
             ckpt_lock: Mutex::new(()),
+            ckpt_helper: Mutex::new(None),
             auto_checkpoint: Mutex::new(auto_checkpoint),
             follower: AtomicBool::new(role == Role::Follower),
             replication: Mutex::new(None),
+            encode_stall: Mutex::new(encode_stall),
         });
         {
             // Recovered mined state is served immediately — the relation
@@ -517,6 +561,7 @@ impl Dataset {
         }
         let miner = IncrementalMiner::mine_initial(&w.relation, config);
         w.miner = Some(miner);
+        sync_discovery(&self.inner.metrics, &mut w);
         Ok(publish(&self.inner, &w).expect("just mined"))
     }
 
@@ -537,6 +582,48 @@ impl Dataset {
         self.inner.published.read().ok()?.clone()
     }
 
+    /// The latest published discovery top-k. Published in lock-step with
+    /// the rule snapshot (same epoch), so pairing the two verbs reads one
+    /// consistent instant. Never blocks on the write path.
+    pub fn discovery(&self) -> Result<Arc<DiscoverySnapshot>, ServiceError> {
+        self.inner
+            .published_discovery
+            .read()
+            .map_err(|_| ServiceError::ShutDown(self.inner.name.clone()))?
+            .clone()
+            .ok_or_else(|| ServiceError::NotMined(self.inner.name.clone()))
+    }
+
+    /// The latest discovery top-k, if one has been published.
+    pub fn try_discovery(&self) -> Option<Arc<DiscoverySnapshot>> {
+        self.inner.published_discovery.read().ok()?.clone()
+    }
+
+    /// Resolve `name` in namespace `kind` through the per-dataset
+    /// lookaside cache, falling back to the published snapshot's
+    /// vocabulary HAMT on a miss. Only **positive** results are cached:
+    /// interning is append-only, so a hit can never go stale, while an
+    /// absent name may be interned by the very next drain.
+    pub fn resolve_cached(
+        &self,
+        vocab: &anno_store::Vocabulary,
+        kind: ItemKind,
+        name: &str,
+    ) -> Option<anno_store::Item> {
+        let cache = &self.inner.name_cache[kind as usize];
+        if let Some(item) = cache.read().expect("name cache lock").get(name) {
+            self.inner.metrics.record_name_cache(true);
+            return Some(*item);
+        }
+        let item = vocab.get(kind, name)?;
+        self.inner.metrics.record_name_cache(false);
+        cache
+            .write()
+            .expect("name cache lock")
+            .insert(name.to_string(), item);
+        Some(item)
+    }
+
     /// `true` once [`Dataset::mine`] has published a snapshot.
     pub fn is_mined(&self) -> bool {
         self.inner
@@ -547,12 +634,15 @@ impl Dataset {
     }
 
     /// The paper's validation check: drain the queue, then compare the
-    /// maintained rules against a from-scratch mine of the live relation.
+    /// maintained rules against a from-scratch mine of the live relation
+    /// — and the incrementally maintained discovery index against a full
+    /// rescan of the miner's itemset table.
     pub fn verify(&self) -> Result<bool, ServiceError> {
         self.flush()?;
         let w = self.write_lock()?;
         match &w.miner {
-            Some(miner) => Ok(miner.verify_against_remine(&w.relation)),
+            Some(miner) => Ok(miner.verify_against_remine(&w.relation)
+                && w.discovery.verify_against_rescan(miner.table())),
             None => Err(ServiceError::NotMined(self.inner.name.clone())),
         }
     }
@@ -629,12 +719,32 @@ impl Dataset {
         }
         self.flush()?;
         let guard = self.inner.ckpt_lock.lock().expect("checkpoint lock");
+        // Join any in-flight automatic helper under the checkpoint lock:
+        // its captured position is older than ours, and letting its
+        // commit land *after* ours would re-point recovery at a position
+        // whose follow-up segments we are about to compact.
+        if let Some(h) = self.inner.ckpt_helper.lock().expect("helper lock").take() {
+            let _ = h.join();
+        }
         let (position, bytes) = run_checkpoint(&self.inner, &guard)?;
         self.inner.journal.record(
             "checkpoint",
             format!("position={position} payload_bytes={bytes}"),
         );
         Ok((position, bytes))
+    }
+
+    /// Wait for any in-flight automatic checkpoint commit to land.
+    ///
+    /// Auto-checkpoint encodes run on a helper thread, so counters and
+    /// durable artifacts trail the drain that tripped the policy. Tests
+    /// and operational tooling call this to observe a settled state
+    /// without forcing an extra checkpoint of their own.
+    pub fn quiesce_maintenance(&self) {
+        let _guard = self.inner.ckpt_lock.lock().expect("checkpoint lock");
+        if let Some(h) = self.inner.ckpt_helper.lock().expect("helper lock").take() {
+            let _ = h.join();
+        }
     }
 
     /// Point-in-time operation counters.
@@ -715,6 +825,7 @@ impl Dataset {
         let state = WriteState {
             relation: AnnotatedRelation::new(name),
             miner: None,
+            discovery: DiscoveryIndex::new(),
         };
         let ds = Dataset::boot(
             name,
@@ -723,6 +834,7 @@ impl Dataset {
             None,
             0,
             CheckpointPolicy::default(),
+            None,
             Role::Follower,
         )?;
         let ctl = Arc::new(FollowerCtl::default());
@@ -867,6 +979,7 @@ impl Dataset {
                 .fetch_max(rec.publish_seed, Ordering::SeqCst);
             *self.inner.config.lock().expect("config lock") = rec.config;
             *self.inner.auto_checkpoint.lock().expect("policy lock") = options.auto_checkpoint;
+            *self.inner.encode_stall.lock().expect("stall lock") = options.encode_stall_for_tests;
             self.inner.follower.store(false, Ordering::SeqCst);
             self.inner.metrics.set_role_follower(false);
             if w.miner.is_some() {
@@ -909,6 +1022,11 @@ impl Dataset {
         if let Some(handle) = self.worker.lock().expect("worker lock").take() {
             let _ = handle.join();
         }
+        // An in-flight auto-checkpoint commit finishes before shutdown
+        // returns, so a reopen of the directory sees it.
+        if let Some(h) = self.inner.ckpt_helper.lock().expect("helper lock").take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -946,8 +1064,45 @@ fn publish(inner: &Inner, w: &WriteState) -> Option<Arc<RuleSnapshot>> {
         snap.relation_epoch()
     );
     *inner.published.write().expect("published lock") = Some(Arc::clone(&snap));
+    // The discovery top-k rides the same epoch: a client pairing `rules`
+    // with `discover` can check the epochs match and know both views are
+    // from the same drain boundary.
+    let discovery = Arc::new(w.discovery.snapshot(
+        epoch,
+        w.relation.len() as u64,
+        DISCOVERY_TOPK_CAP,
+        w.relation.vocab(),
+    ));
+    inner.metrics.set_discovery_shape(
+        w.discovery.pairs_tracked() as u64,
+        discovery.cross.len() as u64,
+        discovery.within.len() as u64,
+    );
+    *inner
+        .published_discovery
+        .write()
+        .expect("published discovery lock") = Some(discovery);
     inner.metrics.record_publish();
     Some(snap)
+}
+
+/// Drain the miner's touch log into the discovery index — the step that
+/// keeps discovery *incremental*: only pairs involving items a drain
+/// touched are re-scored, everything else keeps its rank (the n-invariant
+/// rank key makes that sound; see `anno-discover`). Called on every path
+/// that runs maintenance: live drains, `mine`, recovery replay, and
+/// follower record application. No-op pre-mine or when nothing moved.
+fn sync_discovery(metrics: &Metrics, w: &mut WriteState) {
+    let WriteState {
+        miner, discovery, ..
+    } = w;
+    let Some(miner) = miner.as_mut() else { return };
+    let touches = miner.take_touches();
+    if touches.is_empty() {
+        return;
+    }
+    let ((), nanos) = timed(|| discovery.refresh(miner.table(), &touches));
+    metrics.record_discover_update(nanos);
 }
 
 /// Mark the ops up to `drained_to` as applied-and-durable, releasing
@@ -1020,6 +1175,24 @@ struct Recovered {
     damage: Option<String>,
 }
 
+/// Restore a discovery index from its checkpointed text, or — for
+/// payloads written before discovery existed — rebuild it from the
+/// restored miner's table (one rescan, paid only on that upgrade path).
+fn restore_discovery<E>(
+    text: Option<&str>,
+    miner: Option<&IncrementalMiner>,
+    err: impl Fn(&str, String) -> E,
+) -> Result<DiscoveryIndex, E> {
+    match text {
+        Some(text) => {
+            DiscoveryIndex::decode_from_string(text).map_err(|m| err("discovery checkpoint", m))
+        }
+        None => Ok(miner
+            .map(|m| DiscoveryIndex::rebuilt_from(m.table()))
+            .unwrap_or_default()),
+    }
+}
+
 /// Rebuild write state from a WAL recovery: restore the checkpoint
 /// (validated), replay the tail through [`apply_op`], and derive the
 /// publish-counter seed. See [`Dataset::open_with`] for the contract.
@@ -1050,12 +1223,13 @@ fn recover_write_state(
     let restored_checkpoint = recovery.checkpoint.is_some();
     let mut state = match recovery.checkpoint {
         Some(ck) => {
-            let (snap_text, miner_text, ckpt_seq) = walcodec::decode_checkpoint(&ck.payload)
+            let parts = walcodec::decode_checkpoint(&ck.payload)
                 .map_err(|m| dur("checkpoint payload", m))?;
-            publish_seed += ckpt_seq.unwrap_or(0);
+            publish_seed += parts.publish_seq.unwrap_or(0);
             let relation =
-                snapshot_from_string(&snap_text).map_err(|m| dur("checkpoint snapshot", m))?;
-            let miner = miner_text
+                snapshot_from_string(&parts.snapshot).map_err(|m| dur("checkpoint snapshot", m))?;
+            let miner = parts
+                .miner
                 .as_deref()
                 .map(IncrementalMiner::checkpoint_from_string)
                 .transpose()
@@ -1067,11 +1241,20 @@ fn recover_write_state(
                 m.validate_against(&relation)
                     .map_err(|m| dur("checkpoint validation", m))?;
             }
-            WriteState { relation, miner }
+            let discovery =
+                restore_discovery(parts.discovery.as_deref(), miner.as_ref(), |stage, m| {
+                    dur(stage, m)
+                })?;
+            WriteState {
+                relation,
+                miner,
+                discovery,
+            }
         }
         None => WriteState {
             relation: AnnotatedRelation::new(name),
             miner: None,
+            discovery: DiscoveryIndex::new(),
         },
     };
     for payload in &recovery.tail {
@@ -1107,6 +1290,21 @@ fn recover_write_state(
         // exhaustive check stays on demand (`Dataset::verify`).
         m.validate_against(&state.relation)
             .map_err(|m| dur("post-replay validation", m))?;
+    }
+    {
+        // The replay loop accumulated one merged touch log across every
+        // replayed record; fold it into the discovery index once. (A
+        // replayed `mine` marks the log all-dirty, so the rebuild case is
+        // covered too.)
+        let WriteState {
+            miner, discovery, ..
+        } = &mut state;
+        if let Some(m) = miner.as_mut() {
+            let touches = m.take_touches();
+            if !touches.is_empty() {
+                discovery.refresh(m.table(), &touches);
+            }
+        }
     }
     let damage = recovery.damaged.as_ref().map(|damage| {
         eprintln!("annod: dataset {name:?}: {damage}; recovered to the last intact record");
@@ -1170,11 +1368,12 @@ fn follower_poll(inner: &Inner, cursor: &mut TailCursor) -> Result<(u64, u64), F
         // The cursor restarted from a shipped checkpoint (compaction
         // passed us, or first contact with a checkpointed log): replace
         // the whole write state, exactly as recovery would.
-        let (snap_text, miner_text, ckpt_seq) =
+        let parts =
             walcodec::decode_checkpoint(&ck.payload).map_err(|m| fatal("checkpoint payload", m))?;
         let relation =
-            snapshot_from_string(&snap_text).map_err(|m| fatal("checkpoint snapshot", m))?;
-        let miner = miner_text
+            snapshot_from_string(&parts.snapshot).map_err(|m| fatal("checkpoint snapshot", m))?;
+        let miner = parts
+            .miner
             .as_deref()
             .map(IncrementalMiner::checkpoint_from_string)
             .transpose()
@@ -1183,9 +1382,15 @@ fn follower_poll(inner: &Inner, cursor: &mut TailCursor) -> Result<(u64, u64), F
             m.validate_against(&relation)
                 .map_err(|m| fatal("checkpoint validation", m))?;
         }
+        let discovery = restore_discovery(parts.discovery.as_deref(), miner.as_ref(), fatal)?;
         let config = miner.as_ref().map(|m| m.config());
+        let ckpt_seq = parts.publish_seq;
         let mut w = inner.write.lock().expect("write lock");
-        *w = WriteState { relation, miner };
+        *w = WriteState {
+            relation,
+            miner,
+            discovery,
+        };
         if let Some(config) = config {
             *inner.config.lock().expect("config lock") = config;
         }
@@ -1224,6 +1429,7 @@ fn follower_poll(inner: &Inner, cursor: &mut TailCursor) -> Result<(u64, u64), F
                 "a shipped record panicked during application".to_string(),
             )
         })?;
+        sync_discovery(&inner.metrics, &mut w);
         // Same republish screen as the live writer: only at record
         // (= drain) boundaries, only when the state actually moved.
         let stale = mined
@@ -1313,7 +1519,7 @@ fn follower_loop(inner: &Arc<Inner>, ctl: &FollowerCtl, dir: &Path, poll: Durati
     }
 }
 
-fn writer_loop(inner: &Inner) {
+fn writer_loop(inner: &Arc<Inner>) {
     // Drains whose effects are applied and published but whose group-
     // commit sync window has not yet closed, oldest first. Empty unless
     // the WAL runs `SyncPolicy::Grouped`.
@@ -1419,6 +1625,7 @@ fn writer_loop(inner: &Inner) {
                             applied += 1;
                         }
                     }
+                    sync_discovery(&inner.metrics, &mut w);
                 }
                 inner
                     .tuples_hint
@@ -1482,57 +1689,98 @@ fn writer_loop(inner: &Inner) {
     }
 }
 
-/// Run one checkpoint cycle under an already-held checkpoint lock:
-/// capture cheaply under the write mutex, encode and write with no lock
-/// held, then compact. See [`Dataset::checkpoint`] for the contract.
-fn run_checkpoint(
+/// The cheap half of a checkpoint, taken under the write mutex: clones
+/// of the state to persist plus the pinned log position. Owning (not
+/// borrowing) everything lets [`commit_checkpoint`] run on a helper
+/// thread while the writer keeps draining.
+struct CapturedCheckpoint {
+    relation: AnnotatedRelation,
+    miner: Option<IncrementalMiner>,
+    discovery: DiscoveryIndex,
+    publish_seq: u64,
+    dir: PathBuf,
+    prepared: anno_wal::PreparedCheckpoint,
+}
+
+/// Capture checkpoint state under an already-held checkpoint lock: a
+/// persistent relation clone (O(#segments) pointer copies), a miner clone
+/// (O(rule table), far below O(|D|)), the discovery index, the publish
+/// counter, and the pinned log position. The writer appends under this
+/// same mutex, so the position cannot drift past the captured state.
+fn capture_checkpoint(
     inner: &Inner,
     _ckpt_guard: &std::sync::MutexGuard<'_, ()>,
+) -> Result<CapturedCheckpoint, ServiceError> {
+    let w = inner
+        .write
+        .lock()
+        .map_err(|_| ServiceError::ShutDown(inner.name.clone()))?;
+    let mut dur = inner.durability.lock().expect("wal lock");
+    let wal = dur.as_mut().expect("checkpoint callers verify durability");
+    let prepared = wal
+        .prepare_checkpoint()
+        .map_err(|e| ServiceError::Durability(e.to_string()))?;
+    let dir = wal.dir().to_path_buf();
+    drop(dur);
+    Ok(CapturedCheckpoint {
+        relation: w.relation.clone(),
+        miner: w.miner.clone(),
+        discovery: w.discovery.clone(),
+        publish_seq: inner.publish_seq.load(Ordering::SeqCst),
+        dir,
+        prepared,
+    })
+}
+
+/// The O(|D|) half: encode the captured state and durably write the
+/// payload with no dataset lock held — drains, mines, and readers all
+/// proceed — then take a brief wal lock to compact and reset the policy
+/// accounting. Callers guarantee at most one commit is in flight at a
+/// time (the `ckpt_lock`/`ckpt_helper` protocol), so positions reach
+/// `finish_checkpoint` in capture order.
+fn commit_checkpoint(
+    inner: &Inner,
+    cap: CapturedCheckpoint,
 ) -> Result<(LogPosition, usize), ServiceError> {
-    let to_dur = |e: anno_wal::WalError| ServiceError::Durability(e.to_string());
-    // Capture under the write mutex: a persistent relation clone
-    // (O(#segments) pointer copies), a miner clone (O(rule table), far
-    // below O(|D|)), the publish counter, and the pinned log position.
-    // The writer appends under this same mutex, so the position cannot
-    // drift past the captured state.
-    let (relation, miner, publish_seq, dir, prepared) = {
-        let w = inner
-            .write
-            .lock()
-            .map_err(|_| ServiceError::ShutDown(inner.name.clone()))?;
-        let mut dur = inner.durability.lock().expect("wal lock");
-        let wal = dur.as_mut().expect("checkpoint callers verify durability");
-        let prepared = wal.prepare_checkpoint().map_err(to_dur)?;
-        let dir = wal.dir().to_path_buf();
-        drop(dur);
-        (
-            w.relation.clone(),
-            w.miner.clone(),
-            inner.publish_seq.load(Ordering::SeqCst),
-            dir,
-            prepared,
-        )
-    };
-    // The O(|D|) part — encode and durably write the payload — runs with
-    // no dataset lock held: drains, mines, and readers all proceed.
+    let stall = *inner.encode_stall.lock().expect("stall lock");
     let (payload, encode_nanos) = timed(|| {
-        let snap_text = snapshot_to_string(&relation);
-        let miner_text = miner.as_ref().map(|m| m.checkpoint_to_string());
-        walcodec::encode_checkpoint(&snap_text, miner_text.as_deref(), publish_seq)
+        if let Some(stall) = stall {
+            std::thread::sleep(stall);
+        }
+        let snap_text = snapshot_to_string(&cap.relation);
+        let miner_text = cap.miner.as_ref().map(|m| m.checkpoint_to_string());
+        let discovery_text = cap.miner.as_ref().map(|_| cap.discovery.encode_to_string());
+        walcodec::encode_checkpoint(
+            &snap_text,
+            miner_text.as_deref(),
+            cap.publish_seq,
+            discovery_text.as_deref(),
+        )
     });
     inner.metrics.record_checkpoint_encode(encode_nanos);
-    wal_checkpoint::write_checkpoint(&dir, prepared.position(), &payload).map_err(to_dur)?;
-    // Brief wal lock to compact and reset the policy accounting.
+    wal_checkpoint::write_checkpoint(&cap.dir, cap.prepared.position(), &payload)
+        .map_err(|e| ServiceError::Durability(e.to_string()))?;
     {
         let mut dur = inner.durability.lock().expect("wal lock");
         let wal = dur.as_mut().expect("checkpoint callers verify durability");
-        wal.finish_checkpoint(&prepared);
+        wal.finish_checkpoint(&cap.prepared);
         inner
             .metrics
             .set_wal_backlog_bytes(wal.stats().since_checkpoint_bytes);
     }
     inner.metrics.record_checkpoint();
-    Ok((prepared.position(), payload.len()))
+    Ok((cap.prepared.position(), payload.len()))
+}
+
+/// Run one full checkpoint cycle (capture + commit, synchronously) under
+/// an already-held checkpoint lock. See [`Dataset::checkpoint`] for the
+/// contract.
+fn run_checkpoint(
+    inner: &Inner,
+    ckpt_guard: &std::sync::MutexGuard<'_, ()>,
+) -> Result<(LogPosition, usize), ServiceError> {
+    let cap = capture_checkpoint(inner, ckpt_guard)?;
+    commit_checkpoint(inner, cap)
 }
 
 /// The automatic-checkpoint check the writer runs after each drain: fire
@@ -1540,7 +1788,27 @@ fn run_checkpoint(
 /// failed attempt is reported and retried after the next drain (the log
 /// keeps growing but stays correct); a manual checkpoint already holding
 /// the lock simply wins — it resets the same accounting.
-fn maybe_auto_checkpoint(inner: &Inner) {
+///
+/// The writer only *captures* here (pointer-cost clones under the
+/// checkpoint lock); the O(|D|) encode-and-commit runs on a detached
+/// helper thread parked in `ckpt_helper`, so the drain that tripped the
+/// policy — and every drain after it — is never blocked on the encode.
+/// At most one helper runs at a time, and a manual checkpoint joins it
+/// before committing its own (see [`Dataset::checkpoint`]), so commits
+/// still reach the log in capture order.
+fn maybe_auto_checkpoint(inner: &Arc<Inner>) {
+    {
+        // Reap a finished helper — or bail while one is still committing
+        // — *before* the due check: a commit that just landed already
+        // reset the policy accounting this check reads.
+        let mut slot = inner.ckpt_helper.lock().expect("helper lock");
+        if let Some(h) = slot.as_ref() {
+            if !h.is_finished() {
+                return;
+            }
+            let _ = slot.take().expect("just checked").join();
+        }
+    }
     let policy = *inner.auto_checkpoint.lock().expect("policy lock");
     if !policy.is_enabled() {
         return;
@@ -1555,16 +1823,40 @@ fn maybe_auto_checkpoint(inner: &Inner) {
     let Ok(guard) = inner.ckpt_lock.try_lock() else {
         return;
     };
-    match run_checkpoint(inner, &guard) {
-        Ok((position, bytes)) => {
-            inner.metrics.record_auto_checkpoint();
-            inner.journal.record(
-                "auto_checkpoint",
-                format!("position={position} payload_bytes={bytes}"),
+    let cap = match capture_checkpoint(inner, &guard) {
+        Ok(cap) => cap,
+        Err(e) => {
+            eprintln!(
+                "annod: dataset {:?}: auto-checkpoint failed ({e}); retrying after the next drain",
+                inner.name
             );
+            return;
+        }
+    };
+    let helper_inner = Arc::clone(inner);
+    let spawned = std::thread::Builder::new()
+        .name(format!("annod-ckpt-{}", inner.name))
+        .spawn(move || match commit_checkpoint(&helper_inner, cap) {
+            Ok((position, bytes)) => {
+                helper_inner.metrics.record_auto_checkpoint();
+                helper_inner.journal.record(
+                    "auto_checkpoint",
+                    format!("position={position} payload_bytes={bytes}"),
+                );
+            }
+            Err(e) => eprintln!(
+                "annod: dataset {:?}: auto-checkpoint failed ({e}); \
+                 retrying after the next drain",
+                helper_inner.name
+            ),
+        });
+    match spawned {
+        Ok(handle) => {
+            *inner.ckpt_helper.lock().expect("helper lock") = Some(handle);
         }
         Err(e) => eprintln!(
-            "annod: dataset {:?}: auto-checkpoint failed ({e}); retrying after the next drain",
+            "annod: dataset {:?}: cannot spawn checkpoint helper ({e}); \
+             retrying after the next drain",
             inner.name
         ),
     }
@@ -1584,7 +1876,9 @@ fn apply_op(state: &mut WriteState, op: UpdateOp) -> bool {
         return false;
     };
     canonicalize_batch(&mut op);
-    let WriteState { relation, miner } = state;
+    let WriteState {
+        relation, miner, ..
+    } = state;
     let rel = relation;
     match op {
         UpdateOp::InsertRows(lines) => {
@@ -2415,5 +2709,101 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn discovery_publishes_in_lock_step_with_rules() {
+        let ds = Dataset::spawn("db", config()).unwrap();
+        ds.enqueue(UpdateOp::InsertRows(vec![
+            "28 85 Annot_1 Annot_2".into(),
+            "28 85 Annot_1 Annot_2".into(),
+            "28 85 Annot_1".into(),
+            "28 85".into(),
+            "17 99".into(),
+        ]))
+        .unwrap();
+        assert!(matches!(ds.discovery(), Err(ServiceError::NotMined(_))));
+        assert!(ds.try_discovery().is_none());
+        ds.mine().unwrap();
+        let disco = ds.discovery().unwrap();
+        let snap = ds.snapshot().unwrap();
+        assert_eq!(disco.epoch, snap.epoch(), "published at the same instant");
+        assert_eq!(disco.db_size, 5);
+        assert!(
+            disco.pairs_tracked >= 1,
+            "the Annot_1×Annot_2 co-occurrence must be tracked: {disco:?}"
+        );
+        // An effective drain republishes both, still in lock-step.
+        ds.enqueue(UpdateOp::InsertRows(vec!["17 99 Annot_2".into()]))
+            .unwrap();
+        ds.flush().unwrap();
+        let disco2 = ds.discovery().unwrap();
+        let snap2 = ds.snapshot().unwrap();
+        assert!(disco2.epoch > disco.epoch, "drain refreshed discovery");
+        assert_eq!(disco2.epoch, snap2.epoch());
+        assert_eq!(disco2.db_size, 6);
+        assert!(disco2.stats.updates >= 1 || disco2.stats.rebuilds >= 1);
+    }
+
+    #[test]
+    fn legacy_checkpoint_without_discovery_rebuilds_from_the_miner() {
+        // A pre-discovery checkpoint payload decodes with no discovery
+        // section; restore must fall back to a full rebuild off the
+        // miner's itemset table, not serve an empty index.
+        let ds = loaded();
+        ds.mine().unwrap();
+        let snap = ds.snapshot().unwrap();
+        let miner = IncrementalMiner::mine_initial(snap.relation(), config());
+        let restored =
+            restore_discovery(None, Some(&miner), |ctx, e| format!("{ctx}: {e}")).unwrap();
+        assert_eq!(
+            restored.pairs_tracked(),
+            DiscoveryIndex::rebuilt_from(miner.table()).pairs_tracked()
+        );
+        assert!(restored.verify_against_rescan(miner.table()));
+        // And with no miner either (never-mined legacy dataset), the
+        // index starts empty rather than erroring.
+        let empty = restore_discovery(None, None, |ctx, e| format!("{ctx}: {e}")).unwrap();
+        assert_eq!(empty.pairs_tracked(), 0);
+    }
+
+    #[test]
+    fn name_cache_serves_hits_and_picks_up_names_interned_by_later_drains() {
+        let ds = loaded();
+        ds.mine().unwrap();
+        let snap = ds.snapshot().unwrap();
+        let vocab = snap.relation().vocab();
+        let kind = anno_store::ItemKind::Annotation;
+
+        // First resolve walks the HAMT and fills the cache; the second is
+        // a pure lookaside hit.
+        let item = ds.resolve_cached(vocab, kind, "Annot_1").unwrap();
+        let m = ds.metrics();
+        assert_eq!((m.name_cache_hits, m.name_cache_misses), (0, 1));
+        assert_eq!(ds.resolve_cached(vocab, kind, "Annot_1"), Some(item));
+        let m = ds.metrics();
+        assert_eq!((m.name_cache_hits, m.name_cache_misses), (1, 1));
+
+        // Negative results are never cached — the very next drain may
+        // intern the name (and neither counter moves for an absence).
+        assert_eq!(ds.resolve_cached(vocab, kind, "Late_Ann"), None);
+        let m = ds.metrics();
+        assert_eq!((m.name_cache_hits, m.name_cache_misses), (1, 1));
+
+        ds.enqueue(UpdateOp::InsertRows(vec!["55 66 Late_Ann".into()]))
+            .unwrap();
+        ds.flush().unwrap();
+        let snap2 = ds.snapshot().unwrap();
+        let vocab2 = snap2.relation().vocab();
+        let late = ds.resolve_cached(vocab2, kind, "Late_Ann").unwrap();
+        assert_eq!(vocab2.get(kind, "Late_Ann"), Some(late));
+        let m = ds.metrics();
+        assert_eq!((m.name_cache_hits, m.name_cache_misses), (1, 2));
+        assert_eq!(ds.resolve_cached(vocab2, kind, "Late_Ann"), Some(late));
+        // Old entries stay valid across the drain: interning is
+        // append-only, so the cached item still names the same string.
+        assert_eq!(ds.resolve_cached(vocab2, kind, "Annot_1"), Some(item));
+        let m = ds.metrics();
+        assert_eq!((m.name_cache_hits, m.name_cache_misses), (3, 2));
     }
 }

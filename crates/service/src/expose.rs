@@ -114,6 +114,21 @@ pub fn render_prometheus(service: &Service) -> String {
             |r| r.obs.report.wal_fsyncs,
         ),
         (
+            "anno_discover_queries_total",
+            "Discovery (correlation top-k) queries served.",
+            |r| r.obs.report.discover_queries,
+        ),
+        (
+            "anno_name_cache_hits_total",
+            "Protocol name resolutions answered by the lookaside cache.",
+            |r| r.obs.report.name_cache_hits,
+        ),
+        (
+            "anno_name_cache_misses_total",
+            "Protocol name resolutions that fell through to the vocabulary.",
+            |r| r.obs.report.name_cache_misses,
+        ),
+        (
             "anno_events_total",
             "Maintenance journal events recorded.",
             |r| r.events_total,
@@ -187,6 +202,26 @@ pub fn render_prometheus(service: &Service) -> String {
             "Checkpoint restarts the follower's tail cursor performed.",
             |r| r.obs.repl_restarts,
         ),
+        (
+            "anno_discover_pairs_tracked",
+            "Annotation pairs the discovery index tracks.",
+            |r| r.obs.discover_pairs_tracked,
+        ),
+        (
+            "anno_discover_topk_cross",
+            "Entries in the published cross-namespace discovery top-k.",
+            |r| r.obs.discover_topk_cross,
+        ),
+        (
+            "anno_discover_topk_within",
+            "Entries in the published within-namespace discovery top-k.",
+            |r| r.obs.discover_topk_within,
+        ),
+        (
+            "anno_discover_last_update_ns",
+            "Cost of the most recent incremental discovery refresh.",
+            |r| r.obs.discover_last_update_ns,
+        ),
     ];
     for (name, help, get) in gauges {
         family(&mut out, name, help, "gauge");
@@ -221,6 +256,11 @@ pub fn render_prometheus(service: &Service) -> String {
             "anno_checkpoint_encode_ns",
             "Checkpoint state-encode latency.",
             |r| &r.obs.checkpoint_encode,
+        ),
+        (
+            "anno_discover_update_ns",
+            "Incremental discovery-index refresh cost per drain.",
+            |r| &r.obs.discover_update,
         ),
     ];
     for (name, help, get) in hists {

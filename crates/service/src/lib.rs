@@ -86,6 +86,7 @@ pub mod service;
 pub mod snapshot;
 mod walcodec;
 
+pub use anno_discover::{DiscoveredPair, DiscoverySnapshot, DiscoveryStats};
 pub use anno_wal::{CheckpointPolicy, GroupCommitStats, GroupCommitter, SyncPolicy, WalOptions};
 pub use dataset::{Dataset, DurabilityOptions, ReplicationStatus, Role};
 pub use error::ServiceError;

@@ -35,18 +35,36 @@ pub struct Metrics {
     /// fsyncs this dataset's own log issued (per-append syncs and
     /// segment seals; grouped-sync fsyncs live on the shared committer).
     wal_fsyncs: AtomicU64,
+    /// `discover` queries served from the published discovery snapshot.
+    discover_queries: AtomicU64,
+    /// Protocol-side name resolutions answered by the lookaside cache.
+    name_cache_hits: AtomicU64,
+    /// Resolutions that fell through to the vocabulary HAMT (and, when
+    /// the name existed, primed the cache).
+    name_cache_misses: AtomicU64,
     // Latency/size distributions (see `anno_metrics::hist`).
     query_latency: Histogram,
     drain_latency: Histogram,
     drain_batch: Histogram,
     fsync_latency: Histogram,
     checkpoint_encode: Histogram,
+    /// Incremental discovery-index refresh cost per drain (ns).
+    discover_update: Histogram,
     // Levels.
     queue_depth: Gauge,
     unacked_drains: Gauge,
     segments: Gauge,
     vocab_chunks: Gauge,
     wal_backlog_bytes: Gauge,
+    // Discovery (all zero until the first mine publishes an index).
+    /// Annotation pairs the discovery index tracks.
+    discover_pairs_tracked: Gauge,
+    /// Entries in the published cross-namespace top-k.
+    discover_topk_cross: Gauge,
+    /// Entries in the published within-namespace top-k.
+    discover_topk_within: Gauge,
+    /// Cost of the most recent incremental discovery refresh (ns).
+    discover_last_update_ns: Gauge,
     // Replication (all zero on a plain leader that was never attached).
     /// 0 = leader, 1 = follower.
     repl_follower: Gauge,
@@ -118,6 +136,37 @@ impl Metrics {
     /// Record one checkpoint state encode taking `nanos`.
     pub fn record_checkpoint_encode(&self, nanos: u64) {
         self.checkpoint_encode.record(nanos);
+    }
+
+    /// Record a `discover` query taking `nanos`.
+    pub fn record_discover_query(&self, nanos: u64) {
+        self.discover_queries.fetch_add(1, Ordering::Relaxed);
+        self.read_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.query_latency.record(nanos);
+    }
+
+    /// Record one lookaside name resolution (`hit` = answered from the
+    /// cache without touching the vocabulary).
+    pub fn record_name_cache(&self, hit: bool) {
+        if hit {
+            self.name_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.name_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one incremental discovery-index refresh taking `nanos`.
+    pub fn record_discover_update(&self, nanos: u64) {
+        self.discover_update.record(nanos);
+        self.discover_last_update_ns.set(nanos);
+    }
+
+    /// Mirror the discovery index's shape after a refresh: tracked pair
+    /// count and the published top-k sizes per class.
+    pub fn set_discovery_shape(&self, pairs_tracked: u64, topk_cross: u64, topk_within: u64) {
+        self.discover_pairs_tracked.set(pairs_tracked);
+        self.discover_topk_cross.set(topk_cross);
+        self.discover_topk_within.set(topk_within);
     }
 
     /// Record one snapshot publication.
@@ -214,6 +263,12 @@ impl Metrics {
             auto_checkpoints: self.auto_checkpoints.load(Ordering::Relaxed),
             drains: self.drains.load(Ordering::Relaxed),
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            discover_queries: self.discover_queries.load(Ordering::Relaxed),
+            name_cache_hits: self.name_cache_hits.load(Ordering::Relaxed),
+            name_cache_misses: self.name_cache_misses.load(Ordering::Relaxed),
+            discover_pairs_tracked: self.discover_pairs_tracked.get(),
+            discover_topk: self.discover_topk_cross.get() + self.discover_topk_within.get(),
+            discover_last_update_ns: self.discover_last_update_ns.get(),
         }
     }
 
@@ -227,11 +282,16 @@ impl Metrics {
             drain_batch: self.drain_batch.snapshot(),
             fsync_latency: self.fsync_latency.snapshot(),
             checkpoint_encode: self.checkpoint_encode.snapshot(),
+            discover_update: self.discover_update.snapshot(),
             queue_depth: self.queue_depth.get(),
             unacked_drains: self.unacked_drains.get(),
             segments: self.segments.get(),
             vocab_chunks: self.vocab_chunks.get(),
             wal_backlog_bytes: self.wal_backlog_bytes.get(),
+            discover_pairs_tracked: self.discover_pairs_tracked.get(),
+            discover_topk_cross: self.discover_topk_cross.get(),
+            discover_topk_within: self.discover_topk_within.get(),
+            discover_last_update_ns: self.discover_last_update_ns.get(),
             follower: self.repl_follower.get() != 0,
             repl_applied_seq: self.repl_applied_seq.get(),
             repl_leader_seq: self.repl_leader_seq.get(),
@@ -267,6 +327,8 @@ pub struct DatasetObs {
     pub fsync_latency: HistogramSnapshot,
     /// Checkpoint state-encode latency (ns).
     pub checkpoint_encode: HistogramSnapshot,
+    /// Incremental discovery-index refresh cost per drain (ns).
+    pub discover_update: HistogramSnapshot,
     /// Pending updates in the write queue.
     pub queue_depth: u64,
     /// Applied-but-unacked pipelined drains.
@@ -277,6 +339,14 @@ pub struct DatasetObs {
     pub vocab_chunks: u64,
     /// Log bytes accumulated since the last checkpoint.
     pub wal_backlog_bytes: u64,
+    /// Annotation pairs the discovery index tracks.
+    pub discover_pairs_tracked: u64,
+    /// Entries in the published cross-namespace discovery top-k.
+    pub discover_topk_cross: u64,
+    /// Entries in the published within-namespace discovery top-k.
+    pub discover_topk_within: u64,
+    /// Cost of the most recent incremental discovery refresh (ns).
+    pub discover_last_update_ns: u64,
     /// `true` when the dataset is a read-only follower replica.
     pub follower: bool,
     /// Leader log segment the follower has applied up to (0 on leaders).
@@ -325,6 +395,18 @@ pub struct MetricsReport {
     pub drains: u64,
     /// fsyncs issued by this dataset's own log.
     pub wal_fsyncs: u64,
+    /// `discover` queries served.
+    pub discover_queries: u64,
+    /// Name resolutions answered by the lookaside cache.
+    pub name_cache_hits: u64,
+    /// Name resolutions that fell through to the vocabulary HAMT.
+    pub name_cache_misses: u64,
+    /// Annotation pairs the discovery index currently tracks.
+    pub discover_pairs_tracked: u64,
+    /// Published discovery top-k size (cross + within classes).
+    pub discover_topk: u64,
+    /// Cost of the most recent incremental discovery refresh (ns).
+    pub discover_last_update_ns: u64,
 }
 
 impl MetricsReport {
@@ -358,7 +440,8 @@ impl MetricsReport {
              ops_coalesced={} snapshots_published={} flushes={} \
              checkpoints={} auto_checkpoints={} drains={} \
              read_nanos={} write_nanos={} mean_read_ns={} mean_write_ns={} \
-             fsyncs_per_drain={:.2}",
+             fsyncs_per_drain={:.2} discover_queries={} discover_pairs={} \
+             discover_topk={} discover_last_update_ns={}",
             self.rule_queries,
             self.recommend_queries,
             self.snapshot_reads,
@@ -376,6 +459,10 @@ impl MetricsReport {
             self.mean_read_nanos().unwrap_or(0),
             self.mean_write_nanos().unwrap_or(0),
             self.fsyncs_per_drain(),
+            self.discover_queries,
+            self.discover_pairs_tracked,
+            self.discover_topk,
+            self.discover_last_update_ns,
         )
     }
 }

@@ -163,6 +163,7 @@ impl Engine {
             }
             "rules" => self.rules(args),
             "recommend" => self.recommend(args),
+            "discover" => self.discover(args),
             "stats" => self.stats(args),
             "metrics" => Ok(self.metrics()),
             "events" => self.events(args),
@@ -317,6 +318,7 @@ impl Engine {
                 ..anno_wal::WalOptions::default()
             },
             auto_checkpoint: policy,
+            ..Default::default()
         };
         let ds =
             self.service
@@ -467,7 +469,7 @@ impl Engine {
                             break;
                         }
                         consumed += 1;
-                        match resolve_item(&snap, item_tok) {
+                        match resolve_item(&ds, &snap, item_tok) {
                             Some(item) => filter.antecedent.push(item),
                             None => unknown_item = true,
                         }
@@ -551,7 +553,7 @@ impl Engine {
                     }
                     let items: Vec<Item> = toks
                         .iter()
-                        .filter_map(|t| resolve_item(&snap, unescape_item(t).0))
+                        .filter_map(|t| resolve_item(&ds, &snap, unescape_item(t).0))
                         .collect();
                     timed(|| Some(top_k_for_items(&snap, &items, k)))
                 }
@@ -574,6 +576,60 @@ impl Engine {
             .collect();
         Ok(Reply::block(
             format!("{} recommendations", payload.len()),
+            payload,
+        ))
+    }
+
+    /// Serve the ranked correlation top-k from the published discovery
+    /// snapshot — O(k), never touching the write path. Cross-namespace
+    /// pairs (annotation families co-firing) lead; same-namespace pairs
+    /// follow unless `cross_only` drops them.
+    fn discover(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let usage = "discover <dataset> [top=<k>] [min_support=<x>] [cross_only]";
+        let (name, rest) = args.split_first().ok_or_else(|| bad(usage))?;
+        let ds = self.service.get(name)?;
+        let mut k = DEFAULT_TOP_K;
+        let mut min_support = 0.0f64;
+        let mut cross_only = false;
+        for tok in rest {
+            match tok.to_ascii_lowercase().as_str() {
+                "cross_only" => cross_only = true,
+                other => match other.split_once('=') {
+                    Some(("top", v)) => k = parse_count(v)?,
+                    Some(("min_support", v)) => min_support = parse_fraction(v, "min_support")?,
+                    _ => return Err(bad(format!("unknown discover clause {tok:?}; {usage}"))),
+                },
+            }
+        }
+        let k = k.min(crate::dataset::DISCOVERY_TOPK_CAP);
+        let snap = ds.discovery()?;
+        let (payload, nanos) = timed(|| {
+            snap.query(k, min_support, cross_only)
+                .into_iter()
+                .map(|p| {
+                    format!(
+                        "{} ~ {} count={} support={:.4} lift={:.3} leverage={:.5} \
+                         significant={} cross={}",
+                        p.a_name,
+                        p.b_name,
+                        p.count,
+                        p.support,
+                        p.lift,
+                        p.leverage,
+                        p.significant,
+                        p.cross,
+                    )
+                })
+                .collect::<Vec<String>>()
+        });
+        ds.raw_metrics().record_discover_query(nanos);
+        Ok(Reply::block(
+            format!(
+                "{} correlations epoch={} pairs_tracked={}",
+                payload.len(),
+                snap.epoch,
+                snap.pairs_tracked,
+            ),
             payload,
         ))
     }
@@ -702,6 +758,20 @@ impl Engine {
             }
             None => payload.push(format!("tuples={} (not mined)", ds.live_tuples())),
         }
+        if let Some(d) = ds.try_discovery() {
+            payload.push(format!(
+                "discovery_epoch={} discovery_pairs={} discovery_topk_cross={} \
+                 discovery_topk_within={} discovery_updates={} discovery_rebuilds={} \
+                 discovery_rescored={}",
+                d.epoch,
+                d.pairs_tracked,
+                d.cross.len(),
+                d.within.len(),
+                d.stats.updates,
+                d.stats.rebuilds,
+                d.stats.rescored,
+            ));
+        }
         payload.push(ds.metrics().render());
         match ds.replication_status() {
             Some(rs) => payload.push(render_replication(ds.role(), &rs)),
@@ -805,6 +875,9 @@ fn help() -> Reply {
         "recommend <ds> items <item>... [top <k>]".into(),
         "  (item escapes: =name for keyword collisions, ann:name / data:name to force a kind)"
             .into(),
+        "discover <ds> [top=<k>] [min_support=<x>] [cross_only]".into(),
+        "  (ranked annotation correlations — lift/leverage over co-occurring pairs,".into(),
+        "   maintained incrementally per drain; cross-namespace pairs rank first)".into(),
         "checkpoint <ds>  persist snapshot+miner at the log head, compact the wal".into(),
         "attach <ds> dir <path> [poll_ms <n>]  read-only follower tailing a leader's log".into(),
         "catchup <ds>     force a follower poll now and report replication lag".into(),
@@ -896,22 +969,25 @@ fn split_top_clause<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, usize), Servi
 /// otherwise the shared Fig. 4 convention (`anno_store::token_kind`)
 /// picks the preferred kind, falling back to the other on a miss so
 /// digit-named annotations stay queryable when unambiguous.
-fn resolve_item(snap: &RuleSnapshot, tok: &str) -> Option<Item> {
+/// Lookups go through the dataset's per-namespace lookaside cache
+/// ([`crate::dataset::Dataset::resolve_cached`]): hot query names skip
+/// the HAMT walk entirely, and append-only interning keeps every cached
+/// hit valid forever (misses are never cached).
+fn resolve_item(ds: &crate::dataset::Dataset, snap: &RuleSnapshot, tok: &str) -> Option<Item> {
     let vocab = snap.relation().vocab();
     if let Some(rest) = tok.strip_prefix("ann:") {
-        return vocab.get(ItemKind::Annotation, rest);
+        return ds.resolve_cached(vocab, ItemKind::Annotation, rest);
     }
     if let Some(rest) = tok.strip_prefix("data:") {
-        return vocab.get(ItemKind::Data, rest);
+        return ds.resolve_cached(vocab, ItemKind::Data, rest);
     }
     let preferred = anno_store::token_kind(tok);
     let fallback = match preferred {
         ItemKind::Data => ItemKind::Annotation,
         _ => ItemKind::Data,
     };
-    vocab
-        .get(preferred, tok)
-        .or_else(|| vocab.get(fallback, tok))
+    ds.resolve_cached(vocab, preferred, tok)
+        .or_else(|| ds.resolve_cached(vocab, fallback, tok))
 }
 
 #[cfg(test)]
@@ -986,6 +1062,79 @@ mod tests {
 
         let bye = e.execute("quit");
         assert!(bye.quit);
+    }
+
+    #[test]
+    fn discover_verb_serves_the_ranked_topk() {
+        let e = engine();
+        assert!(e.execute("discover").lines[0].starts_with("ERR"));
+        assert!(e.execute("discover nosuch").lines[0].starts_with("ERR"));
+        ok(&e, "open db 0.3 0.6");
+        for row in [
+            "28 85 Annot_1 Annot_2",
+            "28 85 Annot_1 Annot_2",
+            "28 85 Annot_1",
+            "17 99 Annot_3",
+            "17 99",
+        ] {
+            ok(&e, &format!("row db {row}"));
+        }
+        assert!(
+            e.execute("discover db").lines[0].starts_with("ERR"),
+            "no top-k before mine"
+        );
+        ok(&e, "mine db");
+
+        let all = ok(&e, "discover db");
+        assert!(
+            all[0].contains("correlations epoch=") && all[0].contains("pairs_tracked="),
+            "{all:?}"
+        );
+        assert!(all.len() >= 3, "header + at least one pair + terminator");
+        assert!(
+            all[1].contains("Annot_") && all[1].contains("lift=") && all[1].contains("count="),
+            "{all:?}"
+        );
+        assert_eq!(all.last().unwrap(), ".");
+
+        let top1 = ok(&e, "discover db top=1");
+        assert!(top1[0].starts_with("OK 1 correlations"), "{top1:?}");
+        let none = ok(&e, "discover db min_support=0.99");
+        assert!(none[0].starts_with("OK 0 correlations"), "{none:?}");
+        // No labels in this dataset: cross_only legitimately serves zero.
+        let cross = ok(&e, "discover db cross_only");
+        assert!(cross[0].starts_with("OK 0 correlations"), "{cross:?}");
+
+        assert!(e.execute("discover db banana=1").lines[0].starts_with("ERR"));
+        assert!(e.execute("discover db top=zap").lines[0].starts_with("ERR"));
+        assert!(e.execute("discover db min_support=7").lines[0].starts_with("ERR"));
+
+        // A drain refreshes the ranking: the served epoch advances.
+        let epoch_of = |header: &str| {
+            header
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix("epoch="))
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        ok(&e, "annotate db 4 Annot_1");
+        ok(&e, "flush db");
+        let after = ok(&e, "discover db");
+        assert!(epoch_of(&after[0]) > epoch_of(&all[0]), "{after:?}");
+
+        // Discovery shape and query counters reach the stats verb.
+        let stats = ok(&e, "stats db");
+        assert!(
+            stats.iter().any(|l| l.contains("discovery_pairs=")),
+            "{stats:?}"
+        );
+        assert!(
+            stats
+                .iter()
+                .any(|l| l.contains("discover_queries=") && !l.contains("discover_queries=0")),
+            "{stats:?}"
+        );
     }
 
     #[test]
@@ -1175,13 +1324,23 @@ mod tests {
         );
         // records=3: the appends crossed it at least once. How many times
         // depends on how the un-flushed rows coalesced (1–4 drains), so
-        // pin only "fired at all".
-        assert!(
-            stats
+        // pin only "fired at all". The commit runs on a helper thread, so
+        // poll briefly for the counter to land.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let stats = ok(&e, "stats db");
+            if stats
                 .iter()
-                .any(|l| l.contains("auto_checkpoints=") && !l.contains("auto_checkpoints=0")),
-            "the policy fired without any checkpoint command: {stats:?}"
-        );
+                .any(|l| l.contains("auto_checkpoints=") && !l.contains("auto_checkpoints=0"))
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "the policy fired without any checkpoint command: {stats:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
 
         // Reopen with per-append sync: clauses parse, recovery holds.
         ok(&e, "drop db");

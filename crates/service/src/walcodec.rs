@@ -120,11 +120,17 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<WalRecord, String> {
 }
 
 /// Serialize a checkpoint payload: the relation snapshot text, the miner
-/// checkpoint text once mined, and the dataset's publish sequence number
-/// at capture time — recovery seeds its own publish counter from it so a
+/// checkpoint text once mined, the dataset's publish sequence number at
+/// capture time — recovery seeds its own publish counter from it so a
 /// client comparing snapshot epochs never sees time run backwards across
-/// a restart.
-pub(crate) fn encode_checkpoint(snapshot: &str, miner: Option<&str>, publish_seq: u64) -> Vec<u8> {
+/// a restart — and the discovery-index text, so the incrementally
+/// maintained top-k recovers (and replicates) without a rescan.
+pub(crate) fn encode_checkpoint(
+    snapshot: &str,
+    miner: Option<&str>,
+    publish_seq: u64,
+    discovery: Option<&str>,
+) -> Vec<u8> {
     let mut out = Vec::new();
     put_str(&mut out, snapshot);
     match miner {
@@ -135,16 +141,31 @@ pub(crate) fn encode_checkpoint(snapshot: &str, miner: Option<&str>, publish_seq
         None => out.push(0),
     }
     put_u64(&mut out, publish_seq);
+    match discovery {
+        Some(text) => {
+            out.push(1);
+            put_str(&mut out, text);
+        }
+        None => out.push(0),
+    }
     out
 }
 
-/// Deserialize a checkpoint payload back into its two text documents and
-/// the captured publish sequence. Payloads written before the sequence
-/// was added simply end after the miner field; they decode with
-/// `publish_seq: None` and the caller derives a safe seed instead.
-pub(crate) fn decode_checkpoint(
-    bytes: &[u8],
-) -> Result<(String, Option<String>, Option<u64>), String> {
+/// A decoded checkpoint payload. Optional trailing fields decode to
+/// `None` when absent: payloads written before each field was added
+/// simply end earlier, and the caller substitutes a safe derivation (a
+/// conservative publish seed; a discovery rebuild from the miner table).
+pub(crate) struct CheckpointParts {
+    pub snapshot: String,
+    pub miner: Option<String>,
+    pub publish_seq: Option<u64>,
+    pub discovery: Option<String>,
+}
+
+/// Deserialize a checkpoint payload back into its text documents and the
+/// captured publish sequence. Trailing fields are version-optional — see
+/// [`CheckpointParts`] — but a *truncated* field is still an error.
+pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointParts, String> {
     let mut cur = Cursor::new(bytes);
     let snapshot = cur.str()?;
     let miner = match cur.u8()? {
@@ -157,8 +178,22 @@ pub(crate) fn decode_checkpoint(
     } else {
         Some(cur.u64()?)
     };
+    let discovery = if cur.exhausted() {
+        None
+    } else {
+        match cur.u8()? {
+            0 => None,
+            1 => Some(cur.str()?),
+            other => return Err(format!("bad discovery-presence flag {other}")),
+        }
+    };
     cur.finish()?;
-    Ok((snapshot, miner, publish_seq))
+    Ok(CheckpointParts {
+        snapshot,
+        miner,
+        publish_seq,
+        discovery,
+    })
 }
 
 fn encode_op(out: &mut Vec<u8>, op: &UpdateOp) {
@@ -422,16 +457,22 @@ mod tests {
 
     #[test]
     fn checkpoint_payloads_roundtrip() {
-        let (snap, miner, seq) =
-            decode_checkpoint(&encode_checkpoint("snapshot text", Some("miner text"), 17)).unwrap();
-        assert_eq!(snap, "snapshot text");
-        assert_eq!(miner.as_deref(), Some("miner text"));
-        assert_eq!(seq, Some(17));
-        let (snap, miner, seq) =
-            decode_checkpoint(&encode_checkpoint("pre-mine", None, 0)).unwrap();
-        assert_eq!(snap, "pre-mine");
-        assert_eq!(miner, None);
-        assert_eq!(seq, Some(0));
+        let parts = decode_checkpoint(&encode_checkpoint(
+            "snapshot text",
+            Some("miner text"),
+            17,
+            Some("discovery text"),
+        ))
+        .unwrap();
+        assert_eq!(parts.snapshot, "snapshot text");
+        assert_eq!(parts.miner.as_deref(), Some("miner text"));
+        assert_eq!(parts.publish_seq, Some(17));
+        assert_eq!(parts.discovery.as_deref(), Some("discovery text"));
+        let parts = decode_checkpoint(&encode_checkpoint("pre-mine", None, 0, None)).unwrap();
+        assert_eq!(parts.snapshot, "pre-mine");
+        assert_eq!(parts.miner, None);
+        assert_eq!(parts.publish_seq, Some(0));
+        assert_eq!(parts.discovery, None);
     }
 
     #[test]
@@ -442,13 +483,33 @@ mod tests {
         put_str(&mut legacy, "old snapshot");
         legacy.push(1);
         put_str(&mut legacy, "old miner");
-        let (snap, miner, seq) = decode_checkpoint(&legacy).unwrap();
-        assert_eq!(snap, "old snapshot");
-        assert_eq!(miner.as_deref(), Some("old miner"));
-        assert_eq!(seq, None, "legacy payloads carry no publish sequence");
-        // A *truncated* sequence field is still an error, not a silent None.
-        let mut torn = encode_checkpoint("s", None, 7);
+        let parts = decode_checkpoint(&legacy).unwrap();
+        assert_eq!(parts.snapshot, "old snapshot");
+        assert_eq!(parts.miner.as_deref(), Some("old miner"));
+        assert_eq!(
+            parts.publish_seq, None,
+            "legacy payloads carry no publish sequence"
+        );
+        assert_eq!(parts.discovery, None);
+        // The PR-5..7 format ended right after the publish sequence; it
+        // decodes with `discovery: None` and the caller rebuilds instead.
+        let mut mid = Vec::new();
+        put_str(&mut mid, "mid snapshot");
+        mid.push(0);
+        put_u64(&mut mid, 42);
+        let parts = decode_checkpoint(&mid).unwrap();
+        assert_eq!(parts.snapshot, "mid snapshot");
+        assert_eq!(parts.publish_seq, Some(42));
+        assert_eq!(
+            parts.discovery, None,
+            "pre-discovery payloads decode without a discovery document"
+        );
+        // A *truncated* trailing field is still an error, not a silent None.
+        let mut torn = encode_checkpoint("s", None, 7, None);
         torn.truncate(torn.len() - 3);
+        assert!(decode_checkpoint(&torn).is_err());
+        let mut torn = encode_checkpoint("s", None, 7, Some("d"));
+        torn.truncate(torn.len() - 1);
         assert!(decode_checkpoint(&torn).is_err());
     }
 

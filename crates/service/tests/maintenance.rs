@@ -103,6 +103,7 @@ fn auto_checkpoint_fires_bounds_replay_and_survives_reopen() {
         // accumulates 3 more records afterwards.
         let ds = Dataset::open_with("db", config(), &dir, policy_records(4)).unwrap();
         run_script(&ds);
+        ds.quiesce_maintenance();
         let m = ds.metrics();
         assert_eq!(m.auto_checkpoints, 1, "policy fired exactly once: {m:?}");
         assert_eq!(m.checkpoints, 1, "auto checkpoints count as checkpoints");
@@ -150,6 +151,7 @@ fn crash_mid_auto_checkpoint_recovers_byte_identically_to_manual() {
         ds.mine().unwrap();
         drain(&ds, annotate(&[(3, "A0"), (5, "A1")]));
         drain(&ds, rows(&["2 3 A0", "7 8"]));
+        ds.quiesce_maintenance();
         assert_eq!(ds.metrics().auto_checkpoints, 1);
         // One more drain past the checkpoint, then "crash".
         drain(&ds, annotate(&[(6, "A1")]));
@@ -402,6 +404,7 @@ proptest! {
         let fired = {
             let ds = Dataset::open_with("db", config(), &auto_dir, policy_records(trigger)).unwrap();
             script(&ds);
+            ds.quiesce_maintenance();
             ds.metrics().auto_checkpoints
         };
         {

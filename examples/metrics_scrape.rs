@@ -40,6 +40,7 @@ fn main() -> std::io::Result<()> {
             replayed_records: Some(8),
             ..Default::default()
         },
+        ..Default::default()
     };
     let ds = service
         .open_durable_with("curation", config, &dir, options)
