@@ -1,0 +1,321 @@
+//! Sharded front-end load benchmarks (recorded in `BENCH_serve.json` at
+//! the workspace root).
+//!
+//! Two questions:
+//!
+//! * **Protocol round trips** — what one `ping` / queued write / top-k
+//!   rule query costs end to end through a real TCP socket and the
+//!   worker-per-core reactor (`serve_round_trip/*`). This is the floor
+//!   an idle shard adds over the engine itself.
+//! * **Admission under flood** — K tenants × M concurrent clients,
+//!   mixed interactive/bulk (`serve_flood/*`): bulk loaders pipeline
+//!   tens of thousands of writes at tenants with small bounded queues
+//!   while interactive clients keep querying mined tenants. The bench
+//!   *asserts* the two admission invariants the CI load-smoke job
+//!   gates on — no bulk tenant's queue ever exceeds its configured
+//!   cap, and the interactive p99 stays bounded while the flood rages
+//!   — and prints them as grep-able `serve_flood:` marker lines next
+//!   to the usual `bench:` timings.
+//!
+//! Set `ANNO_BENCH_QUICK=1` (the CI gates do) to shrink the flood so
+//! the whole target runs in seconds.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use anno_service::server::serve_listener_sharded;
+use anno_service::{Dataset, Service};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn quick() -> bool {
+    std::env::var_os("ANNO_BENCH_QUICK").is_some()
+}
+
+/// Every bulk tenant's admission cap on pending individual updates:
+/// small enough that the flood saturates it, so the bench exercises
+/// shed + read-suspension rather than an always-empty queue.
+const BULK_CAP: usize = 256;
+
+/// Writes each bulk client pipelines before waiting for that batch's
+/// replies — deeper than the cap so admission is genuinely exercised,
+/// bounded so a suspended connection's unread input stays within the
+/// reactor's buffer caps.
+const PIPELINE: usize = 512;
+
+fn start_sharded(shards: usize) -> (Arc<Service>, SocketAddr) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let service = Arc::new(Service::new());
+    let serve = Arc::clone(&service);
+    std::thread::spawn(move || serve_listener_sharded(serve, listener, shards));
+    (service, addr)
+}
+
+/// A line-protocol client over real TCP.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect loopback");
+        // A command is written as several small chunks; without nodelay,
+        // Nagle + delayed ACK turns every round trip into ~40ms.
+        stream.set_nodelay(true).expect("nodelay");
+        let writer = stream.try_clone().unwrap();
+        let mut client = Client {
+            writer,
+            reader: BufReader::new(stream),
+        };
+        let banner = client.read_line();
+        assert!(banner.starts_with("OK annod ready"), "{banner}");
+        client
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        line
+    }
+
+    fn cmd(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("send command");
+        self.read_line()
+    }
+
+    fn cmd_block(&mut self, line: &str) -> Vec<String> {
+        writeln!(self.writer, "{line}").expect("send command");
+        let mut block = Vec::new();
+        loop {
+            let reply = self.read_line();
+            let done = reply.trim_end() == ".";
+            block.push(reply);
+            if done {
+                return block;
+            }
+        }
+    }
+}
+
+/// Open `name` and give it a small mined snapshot so `rules` has
+/// something to return.
+fn seed_interactive(client: &mut Client, name: &str) {
+    assert!(client
+        .cmd(&format!("open {name} 0.4 0.7"))
+        .starts_with("OK open"));
+    for _ in 0..3 {
+        assert!(client
+            .cmd(&format!("row {name} 28 85 Annot_1"))
+            .starts_with("OK queued"));
+    }
+    assert!(client
+        .cmd(&format!("row {name} 28 85"))
+        .starts_with("OK queued"));
+    assert!(client.cmd(&format!("mine {name}")).starts_with("OK mined"));
+}
+
+fn round_trip(c: &mut Criterion) {
+    let (_service, addr) = start_sharded(2);
+    let mut client = Client::connect(addr);
+    seed_interactive(&mut client, "db");
+
+    let mut group = c.benchmark_group("serve_round_trip/2shards");
+    group.bench_function("ping", |b| {
+        b.iter(|| assert!(client.cmd("ping").starts_with("OK pong")))
+    });
+    let mut i = 0u64;
+    group.bench_function("row_queued", |b| {
+        b.iter(|| {
+            i += 1;
+            assert!(client
+                .cmd(&format!("row db {} {} Annot_1", i % 997, (i * 7) % 997))
+                .starts_with("OK queued"));
+        })
+    });
+    group.bench_function("rules_top5", |b| {
+        b.iter(|| {
+            let block = client.cmd_block("rules db top 5");
+            assert!(block[0].starts_with("OK"), "{block:?}");
+        })
+    });
+    group.finish();
+}
+
+/// One bulk loader: pipeline `ops` writes at `ds` in windows of
+/// [`PIPELINE`], counting `ERR overloaded` sheds. Returns (replies, sheds).
+fn bulk_loader(addr: SocketAddr, ds: String, ops: usize) -> (u64, u64) {
+    let mut client = Client::connect(addr);
+    let (mut replies, mut sheds) = (0u64, 0u64);
+    let mut sent = 0usize;
+    while sent < ops {
+        let batch = PIPELINE.min(ops - sent);
+        for i in sent..sent + batch {
+            writeln!(
+                client.writer,
+                "row {ds} {} {} Bulk_1",
+                i % 9973,
+                (i * 13 + 1) % 9973
+            )
+            .expect("flood write");
+        }
+        sent += batch;
+        for _ in 0..batch {
+            let reply = client.read_line();
+            replies += 1;
+            if reply.starts_with("ERR overloaded") {
+                sheds += 1;
+            }
+        }
+    }
+    assert!(client.cmd("quit").starts_with("OK bye"));
+    (replies, sheds)
+}
+
+fn flood(_c: &mut Criterion) {
+    // K tenants × M clients: half the tenants interactive (mined, queried
+    // throughout), half bulk (small caps, flooded).
+    let (interactive_tenants, bulk_tenants, loaders_per_bulk, queriers, ops_per_loader, queries) =
+        if quick() {
+            (1usize, 1usize, 2usize, 1usize, 2_000usize, 200usize)
+        } else {
+            (2, 2, 2, 2, 8_000, 400)
+        };
+    let tenants = interactive_tenants + bulk_tenants;
+    let clients = bulk_tenants * loaders_per_bulk + queriers;
+    let label = format!("serve_flood/{tenants}tx{clients}c");
+
+    let (service, addr) = start_sharded(2);
+    let mut setup = Client::connect(addr);
+    for t in 0..interactive_tenants {
+        seed_interactive(&mut setup, &format!("fg{t}"));
+    }
+    let mut bulk_handles: Vec<Arc<Dataset>> = Vec::new();
+    for t in 0..bulk_tenants {
+        let name = format!("bulk{t}");
+        assert!(setup
+            .cmd(&format!("open {name} 0.4 0.7"))
+            .starts_with("OK open"));
+        assert!(setup
+            .cmd(&format!("class {name} bulk"))
+            .starts_with(&format!("OK class {name} bulk")));
+        let ds = service.get(&name).unwrap();
+        ds.set_queue_cap(BULK_CAP);
+        bulk_handles.push(ds);
+    }
+
+    // Sample every bulk tenant's queue depth for the whole flood: the
+    // bounded-queue invariant is that no sample ever exceeds the cap.
+    let done = Arc::new(AtomicBool::new(false));
+    let max_depths: Vec<Arc<AtomicU64>> = bulk_handles
+        .iter()
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let sampler = {
+        let handles = bulk_handles.clone();
+        let done = Arc::clone(&done);
+        let maxes = max_depths.clone();
+        std::thread::spawn(move || {
+            while !done.load(Ordering::SeqCst) {
+                for (ds, max) in handles.iter().zip(&maxes) {
+                    max.fetch_max(ds.observability().queue_depth, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    let flood_start = Instant::now();
+    let loaders: Vec<_> = (0..bulk_tenants)
+        .flat_map(|t| (0..loaders_per_bulk).map(move |_| format!("bulk{t}")))
+        .map(|ds| std::thread::spawn(move || bulk_loader(addr, ds, ops_per_loader)))
+        .collect();
+
+    // Interactive clients query mined tenants while the flood rages.
+    let querier_handles: Vec<_> = (0..queriers)
+        .map(|q| {
+            let fg = format!("fg{}", q % interactive_tenants);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut latencies = Vec::with_capacity(queries);
+                for _ in 0..queries {
+                    let start = Instant::now();
+                    let block = client.cmd_block(&format!("rules {fg} top 5"));
+                    assert!(block[0].starts_with("OK"), "{block:?}");
+                    latencies.push(start.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    for handle in querier_handles {
+        latencies.extend(handle.join().expect("querier"));
+    }
+    let (mut replies, mut sheds) = (0u64, 0u64);
+    for handle in loaders {
+        let (r, s) = handle.join().expect("loader");
+        replies += r;
+        sheds += s;
+    }
+    let flood_wall = flood_start.elapsed();
+    done.store(true, Ordering::SeqCst);
+    sampler.join().unwrap();
+
+    let total_ops = (bulk_tenants * loaders_per_bulk * ops_per_loader) as u64;
+    assert_eq!(replies, total_ops, "every pipelined write is answered");
+
+    latencies.sort_unstable();
+    let p50 = latencies[latencies.len() / 2];
+    let p99 = latencies[latencies.len() * 99 / 100];
+    let stalls: u64 = bulk_handles
+        .iter()
+        .map(|ds| ds.observability().report.backpressure_stalls)
+        .sum();
+
+    // The two invariants the CI load-smoke job greps for.
+    let mut worst_depth = 0u64;
+    for (t, max) in max_depths.iter().enumerate() {
+        let depth = max.load(Ordering::SeqCst);
+        worst_depth = worst_depth.max(depth);
+        assert!(
+            depth <= BULK_CAP as u64,
+            "bulk{t}: queue depth {depth} exceeded cap {BULK_CAP}"
+        );
+    }
+    let bound = Duration::from_secs(1);
+    assert!(
+        p99 < bound,
+        "interactive p99 {p99:?} blew past {bound:?} under bulk flood"
+    );
+
+    println!(
+        "bench: {:<55} {:>12.2?}/iter  (n={})",
+        format!("{label}/interactive_p50"),
+        p50,
+        latencies.len()
+    );
+    println!(
+        "bench: {:<55} {:>12.2?}/iter  (n={})",
+        format!("{label}/interactive_p99"),
+        p99,
+        latencies.len()
+    );
+    println!(
+        "bench: {:<55} {:>12.2?}/iter  (n={total_ops})",
+        format!("{label}/bulk_op"),
+        flood_wall / u32::try_from(total_ops).unwrap_or(u32::MAX)
+    );
+    println!("serve_flood: queue_cap_respected=true max_depth={worst_depth} cap={BULK_CAP}");
+    println!("serve_flood: interactive_p99_bounded=true p99={p99:.2?} bound={bound:?}");
+    println!(
+        "serve_flood: shed_ops={sheds} backpressure_stalls={stalls} flood_wall={flood_wall:.2?}"
+    );
+}
+
+criterion_group!(benches, round_trip, flood);
+criterion_main!(benches);

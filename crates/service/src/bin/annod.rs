@@ -7,24 +7,28 @@
 //! annod serve 0.0.0.0:9000
 //! annod serve 0.0.0.0:9000 metrics 0.0.0.0:9100
 //! annod serve metrics off       # no metrics listener
+//! annod serve shards 4          # explicit shard (event loop) count
 //! ```
 //!
 //! Both modes speak the same line protocol (`help` lists the commands);
 //! see the workspace README for the full reference and
-//! `examples/annod_session.rs` for a scripted walkthrough. In serve mode
-//! a second listener answers `GET /metrics` with the Prometheus text
-//! exposition (the `metrics` protocol verb returns the same bytes).
+//! `examples/annod_session.rs` for a scripted walkthrough. Serve mode
+//! runs the worker-per-core sharded reactor front end (one event loop
+//! per core by default; override with `shards <n>`), and a second
+//! listener answers `GET /metrics` with the Prometheus text exposition
+//! (the `metrics` protocol verb returns the same bytes).
 
 use std::sync::Arc;
 
-use anno_service::server::{run_repl, serve_metrics_http, serve_tcp};
+use anno_service::reactor::default_shards;
+use anno_service::server::{run_repl, serve_metrics_http, serve_tcp_sharded};
 use anno_service::Service;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 const DEFAULT_METRICS_ADDR: &str = "127.0.0.1:7172";
 
-const USAGE: &str = "usage: annod [repl | serve [<addr>] [metrics <addr>|off]]   \
-                     (defaults 127.0.0.1:7171, metrics 127.0.0.1:7172)";
+const USAGE: &str = "usage: annod [repl | serve [<addr>] [shards <n>] [metrics <addr>|off]]   \
+                     (defaults 127.0.0.1:7171, metrics 127.0.0.1:7172, shards = cores)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,7 +44,7 @@ fn main() {
             run_repl(service, stdin.lock(), std::io::stdout())
         }
         ["serve", rest @ ..] => match parse_serve(rest) {
-            Some((addr, metrics)) => serve(service, addr, metrics),
+            Some(serve_args) => serve(service, serve_args),
             None => {
                 eprintln!("annod: bad serve arguments {rest:?}; {USAGE}");
                 std::process::exit(2);
@@ -61,25 +65,51 @@ fn main() {
     }
 }
 
-/// Parse `[<addr>] [metrics <addr>|off]` into the protocol address and
-/// the (optional) metrics address.
-fn parse_serve<'a>(rest: &[&'a str]) -> Option<(&'a str, Option<&'a str>)> {
-    match rest {
-        [] => Some((DEFAULT_ADDR, Some(DEFAULT_METRICS_ADDR))),
-        ["metrics", "off"] => Some((DEFAULT_ADDR, None)),
-        ["metrics", m] => Some((DEFAULT_ADDR, Some(m))),
-        [addr] => Some((addr, Some(DEFAULT_METRICS_ADDR))),
-        [addr, "metrics", "off"] => Some((addr, None)),
-        [addr, "metrics", m] => Some((addr, Some(m))),
-        _ => None,
-    }
+/// Parsed `serve` arguments.
+struct ServeArgs<'a> {
+    addr: &'a str,
+    metrics: Option<&'a str>,
+    shards: usize,
 }
 
-/// Serve the protocol on `addr`, with the metrics responder (if enabled)
-/// on its own listener thread. A metrics bind failure is reported but
-/// never takes the protocol listener down with it.
-fn serve(service: Arc<Service>, addr: &str, metrics: Option<&str>) -> std::io::Result<()> {
-    if let Some(metrics_addr) = metrics {
+/// Parse `[<addr>] [shards <n>] [metrics <addr>|off]` (clauses in any
+/// order, at most one positional address).
+fn parse_serve<'a>(rest: &[&'a str]) -> Option<ServeArgs<'a>> {
+    let mut addr = DEFAULT_ADDR;
+    let mut metrics = Some(DEFAULT_METRICS_ADDR);
+    let mut shards = default_shards();
+    let mut positional_taken = false;
+    let mut it = rest.iter();
+    while let Some(&tok) = it.next() {
+        match tok {
+            "metrics" => match it.next() {
+                Some(&"off") => metrics = None,
+                Some(&m) => metrics = Some(m),
+                None => return None,
+            },
+            "shards" => {
+                shards = it.next()?.parse().ok().filter(|n| (1..=256).contains(n))?;
+            }
+            _ if !positional_taken => {
+                addr = tok;
+                positional_taken = true;
+            }
+            _ => return None,
+        }
+    }
+    Some(ServeArgs {
+        addr,
+        metrics,
+        shards,
+    })
+}
+
+/// Serve the protocol on `addr` with the sharded runtime, with the
+/// metrics responder (if enabled) on its own listener thread. A metrics
+/// bind failure is reported but never takes the protocol listener down
+/// with it.
+fn serve(service: Arc<Service>, args: ServeArgs<'_>) -> std::io::Result<()> {
+    if let Some(metrics_addr) = args.metrics {
         let metrics_service = Arc::clone(&service);
         let metrics_addr = metrics_addr.to_string();
         let spawned = std::thread::Builder::new()
@@ -93,5 +123,5 @@ fn serve(service: Arc<Service>, addr: &str, metrics: Option<&str>) -> std::io::R
             eprintln!("annod: could not spawn metrics listener (serving continues): {e}");
         }
     }
-    serve_tcp(service, addr)
+    serve_tcp_sharded(service, args.addr, args.shards)
 }

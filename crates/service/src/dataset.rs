@@ -52,7 +52,7 @@ use anno_wal::{
 
 use crate::error::ServiceError;
 use crate::metrics::{timed, DatasetObs, Metrics, MetricsReport};
-use crate::queue::{coalesce, QueueState, UpdateOp};
+use crate::queue::{coalesce, QosClass, QueueState, UpdateOp};
 use crate::snapshot::RuleSnapshot;
 use crate::walcodec::{self, WalRecord};
 
@@ -481,6 +481,98 @@ impl Dataset {
         let seq = q.enqueued;
         self.inner.queue_cv.notify_all();
         Ok(seq)
+    }
+
+    /// Queue one mutation without ever blocking: the admission path for
+    /// the sharded front end, whose event loops must not park on a
+    /// tenant's backpressure condvar. When the bounded queue (or the
+    /// grouped-sync unacked-drain window) is full the op is refused with
+    /// the typed [`ServiceError::Overloaded`] soft error — nothing is
+    /// enqueued, and the shed is counted in `anno_admission_shed_ops`.
+    /// Like [`Dataset::enqueue`], an op larger than the whole cap is
+    /// still admitted once the queue is empty.
+    pub fn try_enqueue(&self, op: UpdateOp) -> Result<u64, ServiceError> {
+        self.check_writable()?;
+        let mut q = self.inner.queue.lock().expect("queue lock");
+        if q.shutdown {
+            return Err(ServiceError::ShutDown(self.inner.name.clone()));
+        }
+        let window_full = self.inner.metrics.unacked_drains() >= MAX_PIPELINED_ACKS as u64;
+        if !q.pending.is_empty() && (q.pending_updates + op.len() > q.cap_updates || window_full) {
+            self.inner.metrics.record_admission_shed();
+            return Err(ServiceError::Overloaded {
+                dataset: self.inner.name.clone(),
+                pending: q.pending_updates as u64,
+                cap: q.cap_updates as u64,
+            });
+        }
+        self.inner.metrics.record_enqueue(op.len() as u64);
+        q.pending_updates += op.len();
+        self.inner.metrics.set_queue_depth(q.pending_updates as u64);
+        q.pending.push(op);
+        q.enqueued += 1;
+        let seq = q.enqueued;
+        self.inner.queue_cv.notify_all();
+        Ok(seq)
+    }
+
+    /// `true` while [`Dataset::try_enqueue`] would shed a one-update op:
+    /// the bounded queue is at its cap or the unacked-drain window is
+    /// full. The sharded front end polls this to decide when to suspend
+    /// a flooding connection's reads.
+    pub fn overloaded(&self) -> bool {
+        let q = self.inner.queue.lock().expect("queue lock");
+        !q.pending.is_empty()
+            && (q.pending_updates >= q.cap_updates
+                || self.inner.metrics.unacked_drains() >= MAX_PIPELINED_ACKS as u64)
+    }
+
+    /// `true` once the writer has drained back below half the cap (and
+    /// the unacked-drain window has room): the hysteresis point at which
+    /// a suspended connection's reads are resumed, so a tenant does not
+    /// flap between suspended and resumed at the cap boundary.
+    pub fn admission_ready(&self) -> bool {
+        let q = self.inner.queue.lock().expect("queue lock");
+        q.pending_updates <= q.cap_updates / 2
+            && self.inner.metrics.unacked_drains() < MAX_PIPELINED_ACKS as u64
+    }
+
+    /// The admission cap on pending individual updates.
+    pub fn queue_cap(&self) -> usize {
+        self.inner.queue.lock().expect("queue lock").cap_updates
+    }
+
+    /// Set the admission cap on pending individual updates (min 1).
+    /// Shrinking the cap never drops queued work — it only gates new
+    /// admissions; blocked [`Dataset::enqueue`] callers re-check on the
+    /// next drain.
+    pub fn set_queue_cap(&self, cap: usize) {
+        let mut q = self.inner.queue.lock().expect("queue lock");
+        q.cap_updates = cap.max(1);
+    }
+
+    /// The tenant's QoS class.
+    pub fn qos_class(&self) -> QosClass {
+        self.inner.queue.lock().expect("queue lock").class
+    }
+
+    /// Reclassify the tenant (protocol verb `class <ds>
+    /// interactive|bulk`); mirrored to the `anno_admission_bulk_class`
+    /// gauge so dashboards can slice queue depth by class.
+    pub fn set_qos_class(&self, class: QosClass) {
+        let mut q = self.inner.queue.lock().expect("queue lock");
+        q.class = class;
+        self.inner.metrics.set_qos_bulk(class == QosClass::Bulk);
+    }
+
+    /// Test hook: while paused the writer leaves pending work queued, so
+    /// admission tests can fill the bounded queue deterministically.
+    /// Cleared automatically at shutdown so the final drain still runs.
+    #[doc(hidden)]
+    pub fn pause_writer_for_tests(&self, paused: bool) {
+        let mut q = self.inner.queue.lock().expect("queue lock");
+        q.paused = paused;
+        self.inner.queue_cv.notify_all();
     }
 
     /// Block until every op enqueued before this call has been applied and
@@ -1005,6 +1097,8 @@ impl Dataset {
         {
             let mut q = self.inner.queue.lock().expect("queue lock");
             q.shutdown = true;
+            // A paused writer (test hook) must still run its final drain.
+            q.paused = false;
             self.inner.queue_cv.notify_all();
         }
         if let Some(mut h) = self
@@ -1535,7 +1629,7 @@ fn writer_loop(inner: &Arc<Inner>) {
             }
             let shutdown_draining = {
                 let mut q = inner.queue.lock().expect("queue lock");
-                if !q.pending.is_empty() {
+                if !q.pending.is_empty() && !q.paused {
                     q.pending_updates = 0;
                     inner.metrics.set_queue_depth(0);
                     q.drains += 1;

@@ -25,6 +25,17 @@ pub enum ServiceError {
     /// mutation (their state is replayed from the leader's log); `promote`
     /// the dataset to accept writes.
     ReadOnlyRole(String),
+    /// Admission control shed a write: the dataset's bounded update queue
+    /// (or its grouped-sync unacked-drain window) is full. A soft error —
+    /// nothing was enqueued; back off and retry once the writer drains.
+    Overloaded {
+        /// The saturated dataset.
+        dataset: String,
+        /// Individual updates pending at refusal time.
+        pending: u64,
+        /// The queue's admission cap on pending updates.
+        cap: u64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -48,6 +59,17 @@ impl fmt::Display for ServiceError {
                 write!(
                     f,
                     "dataset {name:?} is a read-only follower; `promote` it to accept writes"
+                )
+            }
+            ServiceError::Overloaded {
+                dataset,
+                pending,
+                cap,
+            } => {
+                write!(
+                    f,
+                    "overloaded: dataset {dataset:?} write queue is full \
+                     (pending={pending} cap={cap}); retry after the writer drains"
                 )
             }
         }

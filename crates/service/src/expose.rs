@@ -129,6 +129,16 @@ pub fn render_prometheus(service: &Service) -> String {
             |r| r.obs.report.name_cache_misses,
         ),
         (
+            "anno_admission_shed_ops_total",
+            "Writes refused with the Overloaded soft error by admission control.",
+            |r| r.obs.report.admission_shed,
+        ),
+        (
+            "anno_admission_backpressure_stalls_total",
+            "Connection read suspensions the sharded front end applied.",
+            |r| r.obs.report.backpressure_stalls,
+        ),
+        (
             "anno_events_total",
             "Maintenance journal events recorded.",
             |r| r.events_total,
@@ -228,6 +238,42 @@ pub fn render_prometheus(service: &Service) -> String {
         for row in &rows {
             let _ = writeln!(out, "{name}{{dataset=\"{}\"}} {}", row.label, get(row));
         }
+    }
+
+    // Queue depth again, labelled by the tenant's QoS class, so
+    // dashboards can tell interactive saturation from bulk saturation
+    // without joining against the class gauge.
+    family(
+        &mut out,
+        "anno_admission_queue_depth",
+        "Pending individual updates, labelled by the tenant's QoS class.",
+        "gauge",
+    );
+    for row in &rows {
+        let class = if row.obs.qos_bulk {
+            "bulk"
+        } else {
+            "interactive"
+        };
+        let _ = writeln!(
+            out,
+            "anno_admission_queue_depth{{dataset=\"{}\",class=\"{class}\"}} {}",
+            row.label, row.obs.queue_depth
+        );
+    }
+    family(
+        &mut out,
+        "anno_admission_bulk_class",
+        "1 while the tenant's QoS class is bulk.",
+        "gauge",
+    );
+    for row in &rows {
+        let _ = writeln!(
+            out,
+            "anno_admission_bulk_class{{dataset=\"{}\"}} {}",
+            row.label,
+            u64::from(row.obs.qos_bulk)
+        );
     }
 
     type GetHist = fn(&Row) -> &HistogramSnapshot;

@@ -81,6 +81,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod query;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod snapshot;
@@ -94,7 +95,7 @@ pub use expose::render_prometheus;
 pub use metrics::{DatasetObs, MetricsReport};
 pub use protocol::{Engine, Reply};
 pub use query::{RuleFilter, RuleOrder, TopRecommendation};
-pub use queue::UpdateOp;
+pub use queue::{QosClass, UpdateOp};
 pub use service::WindowedRates;
 pub use service::{DatasetSummary, Service, ServiceConfig};
 pub use snapshot::RuleSnapshot;

@@ -42,6 +42,12 @@ pub struct Metrics {
     /// Resolutions that fell through to the vocabulary HAMT (and, when
     /// the name existed, primed the cache).
     name_cache_misses: AtomicU64,
+    /// Writes refused with the typed `Overloaded` soft error because the
+    /// bounded queue (or unacked-drain window) was full.
+    admission_shed: AtomicU64,
+    /// Times the sharded front end suspended a connection's reads to
+    /// exert TCP backpressure on this dataset's behalf.
+    backpressure_stalls: AtomicU64,
     // Latency/size distributions (see `anno_metrics::hist`).
     query_latency: Histogram,
     drain_latency: Histogram,
@@ -53,6 +59,8 @@ pub struct Metrics {
     // Levels.
     queue_depth: Gauge,
     unacked_drains: Gauge,
+    /// 1 when the tenant's QoS class is bulk, 0 for interactive.
+    qos_bulk: Gauge,
     segments: Gauge,
     vocab_chunks: Gauge,
     wal_backlog_bytes: Gauge,
@@ -153,6 +161,31 @@ impl Metrics {
         } else {
             self.name_cache_misses.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Record one write shed by admission control.
+    pub fn record_admission_shed(&self) {
+        self.admission_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes shed by admission control so far.
+    pub fn admission_shed(&self) -> u64 {
+        self.admission_shed.load(Ordering::Relaxed)
+    }
+
+    /// Record one read-suspension backpressure stall.
+    pub fn record_backpressure_stall(&self) {
+        self.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Backpressure stalls recorded so far.
+    pub fn backpressure_stalls(&self) -> u64 {
+        self.backpressure_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Mirror the tenant's QoS class (`true` = bulk).
+    pub fn set_qos_bulk(&self, bulk: bool) {
+        self.qos_bulk.set(u64::from(bulk));
     }
 
     /// Record one incremental discovery-index refresh taking `nanos`.
@@ -266,6 +299,8 @@ impl Metrics {
             discover_queries: self.discover_queries.load(Ordering::Relaxed),
             name_cache_hits: self.name_cache_hits.load(Ordering::Relaxed),
             name_cache_misses: self.name_cache_misses.load(Ordering::Relaxed),
+            admission_shed: self.admission_shed.load(Ordering::Relaxed),
+            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
             discover_pairs_tracked: self.discover_pairs_tracked.get(),
             discover_topk: self.discover_topk_cross.get() + self.discover_topk_within.get(),
             discover_last_update_ns: self.discover_last_update_ns.get(),
@@ -285,6 +320,7 @@ impl Metrics {
             discover_update: self.discover_update.snapshot(),
             queue_depth: self.queue_depth.get(),
             unacked_drains: self.unacked_drains.get(),
+            qos_bulk: self.qos_bulk.get() != 0,
             segments: self.segments.get(),
             vocab_chunks: self.vocab_chunks.get(),
             wal_backlog_bytes: self.wal_backlog_bytes.get(),
@@ -333,6 +369,8 @@ pub struct DatasetObs {
     pub queue_depth: u64,
     /// Applied-but-unacked pipelined drains.
     pub unacked_drains: u64,
+    /// `true` when the tenant's QoS class is bulk.
+    pub qos_bulk: bool,
     /// Relation segments as of the last drain.
     pub segments: u64,
     /// Vocabulary chunks as of the last drain.
@@ -401,6 +439,10 @@ pub struct MetricsReport {
     pub name_cache_hits: u64,
     /// Name resolutions that fell through to the vocabulary HAMT.
     pub name_cache_misses: u64,
+    /// Writes refused with the `Overloaded` soft error.
+    pub admission_shed: u64,
+    /// Read-suspension backpressure stalls the front end recorded.
+    pub backpressure_stalls: u64,
     /// Annotation pairs the discovery index currently tracks.
     pub discover_pairs_tracked: u64,
     /// Published discovery top-k size (cross + within classes).
@@ -441,7 +483,8 @@ impl MetricsReport {
              checkpoints={} auto_checkpoints={} drains={} \
              read_nanos={} write_nanos={} mean_read_ns={} mean_write_ns={} \
              fsyncs_per_drain={:.2} discover_queries={} discover_pairs={} \
-             discover_topk={} discover_last_update_ns={}",
+             discover_topk={} discover_last_update_ns={} \
+             admission_shed={} backpressure_stalls={}",
             self.rule_queries,
             self.recommend_queries,
             self.snapshot_reads,
@@ -463,6 +506,8 @@ impl MetricsReport {
             self.discover_pairs_tracked,
             self.discover_topk,
             self.discover_last_update_ns,
+            self.admission_shed,
+            self.backpressure_stalls,
         )
     }
 }

@@ -26,7 +26,7 @@ use anno_store::{Item, ItemKind, TupleId};
 use crate::error::ServiceError;
 use crate::metrics::timed;
 use crate::query::{top_k_for_items, top_k_for_tuple, RuleFilter, RuleOrder, TopRecommendation};
-use crate::queue::UpdateOp;
+use crate::queue::{QosClass, UpdateOp};
 use crate::service::{Service, ServiceConfig};
 use crate::snapshot::RuleSnapshot;
 
@@ -80,12 +80,31 @@ impl Reply {
 #[derive(Debug, Clone)]
 pub struct Engine {
     service: Arc<Service>,
+    /// When set (the sharded front end), write verbs use the non-blocking
+    /// [`Dataset::try_enqueue`](crate::dataset::Dataset::try_enqueue)
+    /// admission path and answer overload with the typed `Overloaded`
+    /// soft error; when clear (REPL, embedders, tests), writes block on
+    /// backpressure as they always have.
+    shed_writes: bool,
 }
 
 impl Engine {
-    /// An engine over `service`.
+    /// An engine over `service` whose writes block on backpressure.
     pub fn new(service: Arc<Service>) -> Engine {
-        Engine { service }
+        Engine {
+            service,
+            shed_writes: false,
+        }
+    }
+
+    /// An engine whose write verbs never block: overload is shed with
+    /// [`ServiceError::Overloaded`]. This is what each reactor shard
+    /// runs — an event loop must not park on a tenant's condvar.
+    pub fn with_admission(service: Arc<Service>) -> Engine {
+        Engine {
+            service,
+            shed_writes: true,
+        }
     }
 
     /// The shared registry.
@@ -95,13 +114,30 @@ impl Engine {
 
     /// Execute one command line.
     pub fn execute(&self, line: &str) -> Reply {
+        self.execute_typed(line).0
+    }
+
+    /// Execute one command line, also returning the typed error (if the
+    /// command failed) so transports can react to specific failures —
+    /// the sharded server suspends a connection's reads on
+    /// [`ServiceError::Overloaded`] without parsing the reply text.
+    pub fn execute_typed(&self, line: &str) -> (Reply, Option<ServiceError>) {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let Some((&cmd, args)) = tokens.split_first() else {
-            return Reply::err("empty command; try `help`");
+            return (Reply::err("empty command; try `help`"), None);
         };
         match self.dispatch(&cmd.to_ascii_lowercase(), args) {
-            Ok(reply) => reply,
-            Err(e) => Reply::err(e),
+            Ok(reply) => (reply, None),
+            Err(e) => (Reply::err(&e), Some(e)),
+        }
+    }
+
+    /// Route a write op through the engine's admission mode.
+    fn enqueue_op(&self, ds: &crate::dataset::Dataset, op: UpdateOp) -> Result<u64, ServiceError> {
+        if self.shed_writes {
+            ds.try_enqueue(op)
+        } else {
+            ds.enqueue(op)
         }
     }
 
@@ -145,6 +181,7 @@ impl Engine {
             "annotate" => self.annotation_op(args, true),
             "unannotate" => self.annotation_op(args, false),
             "delete" => self.delete(args),
+            "class" => self.class(args),
             "mine" => {
                 let [name] = expect_args::<1>(args, "mine <dataset>")?;
                 let snap = self.service.get(name)?.mine()?;
@@ -401,8 +438,40 @@ impl Engine {
             ));
         }
         let ds = self.service.get(name)?;
-        let seq = ds.enqueue(UpdateOp::InsertRows(vec![line]))?;
+        let seq = self.enqueue_op(&ds, UpdateOp::InsertRows(vec![line]))?;
         Ok(Reply::ok(format!("queued seq={seq}")))
+    }
+
+    /// `class <ds> [interactive|bulk]`: set (or report) the tenant's QoS
+    /// class. The class steers the sharded front end's admission policy —
+    /// bulk tenants get a small per-tick command budget and absorb
+    /// overload through read suspension; interactive tenants keep a large
+    /// budget and are shed fast with `Overloaded` so their latency stays
+    /// bounded.
+    fn class(&self, args: &[&str]) -> Result<Reply, ServiceError> {
+        let usage = "class <dataset> [interactive|bulk]";
+        match args {
+            [name] => {
+                let ds = self.service.get(name)?;
+                Ok(Reply::ok(format!(
+                    "class {name} {} cap={}",
+                    ds.qos_class().label(),
+                    ds.queue_cap()
+                )))
+            }
+            [name, class] => {
+                let class = QosClass::parse(class)
+                    .ok_or_else(|| bad(format!("unknown class {class:?}; {usage}")))?;
+                let ds = self.service.get(name)?;
+                ds.set_qos_class(class);
+                Ok(Reply::ok(format!(
+                    "class {name} {} cap={}",
+                    class.label(),
+                    ds.queue_cap()
+                )))
+            }
+            _ => Err(bad(usage)),
+        }
     }
 
     fn annotation_op(&self, args: &[&str], attach: bool) -> Result<Reply, ServiceError> {
@@ -425,7 +494,7 @@ impl Engine {
         } else {
             UpdateOp::RemoveNamed(named)
         };
-        let seq = ds.enqueue(op)?;
+        let seq = self.enqueue_op(&ds, op)?;
         Ok(Reply::ok(format!("queued seq={seq}")))
     }
 
@@ -440,10 +509,8 @@ impl Engine {
             .iter()
             .map(|t| parse_tid(t))
             .collect::<Result<Vec<_>, _>>()?;
-        let seq = self
-            .service
-            .get(name)?
-            .enqueue(UpdateOp::DeleteTuples(tids))?;
+        let ds = self.service.get(name)?;
+        let seq = self.enqueue_op(&ds, UpdateOp::DeleteTuples(tids))?;
         Ok(Reply::ok(format!("queued seq={seq}")))
     }
 
@@ -772,6 +839,12 @@ impl Engine {
                 d.stats.rescored,
             ));
         }
+        payload.push(format!(
+            "qos_class={} queue_cap={} queue_depth={}",
+            ds.qos_class().label(),
+            ds.queue_cap(),
+            ds.observability().queue_depth,
+        ));
         payload.push(ds.metrics().render());
         match ds.replication_status() {
             Some(rs) => payload.push(render_replication(ds.role(), &rs)),
@@ -868,6 +941,10 @@ fn help() -> Reply {
         "annotate <ds> <tid> <annotation>...   (queued write; names are single tokens)".into(),
         "unannotate <ds> <tid> <annotation>... (queued write; names are single tokens)".into(),
         "delete <ds> <tid>...                  (queued write)".into(),
+        "class <ds> [interactive|bulk]         QoS class for admission control".into(),
+        "  (bulk tenants get a small per-tick budget + read-suspension backpressure;".into(),
+        "   interactive tenants are shed fast with ERR overloaded when their queue fills)"
+            .into(),
         "mine <ds>     full mine + first snapshot".into(),
         "flush <ds>    wait until queued writes are published".into(),
         "rules <ds> [contains <item>...] [kind data|ann] [minconf <x>] [by conf|sup|lift] [top <k>]".into(),

@@ -11,6 +11,44 @@
 
 use anno_store::{AnnotationUpdate, Tuple, TupleId};
 
+/// Per-tenant quality-of-service class, set with the `class <ds>
+/// interactive|bulk` protocol verb. The class drives admission control in
+/// the sharded front end: how big a per-tick command budget the tenant's
+/// connections get, and how overload is signalled back (interactive
+/// tenants are shed fast with a typed `Overloaded` error so their latency
+/// stays bounded; bulk tenants are parked via read suspension — natural
+/// TCP backpressure — so a loader just slows down instead of erroring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QosClass {
+    /// Latency-sensitive tenant (the default): large per-tick command
+    /// budget, overload answered immediately with `Overloaded`.
+    #[default]
+    Interactive,
+    /// Throughput tenant: small per-tick command budget so it can never
+    /// monopolize a shard's event loop, overload absorbed by suspending
+    /// reads until the writer drains.
+    Bulk,
+}
+
+impl QosClass {
+    /// Stable lowercase label (protocol replies, metric labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Bulk => "bulk",
+        }
+    }
+
+    /// Parse a protocol token (case-insensitive).
+    pub fn parse(tok: &str) -> Option<QosClass> {
+        match tok.to_ascii_lowercase().as_str() {
+            "interactive" => Some(QosClass::Interactive),
+            "bulk" => Some(QosClass::Bulk),
+            _ => None,
+        }
+    }
+}
+
 /// One queued mutation. Text-carrying variants (`InsertRows`,
 /// `AnnotateNamed`, `RemoveNamed`) defer vocabulary interning to the
 /// writer thread so protocol handlers never touch the write lock.
@@ -137,6 +175,14 @@ pub(crate) struct QueueState {
     /// ops are lost, and waiting clients must fail fast instead of
     /// timing out.
     pub writer_dead: bool,
+    /// Test hook: while set, the writer leaves pending work on the queue,
+    /// so admission tests can fill it deterministically. Cleared by
+    /// shutdown so the final drain still happens.
+    pub paused: bool,
+    /// The tenant's QoS class (see [`QosClass`]); read by the sharded
+    /// front end on every admission decision, so it lives under the same
+    /// lock the decision already takes.
+    pub class: QosClass,
 }
 
 impl Default for QueueState {
@@ -150,6 +196,8 @@ impl Default for QueueState {
             drains: 0,
             shutdown: false,
             writer_dead: false,
+            paused: false,
+            class: QosClass::default(),
         }
     }
 }

@@ -1,15 +1,22 @@
 //! Std-only transports for the [`Engine`]: TCP and a stdin REPL.
 //!
-//! The TCP server is thread-per-connection over a shared [`Engine`]
-//! (itself over a shared [`Service`](crate::service::Service)) — every
-//! connection sees the same datasets, which is the point of a multi-tenant
-//! serving layer. No async runtime: the workspace is dependency-free by
-//! construction, and blocking I/O per connection is plenty for the line
-//! protocol.
+//! The TCP front end is the worker-per-core sharded reactor runtime in
+//! [`crate::reactor`]: connections are hashed to shard event loops at
+//! accept time and parsed non-blockingly, with per-tenant admission
+//! control and QoS classes. Every shard shares one [`Engine`] (itself
+//! over a shared [`Service`](crate::service::Service)) — every connection
+//! sees the same datasets, which is the point of a multi-tenant serving
+//! layer. No async runtime: the workspace is dependency-free by
+//! construction, and the reactor is built entirely on `std::net`.
+//!
+//! [`handle_connection`] remains as the simple blocking one-connection
+//! handler for embedders; the metrics scrape listener stays
+//! thread-per-request (scrapes are rare and short-lived).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::protocol::Engine;
 use crate::service::Service;
@@ -17,7 +24,36 @@ use crate::service::Service;
 /// Longest command line a TCP client may send. Bounds per-connection
 /// memory: without it, a newline-free byte stream would accumulate into
 /// one ever-growing String until the daemon OOMs.
-const MAX_LINE_BYTES: u64 = 64 * 1024;
+pub(crate) const MAX_LINE_BYTES: u64 = 64 * 1024;
+
+/// Exponential backoff for accept-loop errors. Transient failures (one
+/// aborted handshake) cost the small floor; a persistent condition like
+/// fd exhaustion quickly backs off to the ceiling instead of spinning a
+/// core and flooding stderr at MHz rates.
+#[derive(Debug)]
+pub(crate) struct AcceptBackoff {
+    next: Duration,
+}
+
+impl AcceptBackoff {
+    const FLOOR: Duration = Duration::from_millis(10);
+    const CEILING: Duration = Duration::from_secs(1);
+
+    pub(crate) fn new() -> AcceptBackoff {
+        AcceptBackoff { next: Self::FLOOR }
+    }
+
+    /// A successful accept ends the error streak.
+    pub(crate) fn reset(&mut self) {
+        self.next = Self::FLOOR;
+    }
+
+    /// Sleep for the current delay, then double it (capped).
+    pub(crate) fn sleep(&mut self) {
+        std::thread::sleep(self.next);
+        self.next = (self.next * 2).min(Self::CEILING);
+    }
+}
 
 /// Read one `\n`-terminated line of at most `max` bytes. `Ok(None)` at
 /// EOF; an error if the line exceeds the bound or is not UTF-8.
@@ -60,45 +96,38 @@ pub fn handle_connection(engine: &Engine, stream: TcpStream) -> std::io::Result<
     Ok(())
 }
 
-/// Accept connections forever on an already-bound listener, spawning one
-/// thread per connection. Transient accept errors (fd exhaustion under a
-/// connection burst, aborted handshakes) are logged and survived — one
+/// Accept connections forever on an already-bound listener, serving them
+/// with the sharded reactor runtime at the default per-core shard count.
+/// Transient accept errors (fd exhaustion under a connection burst,
+/// aborted handshakes) back off exponentially and are survived — one
 /// recoverable error must not tear down every dataset in the daemon.
 pub fn serve_listener(service: Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
-    let engine = Engine::new(service);
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(stream) => stream,
-            Err(e) => {
-                eprintln!("annod: accept error (continuing): {e}");
-                // Back off briefly so an EMFILE storm doesn't spin hot.
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                continue;
-            }
-        };
-        let engine = engine.clone();
-        let spawned = std::thread::Builder::new()
-            .name("annod-conn".to_string())
-            .spawn(move || {
-                if let Err(e) = handle_connection(&engine, stream) {
-                    eprintln!("annod: connection error: {e}");
-                }
-            });
-        if let Err(e) = spawned {
-            // Same resource-exhaustion class as an accept error: shed this
-            // connection (dropping the stream closes it), keep the daemon.
-            eprintln!("annod: could not spawn connection thread (shedding): {e}");
-            std::thread::sleep(std::time::Duration::from_millis(20));
-        }
-    }
-    Ok(())
+    crate::reactor::serve_sharded(service, listener, crate::reactor::default_shards())
 }
 
-/// Bind `addr` and serve forever.
+/// [`serve_listener`] with an explicit shard (event loop) count.
+pub fn serve_listener_sharded(
+    service: Arc<Service>,
+    listener: TcpListener,
+    shards: usize,
+) -> std::io::Result<()> {
+    crate::reactor::serve_sharded(service, listener, shards)
+}
+
+/// Bind `addr` and serve forever with the default shard count.
 pub fn serve_tcp(service: Arc<Service>, addr: &str) -> std::io::Result<()> {
+    serve_tcp_sharded(service, addr, crate::reactor::default_shards())
+}
+
+/// Bind `addr` and serve forever with `shards` event loops.
+pub fn serve_tcp_sharded(service: Arc<Service>, addr: &str, shards: usize) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
-    eprintln!("annod: listening on {}", listener.local_addr()?);
-    serve_listener(service, listener)
+    eprintln!(
+        "annod: listening on {} (shards={})",
+        listener.local_addr()?,
+        shards.max(1)
+    );
+    serve_listener_sharded(service, listener, shards)
 }
 
 /// Most headers a metrics scrape request may carry before the blank
@@ -154,12 +183,16 @@ pub fn handle_metrics_request(service: &Service, stream: TcpStream) -> std::io::
 /// thread per request, with the same shed-and-survive error handling as
 /// the protocol listener.
 pub fn serve_metrics_listener(service: Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    let mut backoff = AcceptBackoff::new();
     for stream in listener.incoming() {
         let stream = match stream {
-            Ok(stream) => stream,
+            Ok(stream) => {
+                backoff.reset();
+                stream
+            }
             Err(e) => {
                 eprintln!("annod: metrics accept error (continuing): {e}");
-                std::thread::sleep(std::time::Duration::from_millis(20));
+                backoff.sleep();
                 continue;
             }
         };
@@ -172,8 +205,10 @@ pub fn serve_metrics_listener(service: Arc<Service>, listener: TcpListener) -> s
                 }
             });
         if let Err(e) = spawned {
+            // Same resource-exhaustion class as an accept error: shed this
+            // request (dropping the stream closes it), keep the daemon.
             eprintln!("annod: could not spawn scrape thread (shedding): {e}");
-            std::thread::sleep(std::time::Duration::from_millis(20));
+            backoff.sleep();
         }
     }
     Ok(())
@@ -262,6 +297,23 @@ quit
             read_bounded_line(&mut exact, 4).unwrap().as_deref(),
             Some("abcd")
         );
+    }
+
+    #[test]
+    fn accept_backoff_doubles_and_resets() {
+        let mut b = AcceptBackoff::new();
+        assert_eq!(b.next, AcceptBackoff::FLOOR);
+        b.sleep();
+        b.sleep();
+        assert_eq!(b.next, AcceptBackoff::FLOOR * 4);
+        // A long error streak saturates at the ceiling instead of
+        // doubling forever.
+        for _ in 0..8 {
+            b.next = (b.next * 2).min(AcceptBackoff::CEILING);
+        }
+        assert_eq!(b.next, AcceptBackoff::CEILING);
+        b.reset();
+        assert_eq!(b.next, AcceptBackoff::FLOOR);
     }
 
     #[test]
