@@ -4,6 +4,8 @@
 //! so that criterion benches and printed experiment tables measure the
 //! same thing. All workloads are seeded and deterministic.
 
+#![forbid(unsafe_code)]
+
 use anno_mine::{IncrementalConfig, IncrementalMiner, Thresholds};
 use anno_store::{
     generate, random_annotation_batch, AnnotatedRelation, AnnotationUpdate, GeneratorConfig,

@@ -244,6 +244,7 @@ pub fn count_parallel(
             .collect();
         handles
             .into_iter()
+            // anno-lint: allow(panic-path) -- propagates a counter-thread panic; the closure only counts over immutable slices
             .map(|h| h.join().expect("counter thread"))
             .collect()
     });

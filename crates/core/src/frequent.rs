@@ -88,6 +88,7 @@ impl FrequentItemsets {
         *self
             .counts
             .get_mut(s)
+            // anno-lint: allow(panic-path) -- documented contract: callers only count itemsets they inserted; a miss is table corruption
             .unwrap_or_else(|| panic!("itemset not stored: {s:?}")) += delta;
     }
 
@@ -97,7 +98,9 @@ impl FrequentItemsets {
         let slot = self
             .counts
             .get_mut(s)
+            // anno-lint: allow(panic-path) -- documented contract: callers only count itemsets they inserted; a miss is table corruption
             .unwrap_or_else(|| panic!("itemset not stored: {s:?}"));
+        // anno-lint: allow(panic-path) -- documented contract: deletions never exceed prior insertions; underflow is table corruption
         *slot = slot.checked_sub(delta).expect("count underflow");
     }
 

@@ -264,6 +264,7 @@ impl DiscoveryIndex {
         };
         self.pairs
             .get_mut(&pair)
+            // anno-lint: allow(panic-path) -- presence established by the contains_key/insert path just above in this function
             .expect("pair checked above")
             .ranked_key = new_key;
     }

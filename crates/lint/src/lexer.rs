@@ -1,0 +1,437 @@
+//! A hand-written, loss-free Rust lexer.
+//!
+//! The rules downstream never need full parsing — but they do need to
+//! tell a `lock()` call in code from one in a doc comment or a string
+//! literal, which means the lexer must get exactly the hard cases right:
+//! raw strings (`r#"…"#`, any hash depth), nested block comments,
+//! byte/raw-byte strings, and the `'a` lifetime vs `'a'` char-literal
+//! ambiguity.
+//!
+//! Contract (pinned by the property suite in `tests/lexer_props.rs`):
+//!
+//! * **Never panics**, on any input — including invalid UTF-8 replaced
+//!   lossily, unterminated literals, and stray quotes.
+//! * **Spans tile the file**: token spans are contiguous, start at 0,
+//!   end at `len`, and always lie on `char` boundaries.
+//!
+//! Unterminated constructs extend to end of file rather than erroring:
+//! the lexer's job is classification, not validation.
+
+/// What a token is; the analysis only needs coarse classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* … */`, nested arbitrarily deep; unterminated runs to EOF.
+    BlockComment,
+    /// Identifiers and keywords, including raw identifiers (`r#match`).
+    Ident,
+    /// `'a`, `'static`, `'_` — a quote introducing a name, not a char.
+    Lifetime,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`, `b'x'`.
+    CharLit,
+    /// `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br##"…"##` — all string forms.
+    StrLit,
+    /// Integer or float literals, suffixes included (`1_000u64`, `1e-3`).
+    Number,
+    /// A single punctuation character (`.`, `{`, `=`, …).
+    Punct,
+    /// Anything unclassifiable (e.g. a lone backslash); always 1 char.
+    Unknown,
+}
+
+/// A classified span of the source. `start..end` are byte offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenize `src` completely. Infallible: every byte of input lands in
+/// exactly one token.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(src.len() / 4 + 8);
+    let mut pos = 0usize;
+    while pos < src.len() {
+        let start = pos;
+        let (kind, end) = next_token(src, pos);
+        // Defensive forward-progress guarantee: a lexer bug must degrade
+        // to an Unknown token, never an infinite loop.
+        let end = if end <= start {
+            start + char_len(src, start)
+        } else {
+            end
+        };
+        tokens.push(Token { kind, start, end });
+        pos = end;
+    }
+    tokens
+}
+
+/// Byte length of the char starting at `pos` (assumes a char boundary).
+fn char_len(src: &str, pos: usize) -> usize {
+    src[pos..].chars().next().map_or(1, char::len_utf8)
+}
+
+fn char_at(src: &str, pos: usize) -> Option<char> {
+    src.get(pos..).and_then(|s| s.chars().next())
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Classify the token starting at `pos`; returns (kind, end-offset).
+fn next_token(src: &str, pos: usize) -> (TokenKind, usize) {
+    let c = match char_at(src, pos) {
+        Some(c) => c,
+        None => return (TokenKind::Unknown, pos + 1),
+    };
+    if c.is_whitespace() {
+        return (
+            TokenKind::Whitespace,
+            scan_while(src, pos, char::is_whitespace),
+        );
+    }
+    if c == '/' {
+        match char_at(src, pos + 1) {
+            Some('/') => return (TokenKind::LineComment, scan_line_comment(src, pos)),
+            Some('*') => return (TokenKind::BlockComment, scan_block_comment(src, pos)),
+            _ => return (TokenKind::Punct, pos + 1),
+        }
+    }
+    // r / b / br prefixes: raw strings, byte strings, raw identifiers —
+    // or just identifiers that start with those letters.
+    if c == 'r' || c == 'b' {
+        if let Some((kind, end)) = scan_prefixed_literal(src, pos) {
+            return (kind, end);
+        }
+    }
+    if is_ident_start(c) {
+        return (TokenKind::Ident, scan_while(src, pos, is_ident_continue));
+    }
+    if c.is_ascii_digit() {
+        return (TokenKind::Number, scan_number(src, pos));
+    }
+    if c == '"' {
+        return (TokenKind::StrLit, scan_string(src, pos + 1));
+    }
+    if c == '\'' {
+        return scan_quote(src, pos);
+    }
+    if c.is_ascii_punctuation() {
+        return (TokenKind::Punct, pos + 1);
+    }
+    (TokenKind::Unknown, pos + char_len(src, pos))
+}
+
+fn scan_while(src: &str, pos: usize, pred: impl Fn(char) -> bool) -> usize {
+    let mut end = pos;
+    while let Some(c) = char_at(src, end) {
+        if !pred(c) {
+            break;
+        }
+        end += c.len_utf8();
+    }
+    end
+}
+
+fn scan_line_comment(src: &str, pos: usize) -> usize {
+    scan_while(src, pos, |c| c != '\n')
+}
+
+fn scan_block_comment(src: &str, pos: usize) -> usize {
+    // `pos` sits on `/*`. Nested comments bump the depth.
+    let mut depth = 0usize;
+    let mut i = pos;
+    while i < src.len() {
+        if src[i..].starts_with("/*") {
+            depth += 1;
+            i += 2;
+        } else if src[i..].starts_with("*/") {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += char_len(src, i);
+        }
+    }
+    src.len() // unterminated: the rest of the file is comment
+}
+
+/// `r"…"`, `r#…#"…"#…#`, `b"…"`, `b'…'`, `br#"…"#`, `r#ident`.
+/// Returns None when the prefix turns out to be a plain identifier.
+fn scan_prefixed_literal(src: &str, pos: usize) -> Option<(TokenKind, usize)> {
+    let first = char_at(src, pos)?;
+    let mut i = pos + 1;
+    let mut raw = first == 'r';
+    if first == 'b' {
+        match char_at(src, i) {
+            Some('\'') => return Some((TokenKind::CharLit, scan_char_body(src, i + 1))),
+            Some('"') => return Some((TokenKind::StrLit, scan_string(src, i + 1))),
+            Some('r') => {
+                raw = true;
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    if !raw {
+        return None;
+    }
+    // `i` sits after `r` (or `br`): count hashes.
+    let hash_start = i;
+    while char_at(src, i) == Some('#') {
+        i += 1;
+    }
+    let hashes = i - hash_start;
+    match char_at(src, i) {
+        Some('"') => Some((TokenKind::StrLit, scan_raw_string(src, i + 1, hashes))),
+        // `r#ident` — a raw identifier (only one hash is valid; be lenient).
+        Some(c) if hashes >= 1 && is_ident_start(c) && first == 'r' => {
+            Some((TokenKind::Ident, scan_while(src, i, is_ident_continue)))
+        }
+        _ => None, // plain ident starting with r/b (`rb_tree`, `break`…)
+    }
+}
+
+/// Body of a normal (escaped) string; `pos` is just past the opening quote.
+fn scan_string(src: &str, pos: usize) -> usize {
+    let mut i = pos;
+    while i < src.len() {
+        match char_at(src, i) {
+            Some('\\') => {
+                i += 1; // skip the backslash, then the escaped char
+                if i < src.len() {
+                    i += char_len(src, i);
+                }
+            }
+            Some('"') => return i + 1,
+            Some(c) => i += c.len_utf8(),
+            None => break,
+        }
+    }
+    src.len()
+}
+
+/// Body of a raw string; `pos` is just past the opening quote, `hashes`
+/// is the delimiter depth. Ends at `"###…` with the same hash count.
+fn scan_raw_string(src: &str, pos: usize, hashes: usize) -> usize {
+    let mut i = pos;
+    while i < src.len() {
+        if char_at(src, i) == Some('"') {
+            let close_end = i + 1 + hashes;
+            if src
+                .get(i + 1..close_end)
+                .is_some_and(|tail| tail.bytes().all(|b| b == b'#'))
+            {
+                return close_end;
+            }
+        }
+        i += char_len(src, i);
+    }
+    src.len()
+}
+
+/// A `'`: lifetime or char literal. `pos` sits on the quote.
+fn scan_quote(src: &str, pos: usize) -> (TokenKind, usize) {
+    let after = pos + 1;
+    match char_at(src, after) {
+        // `'\n'`, `'\u{…}'`: escapes are unambiguously char literals.
+        Some('\\') => (TokenKind::CharLit, scan_char_body(src, after)),
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char, `'a` (no closing quote after the ident
+            // run) is a lifetime. `'_` is a lifetime too.
+            let ident_end = scan_while(src, after, is_ident_continue);
+            if char_at(src, ident_end) == Some('\'') {
+                (TokenKind::CharLit, ident_end + 1)
+            } else {
+                (TokenKind::Lifetime, ident_end)
+            }
+        }
+        // `'('`, `'1'`, `'''`…: a single char then a closing quote.
+        Some(c) => {
+            let content_end = after + c.len_utf8();
+            if char_at(src, content_end) == Some('\'') {
+                (TokenKind::CharLit, content_end + 1)
+            } else {
+                // Stray quote: classify just the quote and re-lex the rest.
+                (TokenKind::Unknown, after)
+            }
+        }
+        None => (TokenKind::Unknown, after),
+    }
+}
+
+/// Char-literal body starting just past the opening quote (possibly at a
+/// backslash). Consumes through the closing quote; bounded by line end so
+/// a stray quote cannot swallow the file.
+fn scan_char_body(src: &str, pos: usize) -> usize {
+    let mut i = pos;
+    let mut escaped = false;
+    while i < src.len() {
+        let c = match char_at(src, i) {
+            Some(c) => c,
+            None => break,
+        };
+        if escaped {
+            escaped = false;
+            i += c.len_utf8();
+            continue;
+        }
+        match c {
+            '\\' => {
+                escaped = true;
+                i += 1;
+            }
+            '\'' => return i + 1,
+            '\n' => return i, // unterminated on this line: stop before it
+            _ => i += c.len_utf8(),
+        }
+    }
+    src.len()
+}
+
+/// Integer/float literal. Deliberately loose (suffixes and malformed
+/// exponents just extend the token); the rules never interpret numbers.
+fn scan_number(src: &str, pos: usize) -> usize {
+    let mut i = scan_while(src, pos, is_ident_continue);
+    // A fractional part: `1.25`, but not `1..4` (range) or `1.max(2)`
+    // (method call on a literal).
+    if char_at(src, i) == Some('.') {
+        if let Some(c) = char_at(src, i + 1) {
+            if c.is_ascii_digit() {
+                i = scan_while(src, i + 1, is_ident_continue);
+            }
+        }
+    }
+    // Exponent sign: `1e-3`, `2.5E+10` (the `e` was consumed above).
+    if src[pos..i].ends_with(['e', 'E'])
+        && matches!(char_at(src, i), Some('+') | Some('-'))
+        && char_at(src, i + 1).is_some_and(|c| c.is_ascii_digit())
+    {
+        i = scan_while(src, i + 1, is_ident_continue);
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Whitespace))
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn tiles_simple_source() {
+        let src = "fn main() { let x = 1; }";
+        let toks = lex(src);
+        assert_eq!(toks.first().unwrap().start, 0);
+        assert_eq!(toks.last().unwrap().end, src.len());
+        for w in toks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn raw_strings_at_any_hash_depth() {
+        let src = r####"let s = r#"quote " inside"#; let t = r##"deep "# close"##;"####;
+        let k = kinds(src);
+        let strs: Vec<&str> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokenKind::StrLit)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].contains("quote \" inside"));
+        assert!(strs[1].contains("deep \"# close"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let k = kinds(src);
+        assert_eq!(k[0], (TokenKind::Ident, "a"));
+        assert_eq!(k[1].0, TokenKind::BlockComment);
+        assert_eq!(k[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let u = '\\u{1F600}'; }";
+        let k = kinds(src);
+        let lifetimes: Vec<&str> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokenKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        let chars: Vec<&str> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokenKind::CharLit)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(chars, vec!["'a'", "'\\n'", "'\\u{1F600}'"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r###"let a = b"bytes"; let b = br#"raw "bytes""#; let c = b'x';"###;
+        let k = kinds(src);
+        assert_eq!(
+            k.iter()
+                .filter(|(kind, _)| *kind == TokenKind::StrLit)
+                .count(),
+            2
+        );
+        assert!(k.contains(&(TokenKind::CharLit, "b'x'")));
+    }
+
+    #[test]
+    fn code_inside_strings_and_comments_is_not_code() {
+        let src = r#"// self.queue.lock()
+let s = "self.write.lock()"; /* self.durability.lock() */"#;
+        let idents: Vec<&str> = kinds(src)
+            .into_iter()
+            .filter(|(kind, _)| *kind == TokenKind::Ident)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn unterminated_forms_run_to_eof_without_panicking() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed /* nested",
+            "'",
+            "b\"open",
+            "let x = 'a",
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.last().unwrap().end, src.len(), "input: {src:?}");
+        }
+    }
+}

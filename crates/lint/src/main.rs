@@ -1,0 +1,102 @@
+//! CLI for anno-lint. `cargo run -p anno-lint -- [--json] [path-prefix …]`
+//!
+//! Exit status: 0 when clean, 1 when any finding survives (CI gates on
+//! this), 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use anno_lint::{lint_workspace, render_human, render_json, LintOptions};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut prefixes: Vec<String> = Vec::new();
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: anno-lint [--json] [path-prefix ...]");
+                println!(
+                    "Lints the workspace; with path prefixes, reports only findings under them."
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("anno-lint: unknown flag {flag:?} (try --help)");
+                return ExitCode::from(2);
+            }
+            path => prefixes.push(
+                path.trim_start_matches("./")
+                    .trim_end_matches('/')
+                    .to_string(),
+            ),
+        }
+    }
+
+    let Some(root) = workspace_root() else {
+        eprintln!(
+            "anno-lint: no workspace root ([workspace] in Cargo.toml) above the current directory"
+        );
+        return ExitCode::from(2);
+    };
+
+    let findings = match lint_workspace(&root, &LintOptions::default()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("anno-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The whole workspace is always analyzed (rules are cross-file);
+    // prefixes only narrow what gets *reported*.
+    let findings: Vec<_> = if prefixes.is_empty() {
+        findings
+    } else {
+        findings
+            .into_iter()
+            .filter(|f| {
+                prefixes.iter().any(|p| {
+                    f.path == *p
+                        || f.path.starts_with(&format!("{p}/"))
+                        || f.path.starts_with(p.as_str())
+                })
+            })
+            .collect()
+    };
+
+    print!(
+        "{}",
+        if json {
+            render_json(&findings)
+        } else {
+            render_human(&findings)
+        }
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Nearest ancestor (of the current directory) whose `Cargo.toml`
+/// declares `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

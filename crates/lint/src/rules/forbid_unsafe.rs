@@ -1,0 +1,65 @@
+//! `forbid-unsafe`: every first-party crate root carries
+//! `#![forbid(unsafe_code)]`.
+//!
+//! The workspace is pure safe Rust by policy (the reactor's whole design
+//! bends around "no unsafe, no new deps"); `forbid` — unlike `deny` —
+//! cannot be overridden further down the tree, so its presence in each
+//! crate root is a machine-checkable statement of that policy.
+
+use std::path::Component;
+
+use crate::lexer::TokenKind;
+use crate::model::{FileKind, Model};
+use crate::Finding;
+
+const RULE: &str = "forbid-unsafe";
+
+pub fn run(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &model.files {
+        if file.kind != FileKind::Production || !is_crate_root(file) {
+            continue;
+        }
+        if has_forbid_unsafe(file) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RULE,
+            path: file.path.to_string_lossy().into_owned(),
+            line: 1,
+            col: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]` (workspace policy: every first-party crate forbids unsafe)".to_string(),
+        });
+    }
+    findings
+}
+
+/// `src/lib.rs` of any first-party crate (vendor trees are never loaded).
+fn is_crate_root(file: &crate::model::SourceFile) -> bool {
+    let comps: Vec<&str> = file
+        .path
+        .components()
+        .filter_map(|c| match c {
+            Component::Normal(s) => s.to_str(),
+            _ => None,
+        })
+        .collect();
+    comps.len() >= 2 && comps[comps.len() - 2] == "src" && comps[comps.len() - 1] == "lib.rs"
+}
+
+fn has_forbid_unsafe(file: &crate::model::SourceFile) -> bool {
+    // Token sequence `#` `!` `[` `forbid` `(` `unsafe_code` `)` `]`.
+    let texts: Vec<&str> = file
+        .sig
+        .iter()
+        .map(|&i| file.tokens[i].text(&file.text))
+        .collect();
+    texts
+        .windows(8)
+        .any(|w| w == ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"])
+}
+
+// Keep the TokenKind import meaningful if the matcher grows; for now the
+// window match above is on significant-token text only.
+#[allow(unused_imports)]
+use TokenKind as _;

@@ -1,0 +1,142 @@
+//! `metric-drift`: the README metrics table and the exporter agree.
+//!
+//! Every `anno_*` metric family name that appears as a string literal in
+//! production code must have exactly one row in the README's metrics
+//! reference table, and every table row must correspond to a family the
+//! code still emits. Dashboards and alerts are built against the table;
+//! this rule makes "the docs are stale" a CI failure instead of an
+//! operator surprise.
+//!
+//! A README row is any markdown table line whose first cell is exactly a
+//! backticked family name: ``| `anno_foo_total` | … |``.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::model::{FileKind, Model};
+use crate::Finding;
+
+const RULE: &str = "metric-drift";
+
+/// Is `s` a well-formed family name (`anno_` + lowercase snake)?
+fn is_family(s: &str) -> bool {
+    s.len() > "anno_".len()
+        && s.starts_with("anno_")
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+pub fn run(model: &Model) -> Vec<Finding> {
+    let Some(readme) = model
+        .files
+        .iter()
+        .find(|f| f.kind == FileKind::Doc && f.path.file_name().is_some_and(|n| n == "README.md"))
+    else {
+        return Vec::new(); // nothing to check against (fixture runs)
+    };
+
+    // Families emitted by production code: plain string literals only
+    // (raw/byte strings never hold metric names here).
+    let mut emitted: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for file in &model.files {
+        if file.kind != FileKind::Production {
+            continue;
+        }
+        for tok in &file.tokens {
+            if tok.kind != TokenKind::StrLit {
+                continue;
+            }
+            if file.in_test_region(tok.start) {
+                continue;
+            }
+            let text = tok.text(&file.text);
+            let Some(inner) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) else {
+                continue;
+            };
+            if is_family(inner) {
+                let (line, _) = file.line_col(tok.start);
+                emitted
+                    .entry(inner.to_string())
+                    .or_insert_with(|| (file.path.to_string_lossy().into_owned(), line));
+            }
+        }
+    }
+
+    // Families documented in README table rows.
+    let mut documented: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    for (i, line) in readme.text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = first_cell(trimmed) else {
+            continue;
+        };
+        let cell = cell.trim();
+        let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+            continue;
+        };
+        if is_family(name) {
+            documented
+                .entry(name.to_string())
+                .or_default()
+                .push(i as u32 + 1);
+        }
+    }
+
+    let readme_path = readme.path.to_string_lossy().into_owned();
+    let mut findings = Vec::new();
+    for (family, (path, line)) in &emitted {
+        match documented.get(family).map(Vec::len).unwrap_or(0) {
+            0 => findings.push(Finding {
+                rule: RULE,
+                path: path.clone(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "metric family `{family}` is emitted here but has no row in the README metrics reference table"
+                ),
+            }),
+            1 => {}
+            n => findings.push(Finding {
+                rule: RULE,
+                path: readme_path.clone(),
+                line: documented[family][1],
+                col: 1,
+                message: format!("metric family `{family}` is documented {n} times; exactly one row per family"),
+            }),
+        }
+    }
+    for (family, lines) in &documented {
+        if !emitted.contains_key(family) {
+            findings.push(Finding {
+                rule: RULE,
+                path: readme_path.clone(),
+                line: lines[0],
+                col: 1,
+                message: format!(
+                    "README documents metric family `{family}` but no production code emits it (stale row?)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Content of the first cell of a markdown table row (`\|` escapes kept).
+fn first_cell(row: &str) -> Option<&str> {
+    let body = row.strip_prefix('|')?;
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' {
+            i += 2;
+            continue;
+        }
+        if bytes[i] == b'|' {
+            return Some(&body[..i]);
+        }
+        i += 1;
+    }
+    Some(body)
+}

@@ -1,0 +1,121 @@
+//! `panic-path`: no panics on the long-lived service threads.
+//!
+//! A panic on the dataset writer thread, a reactor shard, the follower
+//! tail thread, or the group-commit thread doesn't crash a request — it
+//! silently kills the thread that every request depends on (and poisons
+//! whatever mutex it held). This rule walks the call graph from those
+//! thread loops and flags `unwrap`/`expect`/`panic!`-family macros, plus
+//! indexing expressions evaluated while a lock is held (an out-of-bounds
+//! panic there poisons the lock for every other thread).
+//!
+//! Exemptions built into the rule (not pragmas):
+//! * `lock().unwrap()` / `read().unwrap()` — poison propagation: a
+//!   poisoned mutex means another thread already panicked, and
+//!   unwrapping is the established idiom for "don't serve on wreckage".
+//! * test code (`#[cfg(test)]`, `#[test]`, `tests/`, `benches/`).
+//!
+//! Proven-infallible sites use a pragma:
+//! `// anno-lint: allow(panic-path) -- <why it cannot fire>`.
+//!
+//! The root set is part of the rule: if a root function disappears in a
+//! refactor, the rule *fails* rather than silently checking nothing.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::model::{FnId, Model};
+use crate::{Finding, LintOptions};
+
+const RULE: &str = "panic-path";
+
+pub fn run(model: &Model, opts: &LintOptions) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Resolve roots; a missing root is a finding, not a silent no-op.
+    let mut reached_from: HashMap<FnId, String> = HashMap::new();
+    let mut queue: VecDeque<FnId> = VecDeque::new();
+    for root in &opts.panic_roots {
+        let ids: Vec<FnId> = model
+            .fn_by_name
+            .get(root)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&id| !model.functions[id].is_test)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if ids.is_empty() {
+            findings.push(Finding {
+                rule: RULE,
+                path: "(workspace)".to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "panic-path root `{root}` not found in the workspace: update the root list in crates/lint (the rule refuses to silently check nothing)"
+                ),
+            });
+            continue;
+        }
+        for id in ids {
+            reached_from.entry(id).or_insert_with(|| root.clone());
+            queue.push_back(id);
+        }
+    }
+
+    // BFS over resolved calls.
+    while let Some(id) = queue.pop_front() {
+        let root = reached_from[&id].clone();
+        let f = &model.functions[id];
+        for c in &f.calls {
+            if let Some(callee) = model.resolve_call(f, c) {
+                if model.functions[callee].is_test {
+                    continue;
+                }
+                reached_from.entry(callee).or_insert_with(|| {
+                    queue.push_back(callee);
+                    root.clone()
+                });
+            }
+        }
+    }
+
+    for (&id, root) in &reached_from {
+        let f = &model.functions[id];
+        if f.is_test {
+            continue;
+        }
+        let file = &model.files[f.file];
+        for p in &f.panics {
+            if p.poison_unwrap {
+                continue;
+            }
+            let (line, col) = file.line_col(p.offset);
+            findings.push(Finding {
+                rule: RULE,
+                path: file.path.to_string_lossy().into_owned(),
+                line,
+                col,
+                message: format!(
+                    "{} in `{}`, reachable from the `{root}` thread: a panic here kills the service thread (return a typed error, or pragma with proof of infallibility)",
+                    p.kind.label(),
+                    f.name
+                ),
+            });
+        }
+        for ix in &f.indexing {
+            let (line, col) = file.line_col(ix.offset);
+            findings.push(Finding {
+                rule: RULE,
+                path: file.path.to_string_lossy().into_owned(),
+                line,
+                col,
+                message: format!(
+                    "indexing while holding {} in `{}`, reachable from the `{root}` thread: an out-of-bounds panic would poison the held lock",
+                    ix.held.join(" + "),
+                    f.name
+                ),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,216 @@
+//! `protocol-drift`: every protocol verb is documented, and every
+//! documented verb exists.
+//!
+//! The code side is the `match` tagged with the
+//! `// anno-lint: protocol-dispatch` marker (in
+//! `crates/service/src/protocol.rs`): its string-literal arm patterns
+//! are the verb set the daemon actually parses. The doc side is the
+//! README's "protocol reference" table: the first word of each
+//! backticked command in a row's first cell. The two sets must be equal
+//! — a new verb without a README row fails CI, as does a README row for
+//! a verb that was removed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokenKind;
+use crate::model::{FileKind, Model, SourceFile};
+use crate::Finding;
+
+const RULE: &str = "protocol-drift";
+const MARKER: &str = "anno-lint: protocol-dispatch";
+
+/// The marker must be the whole comment, not a mention in prose.
+fn is_marker(comment: &str) -> bool {
+    crate::pragma::comment_body(comment) == MARKER
+}
+
+pub fn run(model: &Model) -> Vec<Finding> {
+    // Code side: the marked dispatch match.
+    let mut parsed: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // verb → (file, offset)
+    let mut marker_seen = false;
+    for (fi, file) in model.files.iter().enumerate() {
+        if file.kind != FileKind::Production {
+            continue;
+        }
+        for (ti, tok) in file.tokens.iter().enumerate() {
+            if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            if !is_marker(tok.text(&file.text)) {
+                continue;
+            }
+            marker_seen = true;
+            for (verb, offset) in collect_match_arms(file, ti) {
+                parsed.entry(verb).or_insert((fi, offset));
+            }
+        }
+    }
+
+    // Doc side: the README protocol-reference table.
+    let Some(readme) = model
+        .files
+        .iter()
+        .find(|f| f.kind == FileKind::Doc && f.path.file_name().is_some_and(|n| n == "README.md"))
+    else {
+        return Vec::new();
+    };
+    if !marker_seen {
+        return Vec::new(); // fixture runs without a dispatch site
+    }
+    let mut documented: BTreeMap<String, u32> = BTreeMap::new();
+    let mut in_section = false;
+    for (i, line) in readme.text.lines().enumerate() {
+        if line.starts_with("## ") {
+            in_section = line.to_ascii_lowercase().contains("protocol reference");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = first_cell(trimmed) else {
+            continue;
+        };
+        for verb in verbs_in_cell(cell) {
+            documented.entry(verb).or_insert(i as u32 + 1);
+        }
+    }
+
+    let readme_path = readme.path.to_string_lossy().into_owned();
+    let parsed_verbs: BTreeSet<&String> = parsed.keys().collect();
+    let documented_verbs: BTreeSet<&String> = documented.keys().collect();
+    let mut findings = Vec::new();
+    for verb in parsed_verbs.difference(&documented_verbs) {
+        let (fi, offset) = parsed[*verb];
+        let file = &model.files[fi];
+        let (line, col) = file.line_col(offset);
+        findings.push(Finding {
+            rule: RULE,
+            path: file.path.to_string_lossy().into_owned(),
+            line,
+            col,
+            message: format!(
+                "protocol verb `{verb}` is parsed here but has no row in the README protocol reference table"
+            ),
+        });
+    }
+    for verb in documented_verbs.difference(&parsed_verbs) {
+        findings.push(Finding {
+            rule: RULE,
+            path: readme_path.clone(),
+            line: documented[*verb],
+            col: 1,
+            message: format!(
+                "README documents protocol verb `{verb}` but the dispatch match no longer parses it"
+            ),
+        });
+    }
+    findings
+}
+
+/// String-literal arm patterns of the first `match` following token `ti`.
+fn collect_match_arms(file: &SourceFile, marker_ti: usize) -> Vec<(String, usize)> {
+    let marker_end = file.tokens[marker_ti].end;
+    // First significant `match` after the marker.
+    let mut si = match file
+        .sig
+        .iter()
+        .position(|&i| file.tokens[i].start >= marker_end)
+    {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let n = file.sig.len();
+    while si < n && file.tokens[file.sig[si]].text(&file.text) != "match" {
+        si += 1;
+    }
+    // Its body `{`.
+    while si < n && file.tokens[file.sig[si]].text(&file.text) != "{" {
+        si += 1;
+    }
+    if si >= n {
+        return Vec::new();
+    }
+    let mut verbs = Vec::new();
+    let mut depth = 0i32; // counts every bracket kind; arm patterns at 1
+    let mut group: Vec<(String, usize)> = Vec::new();
+    let mut i = si;
+    while i < n {
+        let tok = &file.tokens[file.sig[i]];
+        let text = tok.text(&file.text);
+        match text {
+            "{" | "(" | "[" => {
+                depth += 1;
+                group.clear();
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                group.clear();
+                if depth == 0 {
+                    break;
+                }
+            }
+            "|" if depth == 1 => {}
+            "=" if depth == 1 => {
+                // `=>` = adjacent `=` `>`.
+                let arrow = i + 1 < n
+                    && file.tokens[file.sig[i + 1]].text(&file.text) == ">"
+                    && file.tokens[file.sig[i + 1]].start == tok.end;
+                if arrow {
+                    verbs.append(&mut group);
+                    i += 1;
+                } else {
+                    group.clear();
+                }
+            }
+            _ => {
+                if depth == 1 && tok.kind == TokenKind::StrLit {
+                    if let Some(inner) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+                        group.push((inner.to_string(), tok.start));
+                    }
+                } else if depth == 1 {
+                    group.clear(); // ident pattern, guard, etc.
+                }
+            }
+        }
+        i += 1;
+    }
+    verbs
+}
+
+/// First word of each backticked span in a table cell, if verb-shaped.
+fn verbs_in_cell(cell: &str) -> Vec<String> {
+    let mut verbs = Vec::new();
+    for (i, span) in cell.split('`').enumerate() {
+        if i % 2 == 0 {
+            continue; // outside backticks
+        }
+        if let Some(word) = span.split_whitespace().next() {
+            if !word.is_empty() && word.bytes().all(|b| b.is_ascii_lowercase() || b == b'_') {
+                verbs.push(word.to_string());
+            }
+        }
+    }
+    verbs
+}
+
+/// First cell of a markdown table row, `\|` escapes respected.
+fn first_cell(row: &str) -> Option<&str> {
+    let body = row.strip_prefix('|')?;
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' {
+            i += 2;
+            continue;
+        }
+        if bytes[i] == b'|' {
+            return Some(&body[..i]);
+        }
+        i += 1;
+    }
+    Some(body)
+}

@@ -1,0 +1,114 @@
+//! Property suite for the lexer's two contracts: it never panics, and
+//! its token spans tile the input exactly (contiguous, starting at 0,
+//! ending at `len`, every boundary a `char` boundary).
+//!
+//! Two generators: arbitrary byte soup (decoded lossily — the lexer must
+//! survive anything a corrupt file can contain), and a fragment mixer
+//! that splices the constructs the lexer exists to get right (raw
+//! strings at several hash depths, nested block comments, lifetimes next
+//! to char literals, byte strings, unterminated everything).
+
+use anno_lint::lexer::{lex, Token};
+use proptest::prelude::*;
+
+fn assert_tiles(src: &str, tokens: &[Token]) {
+    if src.is_empty() {
+        assert!(tokens.is_empty(), "empty input must produce no tokens");
+        return;
+    }
+    assert_eq!(tokens[0].start, 0, "first token must start at 0");
+    assert_eq!(
+        tokens.last().unwrap().end,
+        src.len(),
+        "last token must end at len"
+    );
+    for w in tokens.windows(2) {
+        assert_eq!(
+            w[0].end, w[1].start,
+            "tokens must be contiguous: {:?} then {:?}",
+            w[0], w[1]
+        );
+    }
+    for t in tokens {
+        assert!(t.start < t.end, "empty token span: {t:?}");
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span not on char boundaries: {t:?}"
+        );
+    }
+}
+
+/// The constructs worth colliding with each other.
+const FRAGMENTS: &[&str] = &[
+    "fn main() {}",
+    "r\"raw\"",
+    "r#\"hash \" raw\"#",
+    "r##\"deeper \"# still\"##",
+    "br#\"raw bytes\"#",
+    "b\"bytes\\xff\"",
+    "b'x'",
+    "'a'",
+    "'\\n'",
+    "'\\u{1F600}'",
+    "'lifetime",
+    "&'a str",
+    "<'a>",
+    "/* nested /* deeper */ still */",
+    "/* unterminated",
+    "// line comment",
+    "/// doc with \"string\"",
+    "\"string with // not a comment\"",
+    "\"escape \\\" quote\"",
+    "\"unterminated",
+    "r#\"unterminated raw",
+    "1_000u64",
+    "1e-3",
+    "0xFFusize",
+    "r#match",
+    "ident",
+    "::",
+    "=>",
+    "\\",
+    "'",
+    "\"",
+    "#",
+    "\n",
+    " ",
+    "\t",
+    "é λ 中",
+]; // anno-lint is its own test subject here
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Contract holds on arbitrary (lossily decoded) byte soup.
+    #[test]
+    fn lex_never_panics_and_tiles_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        assert_tiles(&src, &tokens);
+    }
+
+    /// Contract holds on adversarial mixes of the hard constructs.
+    #[test]
+    fn lex_tiles_fragment_mixes(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..64),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let tokens = lex(&src);
+        assert_tiles(&src, &tokens);
+    }
+}
+
+/// Re-lexing a token's own text from offset 0 must classify bytes, not
+/// crash, even when the token was produced mid-context (regression net
+/// for the forward-progress guarantee).
+#[test]
+fn relex_token_texts() {
+    let src: String = FRAGMENTS.concat();
+    for t in lex(&src) {
+        let _ = lex(t.text(&src));
+    }
+}

@@ -1,0 +1,20 @@
+//! The shipped workspace must be lint-clean: every invariant anno-lint
+//! encodes holds for the code that ships it. This is the same check CI
+//! runs via `cargo run -p anno-lint`, exercised as a unit so `cargo test`
+//! alone catches drift.
+
+use std::path::Path;
+
+use anno_lint::{lint_workspace, render_human, LintOptions};
+
+#[test]
+fn shipped_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let findings =
+        lint_workspace(&root, &LintOptions::default()).expect("workspace sources must be readable");
+    assert!(
+        findings.is_empty(),
+        "the shipped workspace must be anno-lint clean:\n{}",
+        render_human(&findings)
+    );
+}

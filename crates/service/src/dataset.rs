@@ -654,6 +654,7 @@ impl Dataset {
         let miner = IncrementalMiner::mine_initial(&w.relation, config);
         w.miner = Some(miner);
         sync_discovery(&self.inner.metrics, &mut w);
+        // anno-lint: allow(panic-path) -- w.miner was assigned Some two lines above; publish only returns None without a miner
         Ok(publish(&self.inner, &w).expect("just mined"))
     }
 
@@ -1810,6 +1811,7 @@ fn capture_checkpoint(
         .lock()
         .map_err(|_| ServiceError::ShutDown(inner.name.clone()))?;
     let mut dur = inner.durability.lock().expect("wal lock");
+    // anno-lint: allow(panic-path) -- both checkpoint entry points return Durability errors before this when no WAL is attached, and a WAL is never detached
     let wal = dur.as_mut().expect("checkpoint callers verify durability");
     let prepared = wal
         .prepare_checkpoint()
@@ -1856,6 +1858,7 @@ fn commit_checkpoint(
         .map_err(|e| ServiceError::Durability(e.to_string()))?;
     {
         let mut dur = inner.durability.lock().expect("wal lock");
+        // anno-lint: allow(panic-path) -- a capture only exists for a dataset with an attached WAL, and a WAL is never detached
         let wal = dur.as_mut().expect("checkpoint callers verify durability");
         wal.finish_checkpoint(&cap.prepared);
         inner
@@ -1900,6 +1903,7 @@ fn maybe_auto_checkpoint(inner: &Arc<Inner>) {
             if !h.is_finished() {
                 return;
             }
+            // anno-lint: allow(panic-path) -- slot.as_ref() matched Some on the line above and the lock is still held
             let _ = slot.take().expect("just checked").join();
         }
     }

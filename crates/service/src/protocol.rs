@@ -142,6 +142,7 @@ impl Engine {
     }
 
     fn dispatch(&self, cmd: &str, args: &[&str]) -> Result<Reply, ServiceError> {
+        // anno-lint: protocol-dispatch
         match cmd {
             "ping" => Ok(Reply::ok("pong")),
             "help" => Ok(help()),

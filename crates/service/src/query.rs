@@ -57,8 +57,8 @@ impl RuleFilter {
             .collect();
         out.sort_by(|a, b| {
             let (ka, kb) = (self.order.key(a), self.order.key(b));
-            kb.partial_cmp(&ka)
-                .expect("rule measures are finite")
+            kb.0.total_cmp(&ka.0)
+                .then(kb.1.total_cmp(&ka.1))
                 .then_with(|| (a.lhs.items(), a.rhs).cmp(&(b.lhs.items(), b.rhs)))
         });
         if let Some(top) = self.top {

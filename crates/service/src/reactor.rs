@@ -185,6 +185,7 @@ impl Reactor {
             if now >= deadline {
                 break;
             }
+            // anno-lint: allow(blocking-in-reactor) -- bounded idle park: no source is readable and the deadline caps the wait
             std::thread::sleep(PARK.min(deadline - now));
         }
         events.len()
@@ -456,6 +457,7 @@ fn shard_loop(engine: Engine, rx: Receiver<TcpStream>) {
     loop {
         // Admit new connections; block only when there is nothing to do.
         if conns.is_empty() {
+            // anno-lint: allow(blocking-in-reactor) -- guarded by conns.is_empty(): with no connections owned there is nothing to stall
             match rx.recv() {
                 Ok(stream) => admit(&mut reactor, &mut conns, stream),
                 Err(_) => return,
@@ -593,6 +595,7 @@ pub fn serve_sharded(
             }
             Err(e) => {
                 eprintln!("annod: accept error (continuing): {e}");
+                // anno-lint: allow(blocking-in-reactor) -- accept-thread error backoff; no connection is owned by this thread
                 backoff.sleep();
             }
         }

@@ -479,8 +479,10 @@ impl Service {
         if window.len() < 2 {
             return None;
         }
-        let (first_ts, first) = window.first().expect("len checked");
-        let (last_ts, last) = window.last().expect("len checked");
+        let (Some((first_ts, first)), Some((last_ts, last))) = (window.first(), window.last())
+        else {
+            return None;
+        };
         let drains = [
             (*first_ts, first.total_drains),
             (*last_ts, last.total_drains),

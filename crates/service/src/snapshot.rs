@@ -188,13 +188,8 @@ impl RuleSnapshot {
         let mut out: Vec<(Item, &AssociationRule)> = best.into_iter().collect();
         out.sort_by(|(ann_a, a), (ann_b, b)| {
             b.confidence()
-                .partial_cmp(&a.confidence())
-                .expect("confidence is finite")
-                .then(
-                    b.support()
-                        .partial_cmp(&a.support())
-                        .expect("support is finite"),
-                )
+                .total_cmp(&a.confidence())
+                .then(b.support().total_cmp(&a.support()))
                 .then(ann_a.cmp(ann_b))
         });
         out.truncate(k);

@@ -65,6 +65,7 @@ impl Item {
             0 => ItemKind::Data,
             1 => ItemKind::Annotation,
             2 => ItemKind::Label,
+            // anno-lint: allow(panic-path) -- the tag field is written only by the three constructors; a fourth value is memory corruption
             tag => unreachable!("corrupt item tag {tag}"),
         }
     }

@@ -112,7 +112,8 @@ pub fn write_snapshot<W: Write>(rel: &AnnotatedRelation, writer: &mut W) -> io::
 /// Render a snapshot to a string.
 pub fn snapshot_to_string(rel: &AnnotatedRelation) -> String {
     let mut buf = Vec::new();
-    write_snapshot(rel, &mut buf).expect("writing to Vec cannot fail");
+    write_snapshot(rel, &mut buf).expect("writing to Vec cannot fail"); // anno-lint: allow(panic-path) -- io::Write on Vec<u8> is infallible
+                                                                        // anno-lint: allow(panic-path) -- the writer emits only ASCII framing and already-valid UTF-8 names
     String::from_utf8(buf).expect("snapshot text is UTF-8")
 }
 
@@ -197,6 +198,7 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<AnnotatedRelation, String>
     for slot in 0..slots {
         match by_tid.peek() {
             Some((tid, _)) if tid.0 as usize == slot => {
+                // anno-lint: allow(panic-path) -- peek() returned Some for this iteration's match arm
                 let (_, items) = by_tid.next().expect("peeked");
                 rel.insert(Tuple::from_items(items));
             }

@@ -64,6 +64,7 @@ pub fn record_crc(len: u32, payload: &[u8]) -> u32 {
 
 /// Frame one payload into its on-disk record bytes.
 pub fn frame(payload: &[u8]) -> Vec<u8> {
+    // anno-lint: allow(panic-path) -- payloads are single checkpoint/drain frames, bounded far below 4 GiB by the segment size cap
     let len = u32::try_from(payload.len()).expect("record payload fits u32");
     let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
     out.extend_from_slice(&len.to_le_bytes());

@@ -422,7 +422,13 @@ fn committer_loop(shared: &CommitterShared) {
             u64::try_from(window_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
         );
         for req in &batch {
-            let outcome = results.get(&req.key).expect("synced above").clone();
+            // Every key was inserted by the sync pass above; if that
+            // invariant ever breaks, fail the ticket instead of the
+            // committer thread.
+            let outcome = results
+                .get(&req.key)
+                .cloned()
+                .unwrap_or_else(|| Err("internal: sync result missing for ticket".to_string()));
             let mut slot = req.ticket.state.lock().expect("ticket lock");
             *slot = Some(outcome);
             req.ticket.cv.notify_all();
